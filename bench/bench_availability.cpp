@@ -1,0 +1,103 @@
+// Availability study: the paper's title claim quantified — how much does
+// each redundant distribution improve storage availability over a single
+// cloud, as a function of per-provider availability?
+//
+// Two methods, cross-validated: exact analytic enumeration and Monte Carlo
+// over the real client stack (sampled provider outages, real degraded
+// reads). The paper motivates this with 2013-14 outage data (§I, §II-A);
+// commercial SLAs sit around 99.9 %.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/availability.h"
+
+using namespace hyrd;
+
+namespace {
+
+double measure(const std::string& name, const bench::ClientFactory& factory,
+               double p, std::size_t trials) {
+  auto scheme = bench::make_scheme(name, factory, 404);
+  scheme.client->put("/probe/small", common::patterned(4096, 1));
+  scheme.client->put("/probe/large", common::patterned(2 << 20, 2));
+  auto m = core::measure_read_availability(
+      *scheme.registry, *scheme.client, {"/probe/small", "/probe/large"}, p,
+      trials, 2015);
+  return m.availability();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t trials = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 1500;
+  std::printf(
+      "=== Availability: analytic vs Monte Carlo (%zu trials/point) ===\n\n",
+      trials);
+
+  const double sweep[] = {0.90, 0.95, 0.99, 0.999};
+
+  std::printf("Analytic read availability (independent provider failures):\n");
+  common::Table t({"Provider avail.", "Single", "DuraCloud 1of2",
+                   "RACS 3of4", "HyRD small 1of2", "HyRD large 2of3",
+                   "HyRD overall*"});
+  for (double p : sweep) {
+    const auto a = core::analytic_availability(p);
+    t.add_row({common::Table::num(p, 3), common::Table::num(a.single, 5),
+               common::Table::num(a.duracloud, 5),
+               common::Table::num(a.racs, 5),
+               common::Table::num(a.hyrd_small, 5),
+               common::Table::num(a.hyrd_large, 5),
+               common::Table::num(a.hyrd_overall(0.8), 5)});
+  }
+  t.print();
+  std::printf("  (* 80%% of accesses to small files, per the paper's "
+              "workload characterization)\n\n");
+
+  std::printf("At the 99.9%% SLA point, in nines:\n");
+  {
+    const auto a = core::analytic_availability(0.999);
+    common::Table n({"Scheme", "Availability", "Nines"});
+    n.add_row({"Single cloud", common::Table::num(a.single, 6),
+               common::Table::num(core::nines(a.single), 1)});
+    n.add_row({"DuraCloud", common::Table::num(a.duracloud, 6),
+               common::Table::num(core::nines(a.duracloud), 1)});
+    n.add_row({"RACS", common::Table::num(a.racs, 6),
+               common::Table::num(core::nines(a.racs), 1)});
+    n.add_row({"HyRD (overall)", common::Table::num(a.hyrd_overall(0.8), 6),
+               common::Table::num(core::nines(a.hyrd_overall(0.8)), 1)});
+    n.print();
+  }
+
+  std::printf("\nMonte Carlo over the real client stack (p = 0.90, both a "
+              "small and a large file must read back):\n");
+  common::Table mc({"Scheme", "Measured", "Analytic reference"});
+  const double p = 0.90;
+  const auto a = core::analytic_availability(p);
+  for (const auto& [name, factory] : bench::all_schemes()) {
+    if (name == "WindowsAzure" || name == "Rackspace" || name == "AmazonS3") {
+      continue;  // one single-cloud representative (Aliyun) suffices
+    }
+    const double measured = measure(name, factory, p, trials);
+    double reference = 0.0;
+    if (name == "Aliyun") reference = a.single;
+    if (name == "DuraCloud") reference = a.duracloud;
+    if (name == "RACS") reference = a.racs;  // both files on the 3-of-4 stripe
+    if (name == "HyRD") reference = a.hyrd_small * a.hyrd_large;
+    std::printf("  measured %-10s ...\n", name.c_str());
+    mc.add_row({name, common::Table::num(measured, 4),
+                common::Table::num(reference, 4) +
+                    (name == "HyRD" ? " (indep. lower bound)" : "")});
+  }
+  mc.print();
+
+  std::printf(
+      "\nPaper-shape check: every Cloud-of-Clouds scheme beats the single "
+      "cloud; HyRD's mixed redundancy keeps >= RAID5-level availability "
+      "while replicating the hot (small) data: %s\n",
+      core::analytic_availability(0.999).hyrd_overall(0.8) > 0.999
+          ? "yes"
+          : "NO (regression)");
+  return 0;
+}

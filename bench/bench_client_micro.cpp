@@ -1,0 +1,105 @@
+// Microbenchmarks for the client stack: wall-clock cost of driving the
+// simulator (not virtual latency) — how many simulated cloud operations
+// per second the harness sustains, per scheme and op type.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+using namespace hyrd;
+
+namespace {
+
+template <typename MakeClient>
+void run_put_get(benchmark::State& state, MakeClient make_client,
+                 std::size_t size) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 555);
+  gcs::MultiCloudSession session(registry);
+  auto client = make_client(session);
+  const auto data = common::patterned(size, 1);
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = "/b/f" + std::to_string(i++ % 64);
+    auto w = client->put(path, data);
+    auto r = client->get(path);
+    benchmark::DoNotOptimize(r.data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * size));
+}
+
+void BM_HyRDSmallPutGet(benchmark::State& state) {
+  run_put_get(state,
+              [](gcs::MultiCloudSession& s) {
+                return std::make_unique<core::HyRDClient>(s);
+              },
+              4096);
+}
+BENCHMARK(BM_HyRDSmallPutGet);
+
+void BM_HyRDLargePutGet(benchmark::State& state) {
+  run_put_get(state,
+              [](gcs::MultiCloudSession& s) {
+                return std::make_unique<core::HyRDClient>(s);
+              },
+              4u << 20);
+}
+BENCHMARK(BM_HyRDLargePutGet);
+
+void BM_RacsSmallPutGet(benchmark::State& state) {
+  run_put_get(state,
+              [](gcs::MultiCloudSession& s) {
+                return std::make_unique<core::RACSClient>(s);
+              },
+              4096);
+}
+BENCHMARK(BM_RacsSmallPutGet);
+
+void BM_RacsLargePutGet(benchmark::State& state) {
+  run_put_get(state,
+              [](gcs::MultiCloudSession& s) {
+                return std::make_unique<core::RACSClient>(s);
+              },
+              4u << 20);
+}
+BENCHMARK(BM_RacsLargePutGet);
+
+void BM_DuraCloudPutGet(benchmark::State& state) {
+  run_put_get(state,
+              [](gcs::MultiCloudSession& s) {
+                return std::make_unique<core::DuraCloudClient>(s);
+              },
+              256 * 1024);
+}
+BENCHMARK(BM_DuraCloudPutGet);
+
+void BM_ProviderRawPut(benchmark::State& state) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 556);
+  auto* provider = registry.find("Aliyun");
+  provider->create("c");
+  const auto data = common::patterned(static_cast<std::size_t>(state.range(0)), 2);
+  int i = 0;
+  for (auto _ : state) {
+    auto r = provider->put({"c", "k" + std::to_string(i++ % 16)}, data);
+    benchmark::DoNotOptimize(r.latency);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ProviderRawPut)->Range(4 << 10, 4 << 20);
+
+void BM_RestCodecRoundTrip(benchmark::State& state) {
+  const auto body = common::patterned(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    const auto req = gcs::encode_op(cloud::OpKind::kPut, {"c", "object-name"},
+                                    body);
+    auto parsed = gcs::parse_request(gcs::serialize(req));
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RestCodecRoundTrip)->Range(1 << 10, 1 << 20);
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Dedup ablation: the paper's §VI future work — "apply data deduplication
+// in the HyRD module to eliminate the redundant data and reduce the total
+// data transferred over the network" — measured on a duplicate-heavy
+// workload (a backup-style archive where many files recur across
+// generations), HyRD with and without the dedup extension.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/hyrd_client.h"
+
+using namespace hyrd;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t bytes_uploaded = 0;
+  std::uint64_t fleet_resident = 0;
+  double mean_put_ms = 0.0;
+  double transfer_cost = 0.0;
+  core::DedupIndex::Stats dedup;
+};
+
+RunResult run(bool dedup_enabled, double duplicate_share) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 808);
+  gcs::MultiCloudSession session(registry);
+  core::HyRDConfig config;
+  config.dedup_enabled = dedup_enabled;
+  core::HyRDClient client(session, config);
+  common::Xoshiro256 rng(808);
+
+  // Backup generations: each generation re-uploads every file; only
+  // (1 - duplicate_share) of them changed since the last generation.
+  constexpr int kFiles = 24;
+  constexpr int kGenerations = 4;
+  std::vector<common::Bytes> contents;
+  for (int f = 0; f < kFiles; ++f) {
+    const std::uint64_t size =
+        rng.chance(0.25) ? rng.uniform_int(1u << 20, 4u << 20)
+                         : rng.uniform_int(2 << 10, 256 << 10);
+    contents.push_back(common::patterned(size, rng()));
+  }
+
+  for (const auto& p : registry.all()) p->reset_counters();
+  for (int gen = 0; gen < kGenerations; ++gen) {
+    for (int f = 0; f < kFiles; ++f) {
+      if (gen > 0 && !rng.chance(duplicate_share)) {
+        contents[f] = common::patterned(contents[f].size(), rng());
+      }
+      const std::string path =
+          "/backup/g" + std::to_string(gen) + "/f" + std::to_string(f);
+      client.put(path, contents[f]);
+    }
+  }
+
+  RunResult out;
+  for (const auto& p : registry.all()) {
+    out.bytes_uploaded += p->counters().bytes_written;
+    out.fleet_resident += p->stored_bytes();
+    out.transfer_cost += p->billing().open_month_transfer_cost() +
+                         p->billing().schedule().storage_cost(
+                             p->stored_bytes());
+  }
+  out.mean_put_ms = client.stats_snapshot().put_ms.mean();
+  out.dedup = client.dedup().stats();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Dedup ablation (paper SVI future work): 4 backup "
+              "generations x 24 files ===\n\n");
+
+  common::Table t({"Duplicate share", "Dedup", "Uploaded", "Fleet resident",
+                   "Mean put ms", "Month-1 cost $", "Aliases"});
+  for (double share : {0.9, 0.5, 0.0}) {
+    for (bool dedup : {false, true}) {
+      const auto r = run(dedup, share);
+      t.add_row({common::Table::num(share, 1), dedup ? "on" : "off",
+                 common::format_bytes(r.bytes_uploaded),
+                 common::format_bytes(r.fleet_resident),
+                 common::Table::num(r.mean_put_ms, 0),
+                 common::Table::num(r.transfer_cost, 4),
+                 std::to_string(r.dedup.alias_files)});
+    }
+  }
+  t.print();
+
+  const auto with = run(true, 0.9);
+  const auto without = run(false, 0.9);
+  std::printf("\nAt 90%% duplicates, dedup cuts uploaded bytes by %.0f%% and "
+              "resident bytes by %.0f%% (paper's stated goal: 'reduce the "
+              "total data transferred over the network').\n",
+              100.0 * (1.0 - static_cast<double>(with.bytes_uploaded) /
+                                 static_cast<double>(without.bytes_uploaded)),
+              100.0 * (1.0 - static_cast<double>(with.fleet_resident) /
+                                 static_cast<double>(without.fleet_resident)));
+  std::printf("The cost: a SHA-256 per write and copy-on-write updates — "
+              "the 'careful design considerations' the paper flags.\n");
+  return 0;
+}

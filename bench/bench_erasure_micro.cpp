@@ -1,0 +1,168 @@
+// Microbenchmarks for the erasure-coding substrate: GF(2^8) region
+// kernels, Reed–Solomon encode/decode across geometries, RAID5 XOR and
+// delta-parity, and whole-object striping throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "erasure/fmsr.h"
+#include "erasure/gf256.h"
+#include "erasure/raid5.h"
+#include "erasure/reed_solomon.h"
+#include "erasure/striper.h"
+
+using namespace hyrd;
+
+namespace {
+
+std::vector<common::Bytes> make_shards(std::size_t k, std::size_t size) {
+  std::vector<common::Bytes> shards;
+  for (std::size_t i = 0; i < k; ++i) {
+    shards.push_back(common::patterned(size, i + 1));
+  }
+  return shards;
+}
+
+void BM_GF256MulAddRegion(benchmark::State& state) {
+  const auto& gf = erasure::GF256::instance();
+  common::Bytes src = common::patterned(static_cast<std::size_t>(state.range(0)), 1);
+  common::Bytes dst = common::patterned(src.size(), 2);
+  for (auto _ : state) {
+    gf.mul_add_region(dst, src, 0x57);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_GF256MulAddRegion)->Range(1 << 10, 1 << 22);
+
+void BM_RsEncode(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  erasure::ReedSolomon rs(k, m);
+  const auto shards = make_shards(k, 256 * 1024);
+  for (auto _ : state) {
+    auto parity = rs.encode(shards);
+    benchmark::DoNotOptimize(parity);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * 256 * 1024));
+}
+BENCHMARK(BM_RsEncode)
+    ->Args({3, 1})
+    ->Args({4, 2})
+    ->Args({6, 3})
+    ->Args({8, 4});
+
+void BM_RsReconstructWorstCase(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = static_cast<std::size_t>(state.range(1));
+  erasure::ReedSolomon rs(k, m);
+  const auto data = make_shards(k, 256 * 1024);
+  auto parity = rs.encode(data).value();
+  for (auto _ : state) {
+    std::vector<std::optional<common::Bytes>> shards(k + m);
+    // Worst case: the first m data shards are missing.
+    for (std::size_t i = m; i < k; ++i) shards[i] = data[i];
+    for (std::size_t i = 0; i < m; ++i) shards[k + i] = parity[i];
+    auto st = rs.reconstruct(shards);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * 256 * 1024));
+}
+BENCHMARK(BM_RsReconstructWorstCase)->Args({3, 1})->Args({4, 2})->Args({8, 4});
+
+void BM_Raid5Encode(benchmark::State& state) {
+  erasure::Raid5 raid(3);
+  const auto shards = make_shards(3, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto parity = raid.encode(shards);
+    benchmark::DoNotOptimize(parity);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 3 *
+                          state.range(0));
+}
+BENCHMARK(BM_Raid5Encode)->Range(4 << 10, 4 << 20);
+
+void BM_Raid5DeltaParity(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const auto old_parity = common::patterned(size, 1);
+  const auto old_data = common::patterned(size, 2);
+  const auto new_data = common::patterned(size, 3);
+  for (auto _ : state) {
+    auto parity = erasure::Raid5::delta_parity(old_parity, old_data, new_data);
+    benchmark::DoNotOptimize(parity);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Raid5DeltaParity)->Range(4 << 10, 1 << 20);
+
+void BM_StriperEncode(benchmark::State& state) {
+  erasure::Striper striper({.k = 3, .m = 1});
+  const auto object =
+      common::patterned(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto set = striper.encode(object);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StriperEncode)->Range(64 << 10, 16 << 20);
+
+void BM_FmsrEncode(benchmark::State& state) {
+  erasure::Fmsr code(4, 2);
+  common::Xoshiro256 rng(1);
+  const auto object =
+      common::patterned(static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    auto enc = code.encode(object, rng);
+    benchmark::DoNotOptimize(enc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FmsrEncode)->Range(64 << 10, 4 << 20);
+
+void BM_FmsrPlanAndRepair(benchmark::State& state) {
+  erasure::Fmsr code(4, 2);
+  common::Xoshiro256 rng(2);
+  const auto object =
+      common::patterned(static_cast<std::size_t>(state.range(0)), 10);
+  auto enc = code.encode(object, rng);
+  for (auto _ : state) {
+    auto plan = code.plan_repair(enc.coefficients, 1, rng);
+    std::vector<common::Bytes> survivor_chunks;
+    for (std::size_t idx : plan.value().survivor_chunk_indices) {
+      survivor_chunks.push_back(enc.chunks[idx]);
+    }
+    auto chunks = code.execute_repair(plan.value(), survivor_chunks);
+    benchmark::DoNotOptimize(chunks);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 3 / 4);  // repair traffic
+}
+BENCHMARK(BM_FmsrPlanAndRepair)->Range(64 << 10, 4 << 20);
+
+void BM_StriperDegradedDecode(benchmark::State& state) {
+  erasure::Striper striper({.k = 3, .m = 1});
+  const auto object =
+      common::patterned(static_cast<std::size_t>(state.range(0)), 8);
+  const auto set = striper.encode(object);
+  for (auto _ : state) {
+    std::vector<std::optional<common::Bytes>> shards(4);
+    shards[1] = set.shards[1];
+    shards[2] = set.shards[2];
+    shards[3] = set.shards[3];  // data shard 0 missing, use parity
+    auto decoded = striper.decode_degraded(set.geometry, set.object_size,
+                                           set.object_crc, std::move(shards));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StriperDegradedDecode)->Range(64 << 10, 16 << 20);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Extended comparison (beyond the paper's Fig. 4/6 line-up): all six
+// storage schemes — single cloud, DuraCloud, DepSky, RACS, NCCloud, HyRD —
+// on one identical PostMark workload, reporting latency, storage footprint,
+// first-month cost, and read availability, side by side.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/availability.h"
+#include "core/depsky_client.h"
+#include "core/nccloud_client.h"
+#include "workload/postmark.h"
+
+using namespace hyrd;
+
+int main() {
+  workload::PostMarkConfig config;
+  config.initial_files = 30;
+  config.transactions = 120;
+  config.max_size = 32u << 20;
+
+  std::vector<std::pair<std::string, bench::ClientFactory>> schemes =
+      bench::all_schemes();
+  // Trim the single clouds to one representative and add the extensions.
+  schemes.erase(schemes.begin(), schemes.begin() + 2);  // keep Aliyun on
+  schemes.erase(schemes.begin() + 1, schemes.begin() + 2);  // drop Rackspace
+  schemes.emplace_back("DepSky", [](gcs::MultiCloudSession& s) {
+    return std::make_unique<core::DepSkyClient>(s);
+  });
+  schemes.emplace_back("NCCloud", [](gcs::MultiCloudSession& s) {
+    return std::make_unique<core::NCCloudClient>(s);
+  });
+
+  std::printf("=== Extended comparison: all schemes, one workload "
+              "(PostMark, %zu txns, 1KB-32MB) ===\n\n",
+              config.transactions);
+
+  common::Table t({"Scheme", "Mean ms", "p95 ms", "Fleet bytes",
+                   "Month-1 $", "Avail @ p=0.99", "Degraded reads"});
+  for (const auto& [name, factory] : schemes) {
+    auto scheme = bench::make_scheme(name, factory, 909);
+    workload::PostMark pm(config);
+    auto report = pm.run(*scheme.client);
+
+    std::uint64_t resident = 0;
+    double cost = 0.0;
+    for (const auto& p : scheme.registry->all()) {
+      resident += p->stored_bytes();
+      const auto bill = p->close_month();
+      cost += bill.total();
+    }
+
+    // Measured availability at p = 0.99 over the real stack.
+    std::vector<std::string> probes;
+    for (const auto& path : scheme.client->list()) {
+      probes.push_back(path);
+      if (probes.size() == 4) break;
+    }
+    const auto avail = core::measure_read_availability(
+        *scheme.registry, *scheme.client, probes, 0.99, 600, 1234);
+
+    t.add_row({name, common::Table::num(report.mean_latency_ms(), 0),
+               common::Table::num(report.all_ms.percentile(95), 0),
+               common::format_bytes(resident), common::Table::num(cost, 4),
+               common::Table::num(avail.availability(), 3),
+               std::to_string(report.degraded_reads)});
+    std::printf("  ran %s\n", name.c_str());
+  }
+  std::printf("\n");
+  t.print();
+  std::printf(
+      "\nReading the table: HyRD pairs the lowest bill with near-best "
+      "latency; NCCloud trades cheap repairs for re-encoded updates and a "
+      "RACS-level bill; DepSky pays 4x storage for its quorums; DuraCloud "
+      "pays synchronized double writes; and the single cloud pays in "
+      "availability.\n");
+  return 0;
+}

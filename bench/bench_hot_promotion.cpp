@@ -1,0 +1,109 @@
+// Hot-file promotion study (Fig. 2's optional optimization): "to optimize
+// performance of large files, some frequently accessed large files are
+// also placed in performance-oriented providers."
+//
+// Workload: Zipf-skewed reads over a population of large files. Compare
+// HyRD with promotion off vs on, in the healthy fleet and during an
+// outage of a data-slot provider (where the hot copy also avoids
+// reconstruction entirely).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cloud/outage.h"
+#include "common/table.h"
+#include "workload/popularity.h"
+
+using namespace hyrd;
+
+namespace {
+
+struct RunResult {
+  double mean_read_ms = 0.0;
+  std::uint64_t degraded_reads = 0;
+  std::size_t hot_copies = 0;
+  int failed_reads = 0;
+};
+
+// outage: 0 = healthy, 1 = one data slot down, 2 = stripe unreachable
+// (data slot + parity down — beyond RAID5 tolerance).
+RunResult run(bool promotion, int outage, double zipf_s) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 246);
+  gcs::MultiCloudSession session(registry);
+  core::HyRDConfig config;
+  config.hot_promotion_enabled = promotion;
+  config.hot_promotion_reads = 3;
+  core::HyRDClient client(session, config);
+  common::Xoshiro256 rng(246);
+
+  constexpr int kFiles = 12;
+  constexpr int kReads = 150;
+  for (int f = 0; f < kFiles; ++f) {
+    client.put("/lib/f" + std::to_string(f),
+               common::patterned(rng.uniform_int(2u << 20, 8u << 20), f));
+  }
+  workload::ZipfSampler zipf(kFiles, zipf_s);
+  // Warm the promotion before the outage, as Fig. 2 intends (hot files
+  // are already resident on the performance provider when trouble hits).
+  if (promotion) {
+    for (int r = 0; r < 60; ++r) {
+      (void)client.get("/lib/f" + std::to_string(zipf.sample(rng)));
+    }
+  }
+  cloud::OutageController outages(registry);
+  if (outage >= 1) outages.take_down("Rackspace");  // data slot
+  if (outage >= 2) outages.take_down("AmazonS3");   // parity slot
+
+  RunResult out;
+  client.reset_stats();
+  for (int r = 0; r < kReads; ++r) {
+    const std::size_t rank = zipf.sample(rng);
+    if (!client.get("/lib/f" + std::to_string(rank)).status.is_ok()) {
+      ++out.failed_reads;
+    }
+  }
+
+  const auto stats = client.stats_snapshot();
+  out.mean_read_ms = stats.get_ms.mean();
+  out.degraded_reads = stats.degraded_reads;
+  for (int f = 0; f < kFiles; ++f) {
+    if (client.has_hot_copy("/lib/f" + std::to_string(f))) ++out.hot_copies;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Hot-file promotion (Fig. 2): Zipf reads over large files "
+              "===\n\n");
+
+  static const char* kFleet[] = {"healthy", "1 slot down", "stripe dead"};
+  common::Table t({"Zipf s", "Fleet", "Promotion", "Mean read ms",
+                   "Failed reads", "Hot copies"});
+  for (double s : {1.2, 0.6}) {
+    for (int outage : {0, 1, 2}) {
+      for (bool promotion : {false, true}) {
+        const auto r = run(promotion, outage, s);
+        t.add_row({common::Table::num(s, 1), kFleet[outage],
+                   promotion ? "on" : "off",
+                   common::Table::num(r.mean_read_ms, 0),
+                   std::to_string(r.failed_reads) + "/150",
+                   std::to_string(r.hot_copies)});
+      }
+    }
+  }
+  t.print();
+
+  const auto off = run(false, 2, 1.2);
+  const auto on = run(true, 2, 1.2);
+  std::printf("\nWith the stripe beyond RAID5 tolerance (two slots down), "
+              "promotion turns %d/150 failed reads into %d/150: hot copies "
+              "on the performance provider are extra availability for the "
+              "hottest files, exactly Fig. 2's intent. The dispatcher only "
+              "routes a read to the hot copy when that is expected-faster "
+              "than the (possibly degraded) stripe, or when the stripe is "
+              "unreachable.\n",
+              off.failed_reads, on.failed_reads);
+  return 0;
+}

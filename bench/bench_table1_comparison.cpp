@@ -1,0 +1,201 @@
+// Table I reproduction, quantified: the paper compares schemes on
+// redundancy kind, recovery difficulty, performance and cost. This bench
+// backs each qualitative cell with a measured number from the simulator:
+//
+//   * small-update amplification — provider ops per 4 KB in-place update
+//     (paper §II-B: RAID5 small update = 2 reads + 2 writes);
+//   * storage overhead — bytes resident across the fleet per logical byte;
+//   * recovery traffic — bytes transferred to resync one provider after
+//     an outage ("Recovery: Easy/Hard");
+//   * small-read latency during an outage — the availability experience.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cloud/outage.h"
+#include "common/table.h"
+#include "core/depsky_client.h"
+#include "core/nccloud_client.h"
+
+using namespace hyrd;
+
+namespace {
+
+struct Audit {
+  std::string scheme;
+  double update_reads = 0.0;   // provider GETs per small update
+  double update_writes = 0.0;  // provider PUTs per small update
+  double storage_overhead = 0.0;
+  double recovery_mb = 0.0;
+  double outage_small_read_ms = 0.0;
+};
+
+cloud::OpCounters fleet_counters(const cloud::CloudRegistry& reg) {
+  cloud::OpCounters total;
+  for (const auto& p : reg.all()) {
+    const auto c = p->counters();
+    total.gets += c.gets;
+    total.puts += c.puts;
+    total.bytes_read += c.bytes_read;
+    total.bytes_written += c.bytes_written;
+  }
+  return total;
+}
+
+void reset_fleet(cloud::CloudRegistry& reg) {
+  for (const auto& p : reg.all()) p->reset_counters();
+}
+
+Audit audit_scheme(const std::string& name,
+                   const bench::ClientFactory& factory) {
+  Audit audit;
+  audit.scheme = name;
+  constexpr std::uint64_t kFileSize = 64 * 1024;
+  constexpr std::uint64_t kUpdate = 4 * 1024;
+  constexpr int kFiles = 8;
+
+  auto scheme = bench::make_scheme(name, factory, 1001);
+  // Ingest small files, then measure pure-update op counts.
+  std::uint64_t logical = 0;
+  for (int i = 0; i < kFiles; ++i) {
+    scheme.client->put("/t/f" + std::to_string(i),
+                       common::patterned(kFileSize, i));
+    logical += kFileSize;
+  }
+  // Also one large file so recovery/overhead reflect the real mix.
+  const std::uint64_t kLarge = 6ull << 20;
+  scheme.client->put("/t/large", common::patterned(kLarge, 99));
+  logical += kLarge;
+
+  std::uint64_t resident = 0;
+  for (const auto& p : scheme.registry->all()) resident += p->stored_bytes();
+  audit.storage_overhead =
+      static_cast<double>(resident) / static_cast<double>(logical);
+
+  reset_fleet(*scheme.registry);
+  for (int i = 0; i < kFiles; ++i) {
+    scheme.client->update("/t/f" + std::to_string(i), 1024,
+                          common::patterned(kUpdate, 7 * i));
+  }
+  auto ops = fleet_counters(*scheme.registry);
+  // Metadata-block writes ride along with every update in all schemes;
+  // subtract the per-update metadata puts to isolate the data path the
+  // paper's 2R+2W analysis describes. (HyRD/DuraCloud: 2 replicas; RACS:
+  // k+m fragments; single: 1.)
+  audit.update_reads = static_cast<double>(ops.gets) / kFiles;
+  audit.update_writes = static_cast<double>(ops.puts) / kFiles;
+
+  // Recovery traffic: take Azure down, rewrite everything (making Azure
+  // stale), restore it, resync, and count the bytes moved.
+  cloud::OutageController outages(*scheme.registry);
+  outages.take_down("WindowsAzure");
+  for (int i = 0; i < kFiles; ++i) {
+    scheme.client->put("/t/f" + std::to_string(i),
+                       common::patterned(kFileSize, 1000 + i));
+  }
+  scheme.client->put("/t/large", common::patterned(kLarge, 1099));
+
+  // Outage-time small read latency (availability experience).
+  {
+    auto r = scheme.client->get("/t/f0");
+    audit.outage_small_read_ms =
+        r.status.is_ok() ? common::to_ms(r.latency) : -1.0;
+  }
+
+  outages.restore("WindowsAzure");
+  reset_fleet(*scheme.registry);
+  scheme.client->on_provider_restored("WindowsAzure");
+  ops = fleet_counters(*scheme.registry);
+  audit.recovery_mb =
+      static_cast<double>(ops.bytes_read + ops.bytes_written) / 1e6;
+  return audit;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Table I (quantified): scheme comparison on measured behaviour "
+      "===\n\n");
+  std::printf(
+      "Workload: 8 x 64KB files + 1 x 6MB file; updates are 4KB in place.\n"
+      "Update ops include the scheme's own metadata persistence.\n\n");
+
+  std::vector<Audit> audits;
+  for (const auto& [name, factory] : bench::all_schemes()) {
+    if (name != "HyRD" && name != "RACS" && name != "DuraCloud" &&
+        name != "AmazonS3") {
+      continue;  // Table I compares the schemes, plus one single baseline
+    }
+    audits.push_back(audit_scheme(name, factory));
+  }
+  // Table I's remaining related systems: DepSky (quorum replication,
+  // n=4 f=1) and NCCloud (F-MSR regenerating codes).
+  audits.push_back(
+      audit_scheme("DepSky", [](gcs::MultiCloudSession& s) {
+        return std::make_unique<core::DepSkyClient>(s);
+      }));
+  audits.push_back(
+      audit_scheme("NCCloud", [](gcs::MultiCloudSession& s) {
+        return std::make_unique<core::NCCloudClient>(s);
+      }));
+
+  common::Table t({"Scheme", "Redundancy", "GETs/update", "PUTs/update",
+                   "Storage overhead", "Resync traffic MB",
+                   "Outage small-read ms"});
+  for (const auto& a : audits) {
+    const char* redundancy = a.scheme == "RACS" ? "Erasure (RAID5)"
+                             : a.scheme == "DuraCloud"
+                                 ? "Replication x2"
+                                 : a.scheme == "DepSky"
+                                       ? "Quorum replication x4"
+                                       : a.scheme == "NCCloud"
+                                             ? "F-MSR network codes"
+                                             : a.scheme == "HyRD"
+                                                   ? "Hybrid (repl + RAID5)"
+                                                   : "None (single cloud)";
+    t.add_row({a.scheme, redundancy, common::Table::num(a.update_reads, 1),
+               common::Table::num(a.update_writes, 1),
+               common::Table::num(a.storage_overhead, 2) + "x",
+               common::Table::num(a.recovery_mb, 2),
+               a.outage_small_read_ms < 0
+                   ? "unavailable"
+                   : common::Table::num(a.outage_small_read_ms, 0)});
+  }
+  t.print();
+
+  auto find = [&](const std::string& n) -> const Audit& {
+    for (const auto& a : audits) {
+      if (a.scheme == n) return a;
+    }
+    std::abort();
+  };
+  const auto& hyrd = find("HyRD");
+  const auto& racs = find("RACS");
+  const auto& dura = find("DuraCloud");
+  std::printf("\nPaper-shape checks (Table I cells):\n");
+  std::printf(
+      "  RACS 'Low for small updates': RACS reads/update (%.1f) > HyRD "
+      "(%.1f): %s\n",
+      racs.update_reads, hyrd.update_reads,
+      racs.update_reads > hyrd.update_reads ? "yes" : "NO (regression)");
+  std::printf(
+      "  DuraCloud 'High cost': storage overhead %.2fx > RACS %.2fx and "
+      "HyRD %.2fx: %s\n",
+      dura.storage_overhead, racs.storage_overhead, hyrd.storage_overhead,
+      (dura.storage_overhead > racs.storage_overhead &&
+       dura.storage_overhead > hyrd.storage_overhead)
+          ? "yes"
+          : "NO (regression)");
+  std::printf(
+      "  HyRD 'Recovery: Easy': resync traffic %.2f MB < RACS %.2f MB: %s\n",
+      hyrd.recovery_mb, racs.recovery_mb,
+      hyrd.recovery_mb < racs.recovery_mb ? "yes" : "NO (regression)");
+  std::printf(
+      "  HyRD 'Performance: High': outage small-read %.0f ms < RACS %.0f "
+      "ms: %s\n",
+      hyrd.outage_small_read_ms, racs.outage_small_read_ms,
+      hyrd.outage_small_read_ms < racs.outage_small_read_ms
+          ? "yes"
+          : "NO (regression)");
+  return 0;
+}

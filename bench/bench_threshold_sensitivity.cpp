@@ -1,0 +1,125 @@
+// Sensitivity study behind HyRD's two key §III-C design choices:
+//
+//   (1) the large-file threshold — the paper sweeps it and picks 1 MB
+//       ("We have conducted sensitivity experiments to investigate the
+//       file-size threshold");
+//   (2) the replication level — the paper picks 2, noting higher levels
+//       buy resilience with write latency and space.
+//
+// Also serves as the ablation bench for DESIGN.md §5.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "workload/postmark.h"
+
+using namespace hyrd;
+
+namespace {
+
+workload::PostMarkConfig sweep_config() {
+  workload::PostMarkConfig c;
+  c.initial_files = 30;
+  c.transactions = 120;
+  c.min_size = 1024;
+  c.max_size = 32u << 20;
+  return c;
+}
+
+struct SweepPoint {
+  double mean_ms = 0.0;
+  double storage_overhead = 0.0;
+};
+
+SweepPoint run_hyrd(core::HyRDConfig config) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 333);
+  gcs::MultiCloudSession session(registry);
+  core::HyRDClient client(session, config);
+
+  workload::PostMark pm(sweep_config());
+  const auto report = pm.run(client);
+
+  std::uint64_t logical = 0;
+  for (const auto& path : client.list()) {
+    logical += client.stat(path)->size;
+  }
+  std::uint64_t resident = 0;
+  for (const auto& p : registry.all()) resident += p->stored_bytes();
+
+  SweepPoint point;
+  point.mean_ms = report.mean_latency_ms();
+  point.storage_overhead =
+      logical == 0 ? 0.0
+                   : static_cast<double>(resident) / static_cast<double>(logical);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Sensitivity: file-size threshold and replication level "
+              "(PostMark 1KB-32MB) ===\n\n");
+
+  std::printf("(1) Large-file threshold sweep (replication level 2)\n");
+  common::Table t1({"Threshold", "Mean latency ms", "Storage overhead"});
+  const std::vector<std::pair<const char*, std::uint64_t>> thresholds = {
+      {"64KB", 64ull << 10}, {"256KB", 256ull << 10}, {"1MB", 1ull << 20},
+      {"4MB", 4ull << 20},   {"16MB", 16ull << 20},
+  };
+  double best_ms = 1e18;
+  std::string best_label;
+  for (const auto& [label, threshold] : thresholds) {
+    core::HyRDConfig config;
+    config.large_file_threshold = threshold;
+    const auto point = run_hyrd(config);
+    t1.add_row({label, common::Table::num(point.mean_ms, 0),
+                common::Table::num(point.storage_overhead, 2) + "x"});
+    if (point.mean_ms < best_ms) {
+      best_ms = point.mean_ms;
+      best_label = label;
+    }
+  }
+  t1.print();
+  std::printf("  lowest mean latency at threshold %s (paper picks 1MB)\n\n",
+              best_label.c_str());
+
+  std::printf("(2) Replication level sweep (threshold 1MB)\n");
+  common::Table t2({"Level", "Mean latency ms", "Storage overhead",
+                    "Outages tolerated (small files)"});
+  for (std::size_t level : {1u, 2u, 3u, 4u}) {
+    core::HyRDConfig config;
+    config.replication_level = level;
+    const auto point = run_hyrd(config);
+    t2.add_row({std::to_string(level), common::Table::num(point.mean_ms, 0),
+                common::Table::num(point.storage_overhead, 2) + "x",
+                std::to_string(level - 1)});
+  }
+  t2.print();
+  std::printf(
+      "  level 2 tolerates any single outage at the lowest latency/space "
+      "cost (the paper's choice; two concurrent cloud outages are "
+      "extremely rare)\n\n");
+
+  std::printf("(3) Erasure geometry ablation (threshold 1MB, level 2)\n");
+  common::Table t3({"Geometry", "Mean latency ms", "Storage overhead"});
+  const std::vector<std::pair<const char*, erasure::StripeGeometry>> geoms = {
+      {"RAID5 k=2,m=1 cost-trio (HyRD default)", {.k = 2, .m = 1}},
+      {"RAID5 k=3,m=1 all four (RACS-like)", {.k = 3, .m = 1}},
+      {"RS k=2,m=2 (double fault tolerance)", {.k = 2, .m = 2}},
+  };
+  for (const auto& [label, geom] : geoms) {
+    core::HyRDConfig config;
+    config.geometry = geom;
+    const auto point = run_hyrd(config);
+    t3.add_row({label, common::Table::num(point.mean_ms, 0),
+                common::Table::num(point.storage_overhead, 2) + "x"});
+  }
+  t3.print();
+  std::printf(
+      "  the k=2 cost-trio default trades some large-file parallelism for\n"
+      "  cheap placement (Fig. 4's 20%% cost win over RACS); k=3 over all\n"
+      "  four clouds is faster but bills like RACS; m=2 doubles fault\n"
+      "  tolerance at 2x space\n");
+  return 0;
+}

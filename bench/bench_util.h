@@ -1,0 +1,83 @@
+// Shared plumbing for the reproduction benches: a fresh standard fleet per
+// scheme (so bills and counters never mix) and a uniform client factory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/profiles.h"
+#include "cloud/registry.h"
+#include "core/duracloud_client.h"
+#include "core/hyrd_client.h"
+#include "core/racs_client.h"
+#include "core/single_client.h"
+#include "gcsapi/session.h"
+
+namespace hyrd::bench {
+
+/// A scheme under test: its own fleet, session, and client.
+struct SchemeInstance {
+  std::string name;
+  std::unique_ptr<cloud::CloudRegistry> registry;
+  std::unique_ptr<gcs::MultiCloudSession> session;
+  std::unique_ptr<core::StorageClient> client;
+};
+
+using ClientFactory =
+    std::function<std::unique_ptr<core::StorageClient>(gcs::MultiCloudSession&)>;
+
+inline SchemeInstance make_scheme(const std::string& name,
+                                  const ClientFactory& factory,
+                                  std::uint64_t seed) {
+  SchemeInstance s;
+  s.name = name;
+  s.registry = std::make_unique<cloud::CloudRegistry>();
+  cloud::install_standard_four(*s.registry, seed);
+  s.session = std::make_unique<gcs::MultiCloudSession>(*s.registry);
+  s.client = factory(*s.session);
+  return s;
+}
+
+/// The full Fig. 4 line-up: four single clouds + three Cloud-of-Clouds.
+inline std::vector<std::pair<std::string, ClientFactory>> all_schemes() {
+  return {
+      {"AmazonS3",
+       [](gcs::MultiCloudSession& s) {
+         return std::make_unique<core::SingleCloudClient>(s, "AmazonS3");
+       }},
+      {"WindowsAzure",
+       [](gcs::MultiCloudSession& s) {
+         return std::make_unique<core::SingleCloudClient>(s, "WindowsAzure");
+       }},
+      {"Aliyun",
+       [](gcs::MultiCloudSession& s) {
+         return std::make_unique<core::SingleCloudClient>(s, "Aliyun");
+       }},
+      {"Rackspace",
+       [](gcs::MultiCloudSession& s) {
+         return std::make_unique<core::SingleCloudClient>(s, "Rackspace");
+       }},
+      {"DuraCloud",
+       [](gcs::MultiCloudSession& s) {
+         return std::make_unique<core::DuraCloudClient>(s);
+       }},
+      {"RACS",
+       [](gcs::MultiCloudSession& s) {
+         return std::make_unique<core::RACSClient>(s);
+       }},
+      {"HyRD",
+       [](gcs::MultiCloudSession& s) {
+         return std::make_unique<core::HyRDClient>(s);
+       }},
+  };
+}
+
+/// The three Cloud-of-Clouds schemes only (Fig. 6's main contenders).
+inline std::vector<std::pair<std::string, ClientFactory>> coc_schemes() {
+  auto all = all_schemes();
+  return {all[4], all[5], all[6]};
+}
+
+}  // namespace hyrd::bench

@@ -1,0 +1,83 @@
+// Outage drill: walks through the paper's §III-C recovery story end to
+// end, narrating each phase —
+//
+//   1. normal operation;
+//   2. a provider outage: writes proceed (logged), reads reconstruct
+//      on demand;
+//   3. the provider returns: the logged consistency update replays;
+//   4. full redundancy verified by failing a *different* provider.
+#include <cstdio>
+
+#include "cloud/outage.h"
+#include "cloud/profiles.h"
+#include "core/hyrd_client.h"
+
+using namespace hyrd;
+
+namespace {
+
+void banner(const char* text) { std::printf("\n--- %s ---\n", text); }
+
+}  // namespace
+
+int main() {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, /*seed=*/365);
+  gcs::MultiCloudSession session(registry);
+  core::HyRDClient hyrd(session);
+  cloud::OutageController outages(registry);
+
+  banner("Phase 0: normal operation");
+  const auto report_v1 = common::patterned(300 * 1024, 1);   // small-ish
+  const auto dataset_v1 = common::patterned(12 << 20, 2);    // large
+  hyrd.put("/proj/report.pdf", report_v1);
+  hyrd.put("/proj/dataset.bin", dataset_v1);
+  std::printf("stored /proj/report.pdf (300 KiB, replicated) and "
+              "/proj/dataset.bin (12 MiB, erasure-coded)\n");
+
+  banner("Phase 1: Windows Azure suffers an outage");
+  outages.take_down("WindowsAzure");
+  std::printf("offline: %s\n", outages.offline_providers()[0].c_str());
+
+  // Writes during the outage proceed; changes for Azure are logged.
+  const auto report_v2 = common::patterned(300 * 1024, 3);
+  auto w = hyrd.put("/proj/report.pdf", report_v2);
+  std::printf("overwrite /proj/report.pdf during outage: %s (%.0f ms)\n",
+              w.status.to_string().c_str(), common::to_ms(w.latency));
+  std::printf("update log holds %zu pending record(s) for Azure\n",
+              hyrd.update_log().pending_for("WindowsAzure").size());
+
+  // Reads reconstruct on demand.
+  auto r1 = hyrd.get("/proj/report.pdf");
+  auto r2 = hyrd.get("/proj/dataset.bin");
+  std::printf("read report  -> %s, degraded=%s, fresh content: %s\n",
+              r1.status.to_string().c_str(), r1.degraded ? "yes" : "no",
+              r1.data == report_v2 ? "yes" : "NO");
+  std::printf("read dataset -> %s, degraded=%s (reconstructed from "
+              "surviving fragments + parity)\n",
+              r2.status.to_string().c_str(), r2.degraded ? "yes" : "no");
+
+  banner("Phase 2: Azure returns; consistency update replays the log");
+  outages.restore("WindowsAzure");
+  const auto resync_time = hyrd.on_provider_restored("WindowsAzure");
+  std::printf("resync took %.0f ms of virtual time; pending records now: "
+              "%zu\n",
+              common::to_ms(resync_time),
+              hyrd.update_log().pending_for("WindowsAzure").size());
+
+  banner("Phase 3: verify full redundancy is back");
+  // If Azure's copies were left stale this would fail: take down Aliyun
+  // (the other replica holder / a data-fragment holder) and read again.
+  outages.take_down("Aliyun");
+  auto v1 = hyrd.get("/proj/report.pdf");
+  auto v2 = hyrd.get("/proj/dataset.bin");
+  const bool ok = v1.status.is_ok() && v1.data == report_v2 &&
+                  v2.status.is_ok() && v2.data == dataset_v1;
+  std::printf("with Aliyun now offline instead: report %s, dataset %s\n",
+              v1.status.is_ok() ? "readable" : "LOST",
+              v2.status.is_ok() ? "readable" : "LOST");
+  std::printf("\nDrill %s: single-provider outages are survivable before, "
+              "during, and after recovery.\n",
+              ok ? "PASSED" : "FAILED");
+  return ok ? 0 : 1;
+}

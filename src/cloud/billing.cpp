@@ -1,0 +1,64 @@
+#include "cloud/billing.h"
+
+namespace hyrd::cloud {
+
+void BillingMeter::record(OpKind op, std::uint64_t bytes_transferred) {
+  switch (op) {
+    case OpKind::kPut:
+      bytes_in_ += bytes_transferred;
+      ++put_txns_;
+      break;
+    case OpKind::kGet:
+      bytes_out_ += bytes_transferred;
+      ++get_txns_;
+      break;
+    case OpKind::kList:
+    case OpKind::kCreate:
+      ++put_txns_;
+      break;
+    case OpKind::kRemove:
+      ++get_txns_;  // billed under "Get and others" (Table II)
+      break;
+  }
+}
+
+MonthlyBill BillingMeter::close_month(std::uint64_t resident_bytes) {
+  MonthlyBill bill;
+  bill.month = static_cast<int>(bills_.size());
+  bill.stored_bytes = resident_bytes;
+  bill.bytes_in = bytes_in_;
+  bill.bytes_out = bytes_out_;
+  bill.put_class_txns = put_txns_;
+  bill.get_class_txns = get_txns_;
+
+  bill.storage_cost = schedule_.storage_cost(resident_bytes);
+  bill.ingress_cost = schedule_.ingress_cost(bytes_in_);
+  bill.egress_cost = schedule_.egress_cost(bytes_out_);
+  bill.txn_cost = schedule_.txn_cost(OpKind::kPut, put_txns_) +
+                  schedule_.txn_cost(OpKind::kGet, get_txns_);
+
+  bills_.push_back(bill);
+  bytes_in_ = bytes_out_ = 0;
+  put_txns_ = get_txns_ = 0;
+  return bill;
+}
+
+double BillingMeter::cumulative_cost() const {
+  double total = 0.0;
+  for (const auto& b : bills_) total += b.total();
+  return total;
+}
+
+double BillingMeter::open_month_transfer_cost() const {
+  return schedule_.ingress_cost(bytes_in_) + schedule_.egress_cost(bytes_out_) +
+         schedule_.txn_cost(OpKind::kPut, put_txns_) +
+         schedule_.txn_cost(OpKind::kGet, get_txns_);
+}
+
+void BillingMeter::reset() {
+  bills_.clear();
+  bytes_in_ = bytes_out_ = 0;
+  put_txns_ = get_txns_ = 0;
+}
+
+}  // namespace hyrd::cloud

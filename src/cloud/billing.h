@@ -1,0 +1,64 @@
+// Billing meter: accumulates a provider's monthly bill the way the paper's
+// cost simulation does (Fig. 4) — storage is charged on bytes resident at
+// month close, transfers on bytes moved, transactions per 10K by class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/object_store.h"
+#include "cloud/pricing.h"
+
+namespace hyrd::cloud {
+
+struct MonthlyBill {
+  int month = 0;                   // 0-based month index
+  std::uint64_t stored_bytes = 0;  // resident at month close
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t put_class_txns = 0;
+  std::uint64_t get_class_txns = 0;
+
+  double storage_cost = 0.0;
+  double ingress_cost = 0.0;
+  double egress_cost = 0.0;
+  double txn_cost = 0.0;
+
+  [[nodiscard]] double total() const {
+    return storage_cost + ingress_cost + egress_cost + txn_cost;
+  }
+};
+
+class BillingMeter {
+ public:
+  explicit BillingMeter(PriceSchedule schedule) : schedule_(schedule) {}
+
+  [[nodiscard]] const PriceSchedule& schedule() const { return schedule_; }
+
+  /// Records one operation in the open month.
+  void record(OpKind op, std::uint64_t bytes_transferred);
+
+  /// Closes the open month against the bytes currently resident and opens
+  /// the next one. Returns the closed bill.
+  MonthlyBill close_month(std::uint64_t resident_bytes);
+
+  [[nodiscard]] const std::vector<MonthlyBill>& bills() const { return bills_; }
+  [[nodiscard]] double cumulative_cost() const;
+
+  /// Cost accrued in the open (not yet closed) month, excluding storage.
+  [[nodiscard]] double open_month_transfer_cost() const;
+
+  void reset();
+
+ private:
+  PriceSchedule schedule_;
+  std::vector<MonthlyBill> bills_;
+
+  // Open-month accumulators.
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+  std::uint64_t put_txns_ = 0;
+  std::uint64_t get_txns_ = 0;
+};
+
+}  // namespace hyrd::cloud

@@ -1,0 +1,54 @@
+#include "cloud/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyrd::cloud {
+
+namespace {
+
+double transfer_ms(std::uint64_t size, double mbps, std::uint64_t threshold,
+                   double factor) {
+  const double bytes_per_ms = mbps * 1e6 / 1e3;
+  if (bytes_per_ms <= 0.0) return 0.0;
+  const double fast_bytes =
+      static_cast<double>(std::min<std::uint64_t>(size, threshold));
+  const double slow_bytes =
+      size > threshold ? static_cast<double>(size - threshold) : 0.0;
+  return fast_bytes / bytes_per_ms + slow_bytes * factor / bytes_per_ms;
+}
+
+}  // namespace
+
+common::SimDuration LatencyModel::expected(OpKind op,
+                                           std::uint64_t size) const {
+  double ms = 0.0;
+  switch (op) {
+    case OpKind::kGet:
+      ms = params_.read_first_byte_ms +
+           transfer_ms(size, params_.read_mbps, params_.congestion_threshold,
+                       params_.congestion_factor);
+      break;
+    case OpKind::kPut:
+      ms = params_.write_first_byte_ms +
+           transfer_ms(size, params_.write_mbps, params_.congestion_threshold,
+                       params_.congestion_factor);
+      break;
+    case OpKind::kList:
+    case OpKind::kCreate:
+    case OpKind::kRemove:
+      ms = params_.metadata_op_ms;
+      break;
+  }
+  return common::from_ms(ms);
+}
+
+common::SimDuration LatencyModel::sample(OpKind op, std::uint64_t size,
+                                         common::Xoshiro256& rng) const {
+  const common::SimDuration base = expected(op, size);
+  if (params_.jitter_sigma <= 0.0) return base;
+  const double mult = rng.lognormal(0.0, params_.jitter_sigma);
+  return static_cast<common::SimDuration>(static_cast<double>(base) * mult);
+}
+
+}  // namespace hyrd::cloud

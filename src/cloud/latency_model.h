@@ -1,0 +1,62 @@
+// Analytic network/storage latency model for a simulated cloud provider.
+//
+//   latency(op, size) = first_byte + size / bandwidth
+//                       + congestion penalty for transfers past a threshold
+//                       multiplied by seeded lognormal jitter.
+//
+// The congestion term reproduces the paper's Figure-5 observation that
+// latency grows *disproportionally* between 1 MB and 4 MB transfers (the
+// observation HyRD's 1 MB large-file threshold is based on): past
+// `congestion_threshold` bytes, the marginal transfer time per byte is
+// multiplied by `congestion_factor` (> 1), modelling shared-WAN throughput
+// collapse for long transfers on the client's uplink.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "cloud/object_store.h"
+
+namespace hyrd::cloud {
+
+struct LatencyParams {
+  // First-byte latency (connection setup + request processing).
+  double read_first_byte_ms = 100.0;
+  double write_first_byte_ms = 140.0;
+
+  // Steady-state transfer throughput, MB/s (decimal).
+  double read_mbps = 2.0;
+  double write_mbps = 1.4;
+
+  // Past this many bytes, marginal per-byte time is multiplied by
+  // congestion_factor (captures the >1 MB latency knee in Fig. 5).
+  std::uint64_t congestion_threshold = 1u << 20;
+  double congestion_factor = 2.2;
+
+  // Lognormal jitter: multiplier exp(N(0, sigma)); sigma=0 disables jitter.
+  double jitter_sigma = 0.08;
+
+  // Cost of metadata-only ops (List / Create / Remove).
+  double metadata_op_ms = 60.0;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyParams params) : params_(params) {}
+
+  [[nodiscard]] const LatencyParams& params() const { return params_; }
+
+  /// Expected (jitter-free) latency for an operation on `size` bytes.
+  [[nodiscard]] common::SimDuration expected(OpKind op,
+                                             std::uint64_t size) const;
+
+  /// Sampled latency with jitter drawn from `rng`.
+  [[nodiscard]] common::SimDuration sample(OpKind op, std::uint64_t size,
+                                           common::Xoshiro256& rng) const;
+
+ private:
+  LatencyParams params_;
+};
+
+}  // namespace hyrd::cloud

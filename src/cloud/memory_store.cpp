@@ -1,0 +1,147 @@
+#include "cloud/memory_store.h"
+
+namespace hyrd::cloud {
+
+common::Status MemoryStore::create(const std::string& container) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = containers_.try_emplace(container);
+  (void)it;
+  if (!inserted) {
+    return common::already_exists("container exists: " + container);
+  }
+  return common::Status::ok();
+}
+
+common::Status MemoryStore::put(const std::string& container,
+                                const std::string& name,
+                                common::ByteSpan data) {
+  std::lock_guard lock(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return common::not_found("no such container: " + container);
+  }
+  auto& obj = it->second[name];
+  stored_bytes_ -= obj.size();
+  obj.assign(data.begin(), data.end());
+  stored_bytes_ += obj.size();
+  return common::Status::ok();
+}
+
+common::Result<common::Bytes> MemoryStore::get(const std::string& container,
+                                               const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return common::not_found("no such container: " + container);
+  }
+  auto obj = it->second.find(name);
+  if (obj == it->second.end()) {
+    return common::not_found("no such object: " + container + "/" + name);
+  }
+  return obj->second;
+}
+
+common::Result<common::Bytes> MemoryStore::get_range(
+    const std::string& container, const std::string& name,
+    std::uint64_t offset, std::uint64_t length) const {
+  std::lock_guard lock(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return common::not_found("no such container: " + container);
+  }
+  auto obj = it->second.find(name);
+  if (obj == it->second.end()) {
+    return common::not_found("no such object: " + container + "/" + name);
+  }
+  if (offset + length > obj->second.size()) {
+    return common::invalid_argument("range beyond object end");
+  }
+  return common::Bytes(
+      obj->second.begin() + static_cast<std::ptrdiff_t>(offset),
+      obj->second.begin() + static_cast<std::ptrdiff_t>(offset + length));
+}
+
+common::Status MemoryStore::put_range(const std::string& container,
+                                      const std::string& name,
+                                      std::uint64_t offset,
+                                      common::ByteSpan data) {
+  std::lock_guard lock(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return common::not_found("no such container: " + container);
+  }
+  auto obj = it->second.find(name);
+  if (obj == it->second.end()) {
+    return common::not_found("no such object: " + container + "/" + name);
+  }
+  if (offset + data.size() > obj->second.size()) {
+    return common::invalid_argument("range write beyond object end");
+  }
+  std::copy(data.begin(), data.end(),
+            obj->second.begin() + static_cast<std::ptrdiff_t>(offset));
+  return common::Status::ok();
+}
+
+common::Status MemoryStore::remove(const std::string& container,
+                                   const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return common::not_found("no such container: " + container);
+  }
+  auto obj = it->second.find(name);
+  if (obj == it->second.end()) {
+    return common::not_found("no such object: " + container + "/" + name);
+  }
+  stored_bytes_ -= obj->second.size();
+  it->second.erase(obj);
+  return common::Status::ok();
+}
+
+common::Result<std::vector<std::string>> MemoryStore::list(
+    const std::string& container) const {
+  std::lock_guard lock(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return common::not_found("no such container: " + container);
+  }
+  std::vector<std::string> names;
+  names.reserve(it->second.size());
+  for (const auto& [name, data] : it->second) names.push_back(name);
+  return names;
+}
+
+bool MemoryStore::container_exists(const std::string& container) const {
+  std::lock_guard lock(mu_);
+  return containers_.contains(container);
+}
+
+std::uint64_t MemoryStore::stored_bytes() const {
+  std::lock_guard lock(mu_);
+  return stored_bytes_;
+}
+
+std::uint64_t MemoryStore::object_count() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [c, objs] : containers_) n += objs.size();
+  return n;
+}
+
+std::optional<std::uint64_t> MemoryStore::object_size(
+    const std::string& container, const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = containers_.find(container);
+  if (it == containers_.end()) return std::nullopt;
+  auto obj = it->second.find(name);
+  if (obj == it->second.end()) return std::nullopt;
+  return obj->second.size();
+}
+
+void MemoryStore::wipe() {
+  std::lock_guard lock(mu_);
+  containers_.clear();
+  stored_bytes_ = 0;
+}
+
+}  // namespace hyrd::cloud

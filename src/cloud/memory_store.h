@@ -1,0 +1,59 @@
+// Thread-safe in-memory object store: the durable state behind a simulated
+// provider. Latency/billing live in SimProvider; this class only stores.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hyrd::cloud {
+
+class MemoryStore {
+ public:
+  common::Status create(const std::string& container);
+  common::Status put(const std::string& container, const std::string& name,
+                     common::ByteSpan data);
+  common::Result<common::Bytes> get(const std::string& container,
+                                    const std::string& name) const;
+
+  /// Byte-range read ([offset, offset+length) must lie inside the object).
+  common::Result<common::Bytes> get_range(const std::string& container,
+                                          const std::string& name,
+                                          std::uint64_t offset,
+                                          std::uint64_t length) const;
+
+  /// Byte-range overwrite of an existing object (must not grow it). Models
+  /// a block write in a block-chunked object layout (see DESIGN.md §2).
+  common::Status put_range(const std::string& container,
+                           const std::string& name, std::uint64_t offset,
+                           common::ByteSpan data);
+
+  common::Status remove(const std::string& container, const std::string& name);
+  common::Result<std::vector<std::string>> list(
+      const std::string& container) const;
+
+  [[nodiscard]] bool container_exists(const std::string& container) const;
+  [[nodiscard]] std::uint64_t stored_bytes() const;
+  [[nodiscard]] std::uint64_t object_count() const;
+
+  /// Size of one object, if present (metadata-only peek used by audits).
+  [[nodiscard]] std::optional<std::uint64_t> object_size(
+      const std::string& container, const std::string& name) const;
+
+  /// Drops every container and object (simulates catastrophic data loss,
+  /// used by failure-injection tests).
+  void wipe();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, common::Bytes>> containers_;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace hyrd::cloud

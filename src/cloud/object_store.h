@@ -1,0 +1,92 @@
+// The "passive storage functional entity" interface from the paper (§III-D):
+// each cloud storage service supports exactly five functions — List, Get,
+// Create (container), Put, and Remove — and nothing else executes provider
+// side. Every redundancy scheme in this repo is built strictly on top of
+// these five operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace hyrd::cloud {
+
+/// Operation classes as billed by real providers (Table II): PUT-class
+/// covers Put/Copy/Post/List; GET-class covers Get and everything else.
+enum class OpKind : std::uint8_t {
+  kList,
+  kGet,
+  kCreate,
+  kPut,
+  kRemove,
+};
+
+constexpr std::string_view op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kList: return "List";
+    case OpKind::kGet: return "Get";
+    case OpKind::kCreate: return "Create";
+    case OpKind::kPut: return "Put";
+    case OpKind::kRemove: return "Remove";
+  }
+  return "?";
+}
+
+/// True for operations billed under the Put/Copy/Post/List transaction tier.
+constexpr bool is_put_class(OpKind k) {
+  return k == OpKind::kPut || k == OpKind::kCreate || k == OpKind::kList;
+}
+
+struct ObjectKey {
+  std::string container;
+  std::string name;
+
+  friend bool operator==(const ObjectKey&, const ObjectKey&) = default;
+  [[nodiscard]] std::string str() const { return container + "/" + name; }
+};
+
+/// Outcome of a storage operation, carrying the simulated latency the
+/// operation would have taken on the modelled network path.
+struct OpResult {
+  common::Status status;
+  common::SimDuration latency = 0;
+  std::uint64_t bytes_transferred = 0;
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+struct GetResult : OpResult {
+  common::Bytes data;
+};
+
+struct ListResult : OpResult {
+  std::vector<std::string> names;
+};
+
+/// Abstract object store; implemented by SimProvider (and by the in-memory
+/// backing store it wraps).
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  virtual OpResult create(const std::string& container) = 0;
+  virtual OpResult put(const ObjectKey& key, common::ByteSpan data) = 0;
+  virtual GetResult get(const ObjectKey& key) = 0;
+  virtual OpResult remove(const ObjectKey& key) = 0;
+  virtual ListResult list(const std::string& container) = 0;
+
+  // Byte-range variants of Get and Put. Range GET is plain HTTP (RFC 7233);
+  // range PUT models a block overwrite in a block-chunked object layout
+  // (how RACS-style systems do sub-object updates — see DESIGN.md §2).
+  // Both are billed as Get-/Put-class transactions on the bytes moved.
+  virtual GetResult get_range(const ObjectKey& key, std::uint64_t offset,
+                              std::uint64_t length) = 0;
+  virtual OpResult put_range(const ObjectKey& key, std::uint64_t offset,
+                             common::ByteSpan data) = 0;
+};
+
+}  // namespace hyrd::cloud

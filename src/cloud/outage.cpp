@@ -1,0 +1,62 @@
+#include "cloud/outage.h"
+
+namespace hyrd::cloud {
+
+bool OutageController::take_down(const std::string& name) {
+  SimProvider* p = registry_.find(name);
+  if (p == nullptr) return false;
+  p->set_online(false);
+  return true;
+}
+
+bool OutageController::restore(const std::string& name) {
+  SimProvider* p = registry_.find(name);
+  if (p == nullptr) return false;
+  p->set_online(true);
+  return true;
+}
+
+bool OutageController::destroy(const std::string& name) {
+  SimProvider* p = registry_.find(name);
+  if (p == nullptr) return false;
+  p->fail_permanently();
+  return true;
+}
+
+std::vector<std::string> OutageController::offline_providers() const {
+  std::vector<std::string> out;
+  for (const auto& p : registry_.all()) {
+    if (!p->online()) out.push_back(p->name());
+  }
+  return out;
+}
+
+RandomOutageInjector::RandomOutageInjector(CloudRegistry& registry,
+                                           std::uint64_t seed, double p_down,
+                                           double p_up, std::size_t min_online)
+    : registry_(registry),
+      rng_(seed),
+      p_down_(p_down),
+      p_up_(p_up),
+      min_online_(min_online) {}
+
+std::vector<std::string> RandomOutageInjector::step() {
+  std::vector<std::string> flipped;
+  std::size_t online_count = registry_.online().size();
+  for (const auto& p : registry_.all()) {
+    if (p->online()) {
+      if (online_count > min_online_ && rng_.chance(p_down_)) {
+        p->set_online(false);
+        --online_count;
+        flipped.push_back(p->name());
+      }
+    } else if (rng_.chance(p_up_)) {
+      p->set_online(true);
+      ++online_count;
+      flipped.push_back(p->name());
+    }
+  }
+  return flipped;
+}
+
+}  // namespace hyrd::cloud

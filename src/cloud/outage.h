@@ -1,0 +1,59 @@
+// Outage injection: scripted and randomized provider failures.
+//
+// The paper distinguishes a *service outage* (temporary; provider returns
+// with stale data that must be consistency-updated from logs) from a
+// *permanent failure*. OutageController scripts the former for experiments
+// like Fig. 6 ("we set the Windows Azure service off-line to emulate its
+// outage"); RandomOutageInjector drives availability soak tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/registry.h"
+#include "common/rng.h"
+
+namespace hyrd::cloud {
+
+class OutageController {
+ public:
+  explicit OutageController(CloudRegistry& registry) : registry_(registry) {}
+
+  /// Takes one provider offline. Returns false if unknown.
+  bool take_down(const std::string& name);
+
+  /// Brings a provider back online (data intact — transient outage).
+  bool restore(const std::string& name);
+
+  /// Takes a provider down *and* wipes it (permanent failure).
+  bool destroy(const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> offline_providers() const;
+
+ private:
+  CloudRegistry& registry_;
+};
+
+/// Randomized availability churn: each step, every online provider goes
+/// down with probability p_down and every offline provider recovers with
+/// probability p_up. Guarantees at least `min_online` providers stay up
+/// (the paper notes two concurrent cloud outages are extremely rare).
+class RandomOutageInjector {
+ public:
+  RandomOutageInjector(CloudRegistry& registry, std::uint64_t seed,
+                       double p_down = 0.02, double p_up = 0.30,
+                       std::size_t min_online = 3);
+
+  /// Advances one epoch of churn; returns names whose state flipped.
+  std::vector<std::string> step();
+
+ private:
+  CloudRegistry& registry_;
+  common::Xoshiro256 rng_;
+  double p_down_;
+  double p_up_;
+  std::size_t min_online_;
+};
+
+}  // namespace hyrd::cloud

@@ -1,0 +1,6 @@
+#include "cloud/pricing.h"
+
+// Header-only logic today; this TU anchors the library target and leaves a
+// home for tiered-pricing extensions (usage tiers beyond the first).
+
+namespace hyrd::cloud {}

@@ -1,0 +1,30 @@
+// Provider profiles for the four clouds the paper evaluates.
+//
+// Prices are transcribed verbatim from Table II (China region, Sep 10 2014,
+// first chargeable tier). Latency parameters are calibrated so the
+// simulated Figure-5 curves reproduce the paper's ordering: Aliyun fastest
+// (in-region), Azure China second, Amazon S3 and Rackspace slowest
+// (cross-Pacific paths from a CERNET client), with the >1 MB latency knee.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/provider.h"
+#include "cloud/registry.h"
+
+namespace hyrd::cloud {
+
+ProviderConfig amazon_s3_profile();
+ProviderConfig windows_azure_profile();
+ProviderConfig aliyun_profile();
+ProviderConfig rackspace_profile();
+
+/// The paper's standard Cloud-of-Clouds: the four providers above, in
+/// Table II column order.
+std::vector<ProviderConfig> standard_four();
+
+/// Registers the standard four providers into a registry.
+void install_standard_four(CloudRegistry& registry, std::uint64_t seed);
+
+}  // namespace hyrd::cloud

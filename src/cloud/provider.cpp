@@ -1,0 +1,159 @@
+#include "cloud/provider.h"
+
+#include "common/checksum.h"
+
+namespace hyrd::cloud {
+
+SimProvider::SimProvider(ProviderConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      latency_(config_.latency),
+      billing_(config_.prices),
+      rng_(seed ^ common::fnv1a(std::string_view(config_.name))) {}
+
+common::SimDuration SimProvider::charge(OpKind op, std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  billing_.record(op, bytes);
+  switch (op) {
+    case OpKind::kList: ++counters_.lists; break;
+    case OpKind::kGet:
+      ++counters_.gets;
+      counters_.bytes_read += bytes;
+      break;
+    case OpKind::kCreate: ++counters_.creates; break;
+    case OpKind::kPut:
+      ++counters_.puts;
+      counters_.bytes_written += bytes;
+      break;
+    case OpKind::kRemove: ++counters_.removes; break;
+  }
+  return latency_.sample(op, bytes, rng_);
+}
+
+OpResult SimProvider::unavailable_result() {
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.rejected_unavailable;
+  }
+  OpResult r;
+  r.status = common::unavailable(config_.name + " is in outage");
+  // A client discovers an outage quickly (connect failure); charge one
+  // metadata-op worth of virtual time, no money.
+  r.latency = common::from_ms(config_.latency.metadata_op_ms);
+  return r;
+}
+
+OpResult SimProvider::create(const std::string& container) {
+  if (!online()) return unavailable_result();
+  OpResult r;
+  r.status = store_.create(container);
+  r.latency = charge(OpKind::kCreate, 0);
+  return r;
+}
+
+OpResult SimProvider::put(const ObjectKey& key, common::ByteSpan data) {
+  if (!online()) return unavailable_result();
+  OpResult r;
+  r.status = store_.put(key.container, key.name, data);
+  if (r.status.is_ok()) {
+    r.bytes_transferred = data.size();
+    r.latency = charge(OpKind::kPut, data.size());
+  } else {
+    r.latency = charge(OpKind::kPut, 0);
+  }
+  return r;
+}
+
+GetResult SimProvider::get(const ObjectKey& key) {
+  GetResult r;
+  if (!online()) {
+    static_cast<OpResult&>(r) = unavailable_result();
+    return r;
+  }
+  auto res = store_.get(key.container, key.name);
+  if (res.is_ok()) {
+    r.data = std::move(res).value();
+    r.bytes_transferred = r.data.size();
+    r.latency = charge(OpKind::kGet, r.data.size());
+    r.status = common::Status::ok();
+  } else {
+    r.status = res.status();
+    r.latency = charge(OpKind::kGet, 0);
+  }
+  return r;
+}
+
+OpResult SimProvider::remove(const ObjectKey& key) {
+  if (!online()) return unavailable_result();
+  OpResult r;
+  r.status = store_.remove(key.container, key.name);
+  r.latency = charge(OpKind::kRemove, 0);
+  return r;
+}
+
+ListResult SimProvider::list(const std::string& container) {
+  ListResult r;
+  if (!online()) {
+    static_cast<OpResult&>(r) = unavailable_result();
+    return r;
+  }
+  auto res = store_.list(container);
+  if (res.is_ok()) {
+    r.names = std::move(res).value();
+    r.status = common::Status::ok();
+  } else {
+    r.status = res.status();
+  }
+  r.latency = charge(OpKind::kList, 0);
+  return r;
+}
+
+GetResult SimProvider::get_range(const ObjectKey& key, std::uint64_t offset,
+                                 std::uint64_t length) {
+  GetResult r;
+  if (!online()) {
+    static_cast<OpResult&>(r) = unavailable_result();
+    return r;
+  }
+  auto res = store_.get_range(key.container, key.name, offset, length);
+  if (res.is_ok()) {
+    r.data = std::move(res).value();
+    r.bytes_transferred = r.data.size();
+    r.latency = charge(OpKind::kGet, r.data.size());
+    r.status = common::Status::ok();
+  } else {
+    r.status = res.status();
+    r.latency = charge(OpKind::kGet, 0);
+  }
+  return r;
+}
+
+OpResult SimProvider::put_range(const ObjectKey& key, std::uint64_t offset,
+                                common::ByteSpan data) {
+  if (!online()) return unavailable_result();
+  OpResult r;
+  r.status = store_.put_range(key.container, key.name, offset, data);
+  if (r.status.is_ok()) {
+    r.bytes_transferred = data.size();
+    r.latency = charge(OpKind::kPut, data.size());
+  } else {
+    r.latency = charge(OpKind::kPut, 0);
+  }
+  return r;
+}
+
+void SimProvider::fail_permanently() {
+  set_online(false);
+  store_.wipe();
+}
+
+OpCounters SimProvider::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+void SimProvider::reset_counters() {
+  std::lock_guard lock(mu_);
+  counters_ = OpCounters{};
+}
+
+}  // namespace hyrd::cloud

@@ -1,0 +1,109 @@
+// SimProvider: a complete simulated cloud storage provider — in-memory
+// object store + latency model + price meter + availability state.
+//
+// Substitution note (see DESIGN.md §2): this stands in for the real
+// S3/Azure/Aliyun/Rackspace REST endpoints the paper measured. Every
+// quantity the paper evaluates (latency, monthly cost, transfer traffic)
+// is produced by this class from the same request stream a real client
+// would issue through the five GCS-API functions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cloud/billing.h"
+#include "cloud/latency_model.h"
+#include "cloud/memory_store.h"
+#include "cloud/object_store.h"
+#include "cloud/pricing.h"
+#include "common/rng.h"
+
+namespace hyrd::cloud {
+
+struct ProviderConfig {
+  std::string name;
+  LatencyParams latency;
+  PriceSchedule prices;
+  ProviderCategory declared_category;  // Table II bottom row
+};
+
+/// Per-kind operation counters (traffic audit for Table I / §II-B claims).
+struct OpCounters {
+  std::uint64_t lists = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t creates = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t rejected_unavailable = 0;
+
+  [[nodiscard]] std::uint64_t total_ops() const {
+    return lists + gets + creates + puts + removes;
+  }
+};
+
+class SimProvider final : public ObjectStore {
+ public:
+  SimProvider(ProviderConfig config, std::uint64_t seed);
+
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] const ProviderConfig& config() const { return config_; }
+
+  // --- The five GCS-API functions (paper §III-D) ---
+  OpResult create(const std::string& container) override;
+  OpResult put(const ObjectKey& key, common::ByteSpan data) override;
+  GetResult get(const ObjectKey& key) override;
+  OpResult remove(const ObjectKey& key) override;
+  ListResult list(const std::string& container) override;
+  GetResult get_range(const ObjectKey& key, std::uint64_t offset,
+                      std::uint64_t length) override;
+  OpResult put_range(const ObjectKey& key, std::uint64_t offset,
+                     common::ByteSpan data) override;
+
+  // --- Availability control (outage emulation) ---
+  void set_online(bool online) { online_.store(online); }
+  [[nodiscard]] bool online() const { return online_.load(); }
+
+  /// When true, going offline also wipes stored state (permanent provider
+  /// failure rather than transient outage).
+  void fail_permanently();
+
+  // --- Accounting ---
+  [[nodiscard]] std::uint64_t stored_bytes() const {
+    return store_.stored_bytes();
+  }
+  [[nodiscard]] std::uint64_t object_count() const {
+    return store_.object_count();
+  }
+  [[nodiscard]] OpCounters counters() const;
+  void reset_counters();
+
+  BillingMeter& billing() { return billing_; }
+  [[nodiscard]] const BillingMeter& billing() const { return billing_; }
+  MonthlyBill close_month() { return billing_.close_month(stored_bytes()); }
+
+  [[nodiscard]] const LatencyModel& latency_model() const { return latency_; }
+
+  /// Direct access to backing state for white-box tests and audits.
+  MemoryStore& raw_store() { return store_; }
+
+ private:
+  /// Samples latency + updates billing under the provider lock.
+  common::SimDuration charge(OpKind op, std::uint64_t bytes);
+  OpResult unavailable_result();
+
+  ProviderConfig config_;
+  MemoryStore store_;
+  LatencyModel latency_;
+  BillingMeter billing_;
+  common::Xoshiro256 rng_;
+  OpCounters counters_;
+  std::atomic<bool> online_{true};
+  mutable std::mutex mu_;  // guards rng_, billing_, counters_
+};
+
+}  // namespace hyrd::cloud

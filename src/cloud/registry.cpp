@@ -1,0 +1,51 @@
+#include "cloud/registry.h"
+
+#include <cassert>
+
+namespace hyrd::cloud {
+
+SimProvider* CloudRegistry::add(ProviderConfig config, std::uint64_t seed) {
+  assert(find(config.name) == nullptr && "duplicate provider name");
+  providers_.push_back(std::make_unique<SimProvider>(std::move(config), seed));
+  return providers_.back().get();
+}
+
+SimProvider* CloudRegistry::find(const std::string& name) const {
+  for (const auto& p : providers_) {
+    if (p->name() == name) return p.get();
+  }
+  return nullptr;
+}
+
+std::vector<SimProvider*> CloudRegistry::online() const {
+  std::vector<SimProvider*> out;
+  for (const auto& p : providers_) {
+    if (p->online()) out.push_back(p.get());
+  }
+  return out;
+}
+
+std::vector<SimProvider*> CloudRegistry::by_declared_category(
+    bool performance, bool cost) const {
+  std::vector<SimProvider*> out;
+  for (const auto& p : providers_) {
+    const auto& cat = p->config().declared_category;
+    if ((performance && cat.performance_oriented) ||
+        (cost && cat.cost_oriented)) {
+      out.push_back(p.get());
+    }
+  }
+  return out;
+}
+
+double CloudRegistry::cumulative_cost() const {
+  double total = 0.0;
+  for (const auto& p : providers_) total += p->billing().cumulative_cost();
+  return total;
+}
+
+void CloudRegistry::close_month_all() {
+  for (const auto& p : providers_) p->close_month();
+}
+
+}  // namespace hyrd::cloud

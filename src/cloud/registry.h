@@ -1,0 +1,39 @@
+// CloudRegistry: owns the fleet of simulated providers and answers the
+// lookups the Request Dispatcher needs (by name, by category, all-online).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.h"
+
+namespace hyrd::cloud {
+
+class CloudRegistry {
+ public:
+  /// Adds a provider; names must be unique. Returns the stored pointer.
+  SimProvider* add(ProviderConfig config, std::uint64_t seed);
+
+  [[nodiscard]] SimProvider* find(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const { return providers_.size(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<SimProvider>>& all() const {
+    return providers_;
+  }
+
+  [[nodiscard]] std::vector<SimProvider*> online() const;
+  [[nodiscard]] std::vector<SimProvider*> by_declared_category(
+      bool performance, bool cost) const;
+
+  /// Sum of every provider's cumulative (closed-month) bills.
+  [[nodiscard]] double cumulative_cost() const;
+
+  /// Closes the billing month on every provider.
+  void close_month_all();
+
+ private:
+  std::vector<std::unique_ptr<SimProvider>> providers_;
+};
+
+}  // namespace hyrd::cloud

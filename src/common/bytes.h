@@ -1,0 +1,69 @@
+// Byte-buffer primitives shared across the library.
+//
+// A `Bytes` value is the unit of everything HyRD moves: file contents,
+// erasure fragments, serialized metadata blocks. We deliberately use a plain
+// std::vector<uint8_t> so buffers interoperate with std::span views without
+// any wrapper tax.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hyrd::common {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutByteSpan = std::span<std::uint8_t>;
+
+/// Builds a buffer from a string literal / std::string contents.
+inline Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a buffer as text (for tests and debugging only).
+inline std::string to_string(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Deterministic patterned payload: byte i = f(seed, i). Useful for building
+/// large test objects without storing them twice.
+inline Bytes patterned(std::size_t size, std::uint64_t seed = 0) {
+  Bytes out(size);
+  std::uint64_t x = seed * 0x9e3779b97f4a7c15ull + 0xbf58476d1ce4e5b9ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    out[i] = static_cast<std::uint8_t>((x >> 32) ^ i);
+  }
+  return out;
+}
+
+/// Hex dump of a (prefix of a) buffer, for diagnostics.
+inline std::string to_hex(ByteSpan b, std::size_t max_bytes = 32) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = b.size() < max_bytes ? b.size() : max_bytes;
+  out.reserve(n * 2 + 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[b[i] >> 4]);
+    out.push_back(kDigits[b[i] & 0xF]);
+  }
+  if (n < b.size()) out += "...";
+  return out;
+}
+
+/// Concatenates buffers (used when reassembling striped objects).
+inline Bytes concat(std::span<const Bytes> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace hyrd::common

@@ -1,0 +1,62 @@
+// Checksums and digests used for object integrity.
+//
+// - CRC32C guards individual fragments (fast, per-op).
+// - FNV-1a keys internal hash maps.
+// - SHA-256 fingerprints whole objects so reconstruction paths can be
+//   verified end to end (and powers the future-work dedup extension).
+// All implemented from scratch; no external crypto dependency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace hyrd::common {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41), table-driven.
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed = 0);
+
+/// FNV-1a 64-bit hash.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(ByteSpan data);
+
+/// SHA-256 digest.
+struct Sha256Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  friend bool operator==(const Sha256Digest&, const Sha256Digest&) = default;
+  [[nodiscard]] std::string hex() const;
+};
+
+class Sha256 {
+ public:
+  Sha256();
+  void update(ByteSpan data);
+  [[nodiscard]] Sha256Digest finalize();
+
+  static Sha256Digest digest(ByteSpan data) {
+    Sha256 h;
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t bit_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace hyrd::common

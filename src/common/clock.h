@@ -1,0 +1,48 @@
+// Virtual time for deterministic latency simulation.
+//
+// The simulator never sleeps: providers *compute* how long an operation
+// would take and the client aggregates those durations (sum for sequential
+// steps, max for parallel fan-out). SimClock just accumulates elapsed
+// virtual nanoseconds so a workload run can report wall-clock-like totals
+// reproducibly.
+#pragma once
+
+#include <cstdint>
+
+namespace hyrd::common {
+
+/// Virtual duration in nanoseconds. Signed, so deltas compose safely.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+inline constexpr double to_ms(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+inline constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+inline constexpr SimDuration from_ms(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Monotonic virtual clock.
+class SimClock {
+ public:
+  [[nodiscard]] SimDuration now() const { return now_; }
+
+  /// Advances the clock; negative deltas are clamped to zero.
+  void advance(SimDuration delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+  void reset() { now_ = 0; }
+
+ private:
+  SimDuration now_ = 0;
+};
+
+}  // namespace hyrd::common

@@ -1,0 +1,39 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace hyrd::common {
+
+std::uint64_t Xoshiro256::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  if (lo >= hi) return lo;
+  const std::uint64_t range = hi - lo + 1;
+  if (range == 0) return (*this)();  // full 64-bit range
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - range) % range;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return lo + r % range;
+  }
+}
+
+double Xoshiro256::normal() {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Xoshiro256::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * normal());
+}
+
+double Xoshiro256::exponential(double rate) {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+}  // namespace hyrd::common

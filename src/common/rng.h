@@ -1,0 +1,93 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (latency jitter, workload generators, failure
+// injection) draws from its own xoshiro256** stream seeded via SplitMix64,
+// so independent subsystems never perturb each other's sequences and every
+// experiment is reproducible from a single printed seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hyrd::common {
+
+/// SplitMix64: seeds the main generator; also a fine standalone mixer.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator so it plugs into <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bull) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Debiased via rejection.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps stream simple).
+  double normal();
+
+  /// Lognormal with the given log-space mean and stddev.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate.
+  double exponential(double rate);
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent child stream (e.g. one per provider).
+  Xoshiro256 fork() {
+    Xoshiro256 child(0);
+    for (auto& s : child.state_) s = (*this)();
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hyrd::common

@@ -1,0 +1,71 @@
+// Streaming statistics: Welford mean/stddev, reservoir percentiles, and a
+// log-scaled latency histogram. These feed every bench table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyrd::common {
+
+/// Numerically stable running mean / variance (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Keeps every sample (bounded workloads) and answers percentile queries.
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double percentile(double p);  // p in [0,100]
+  [[nodiscard]] double median() { return percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+/// Histogram with logarithmically spaced buckets; renders ASCII bars.
+class LogHistogram {
+ public:
+  /// Buckets: [0, base), [base, base*growth), ... up to `buckets` buckets.
+  LogHistogram(double base, double growth, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double base_;
+  double growth_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hyrd::common

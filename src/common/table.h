@@ -1,0 +1,33 @@
+// ASCII table rendering for bench output. Every reproduced paper table or
+// figure series is printed through this so rows line up and can be diffed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hyrd::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines),
+  /// for piping bench output into plotting scripts.
+  [[nodiscard]] std::string render_csv() const;
+
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hyrd::common

@@ -1,0 +1,49 @@
+// Size and money units used throughout the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hyrd::common {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+// Decimal units (cloud pricing is quoted per decimal GB).
+inline constexpr std::uint64_t KB = 1000ull;
+inline constexpr std::uint64_t MB = 1000ull * KB;
+inline constexpr std::uint64_t GB = 1000ull * MB;
+inline constexpr std::uint64_t TB = 1000ull * GB;
+
+/// Formats a byte count with a binary suffix ("12.0 MiB").
+inline std::string format_bytes(std::uint64_t n) {
+  const char* suffix = "B";
+  double v = static_cast<double>(n);
+  if (n >= TiB) {
+    v /= static_cast<double>(TiB);
+    suffix = "TiB";
+  } else if (n >= GiB) {
+    v /= static_cast<double>(GiB);
+    suffix = "GiB";
+  } else if (n >= MiB) {
+    v /= static_cast<double>(MiB);
+    suffix = "MiB";
+  } else if (n >= KiB) {
+    v /= static_cast<double>(KiB);
+    suffix = "KiB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffix);
+  return buf;
+}
+
+/// Formats US dollars ("$12.34").
+inline std::string format_usd(double dollars) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "$%.2f", dollars);
+  return buf;
+}
+
+}  // namespace hyrd::common

@@ -1,0 +1,71 @@
+#include "core/availability.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hyrd::core {
+
+double k_of_n_availability(std::span<const double> probs, std::size_t k) {
+  const std::size_t n = probs.size();
+  assert(n <= 24 && "state enumeration limited to small fleets");
+  double total = 0.0;
+  for (std::uint32_t state = 0; state < (1u << n); ++state) {
+    const auto up = static_cast<std::size_t>(std::popcount(state));
+    if (up < k) continue;
+    double prob = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      prob *= (state & (1u << i)) ? probs[i] : (1.0 - probs[i]);
+    }
+    total += prob;
+  }
+  return total;
+}
+
+SchemeAvailability analytic_availability(double p) {
+  SchemeAvailability a;
+  const std::vector<double> two(2, p);
+  const std::vector<double> three(3, p);
+  const std::vector<double> four(4, p);
+  a.single = p;
+  a.duracloud = k_of_n_availability(two, 1);
+  a.racs = k_of_n_availability(four, 3);
+  a.hyrd_small = k_of_n_availability(two, 1);
+  a.hyrd_large = k_of_n_availability(three, 2);
+  return a;
+}
+
+double nines(double availability) {
+  if (availability >= 1.0) return 16.0;  // beyond double resolution
+  if (availability <= 0.0) return 0.0;
+  return -std::log10(1.0 - availability);
+}
+
+AvailabilityMeasurement measure_read_availability(
+    cloud::CloudRegistry& registry, StorageClient& client,
+    const std::vector<std::string>& paths, double provider_availability,
+    std::size_t trials, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  AvailabilityMeasurement result;
+  result.trials = trials;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (const auto& p : registry.all()) {
+      p->set_online(rng.chance(provider_availability));
+    }
+    bool all_readable = true;
+    for (const auto& path : paths) {
+      if (!client.get(path).status.is_ok()) {
+        all_readable = false;
+        break;
+      }
+    }
+    if (all_readable) ++result.successes;
+  }
+
+  for (const auto& p : registry.all()) p->set_online(true);
+  return result;
+}
+
+}  // namespace hyrd::core

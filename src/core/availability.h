@@ -1,0 +1,74 @@
+// Storage-availability analysis: the paper's title claim, quantified.
+//
+// Analytic model: providers fail independently; a configuration is
+// available when enough of its fragment holders are up — any 1 of r for
+// replication, any k of n for erasure. Exact probabilities come from
+// enumerating provider states (fleets are small).
+//
+// Monte Carlo: the same question asked of the *real* client stack — sample
+// provider up/down states, attempt actual reads through a StorageClient,
+// and count successes. Agreement between the two validates that the
+// implementation's degraded-read machinery delivers the redundancy the
+// math promises.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cloud/registry.h"
+#include "core/storage_client.h"
+
+namespace hyrd::core {
+
+/// P[at least k of the slots are up], slots failing independently with
+/// per-slot availability probs[i]. Exact, by state enumeration (n <= 24).
+double k_of_n_availability(std::span<const double> probs, std::size_t k);
+
+/// Replication over the given replica holders: any 1 of r.
+inline double replication_availability(std::span<const double> probs) {
+  return k_of_n_availability(probs, 1);
+}
+
+/// Analytic read availability of each scheme on the standard fleet, all
+/// providers sharing availability `p`.
+struct SchemeAvailability {
+  double single;          // one provider
+  double duracloud;       // 1 of 2
+  double racs;            // 3 of 4 (RAID5 over all clouds)
+  double hyrd_small;      // 1 of 2 (replicas on perf providers)
+  double hyrd_large;      // 2 of 3 (RAID5 over cost-oriented trio)
+
+  /// Access-weighted HyRD availability (the paper: small files take most
+  /// accesses).
+  [[nodiscard]] double hyrd_overall(double small_access_share) const {
+    return small_access_share * hyrd_small +
+           (1.0 - small_access_share) * hyrd_large;
+  }
+};
+SchemeAvailability analytic_availability(double p);
+
+/// Converts availability to "nines" (0.999 -> 3.0).
+double nines(double availability);
+
+/// Monte Carlo measurement against a live client: for each trial, every
+/// provider is up with probability `provider_availability`; the trial
+/// succeeds iff every path in `paths` reads back successfully. Providers
+/// are restored to online afterwards.
+struct AvailabilityMeasurement {
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  [[nodiscard]] double availability() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+};
+AvailabilityMeasurement measure_read_availability(
+    cloud::CloudRegistry& registry, StorageClient& client,
+    const std::vector<std::string>& paths, double provider_availability,
+    std::size_t trials, std::uint64_t seed);
+
+}  // namespace hyrd::core

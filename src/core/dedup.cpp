@@ -1,0 +1,74 @@
+#include "core/dedup.h"
+
+namespace hyrd::core {
+
+std::optional<meta::FileMeta> DedupIndex::find(
+    const common::Sha256Digest& digest) const {
+  std::lock_guard lock(mu_);
+  auto it = by_digest_.find(digest);
+  if (it == by_digest_.end()) return std::nullopt;
+  return it->second.canonical;
+}
+
+void DedupIndex::add_canonical(const common::Sha256Digest& digest,
+                               const meta::FileMeta& meta) {
+  std::lock_guard lock(mu_);
+  auto& entry = by_digest_[digest];
+  entry.canonical = meta;
+  entry.paths.insert(meta.path);
+  by_path_[meta.path] = digest;
+}
+
+void DedupIndex::add_alias(const common::Sha256Digest& digest,
+                           const std::string& path,
+                           std::uint64_t bytes_saved) {
+  std::lock_guard lock(mu_);
+  auto it = by_digest_.find(digest);
+  if (it == by_digest_.end()) return;
+  it->second.paths.insert(path);
+  by_path_[path] = digest;
+  bytes_deduplicated_ += bytes_saved;
+}
+
+bool DedupIndex::unlink(const std::string& path) {
+  std::lock_guard lock(mu_);
+  auto p = by_path_.find(path);
+  if (p == by_path_.end()) return true;  // untracked: caller owns fragments
+  auto d = by_digest_.find(p->second);
+  by_path_.erase(p);
+  if (d == by_digest_.end()) return true;
+  d->second.paths.erase(path);
+  if (d->second.paths.empty()) {
+    by_digest_.erase(d);
+    return true;  // last reference gone
+  }
+  return false;  // still shared
+}
+
+std::size_t DedupIndex::ref_count(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto p = by_path_.find(path);
+  if (p == by_path_.end()) return 0;
+  auto d = by_digest_.find(p->second);
+  return d == by_digest_.end() ? 0 : d->second.paths.size();
+}
+
+DedupIndex::Stats DedupIndex::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.unique_files = by_digest_.size();
+  std::uint64_t refs = 0;
+  for (const auto& [digest, entry] : by_digest_) refs += entry.paths.size();
+  s.alias_files = refs - by_digest_.size();
+  s.bytes_deduplicated = bytes_deduplicated_;
+  return s;
+}
+
+void DedupIndex::clear() {
+  std::lock_guard lock(mu_);
+  by_digest_.clear();
+  by_path_.clear();
+  bytes_deduplicated_ = 0;
+}
+
+}  // namespace hyrd::core

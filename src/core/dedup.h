@@ -1,0 +1,84 @@
+// Whole-file deduplication index — the paper's first future-work item
+// (§VI): "we will apply data deduplication in the HyRD module to eliminate
+// the redundant data and reduce the total data transferred over the
+// network" (cf. the authors' POD, IPDPS'14).
+//
+// Design: content-addressed by SHA-256. When a put's digest matches an
+// already-stored file, no data moves — the new path aliases the canonical
+// file's fragments and only metadata is written. Aliases are broken
+// copy-on-write: overwriting or updating an alias gives it private
+// fragments first. The index is client-side state (rebuildable by
+// re-reading content), exactly where the paper places the dedup engine.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/checksum.h"
+#include "metadata/file_meta.h"
+
+namespace hyrd::core {
+
+class DedupIndex {
+ public:
+  struct Stats {
+    std::uint64_t unique_files = 0;
+    std::uint64_t alias_files = 0;       // current paths sharing content
+    std::uint64_t bytes_deduplicated = 0;  // upload bytes avoided so far
+  };
+
+  /// Looks up a digest; returns the canonical file's meta if this exact
+  /// content is already stored.
+  [[nodiscard]] std::optional<meta::FileMeta> find(
+      const common::Sha256Digest& digest) const;
+
+  /// Registers `path` as the canonical holder of `digest`.
+  void add_canonical(const common::Sha256Digest& digest,
+                     const meta::FileMeta& meta);
+
+  /// Registers `path` as an alias of an existing digest; records the
+  /// avoided upload volume.
+  void add_alias(const common::Sha256Digest& digest, const std::string& path,
+                 std::uint64_t bytes_saved);
+
+  /// Unlinks `path` from whatever digest it referenced. Returns true if
+  /// the underlying fragments are now unreferenced (caller should delete
+  /// them), false if other paths still share them (caller must keep them).
+  bool unlink(const std::string& path);
+
+  /// Number of paths (canonical + aliases) referencing `path`'s content.
+  [[nodiscard]] std::size_t ref_count(const std::string& path) const;
+
+  /// True if `path` shares fragments with at least one other path.
+  [[nodiscard]] bool is_shared(const std::string& path) const {
+    return ref_count(path) > 1;
+  }
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    meta::FileMeta canonical;
+    std::set<std::string> paths;  // every path referencing this content
+  };
+
+  struct DigestHash {
+    std::size_t operator()(const common::Sha256Digest& d) const {
+      std::size_t h = 0;
+      std::memcpy(&h, d.bytes.data(), sizeof(h));
+      return h;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<common::Sha256Digest, Entry, DigestHash> by_digest_;
+  std::unordered_map<std::string, common::Sha256Digest> by_path_;
+  std::uint64_t bytes_deduplicated_ = 0;
+};
+
+}  // namespace hyrd::core

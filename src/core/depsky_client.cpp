@@ -1,0 +1,199 @@
+#include "core/depsky_client.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/checksum.h"
+#include "dist/scheme.h"
+
+namespace hyrd::core {
+
+DepSkyClient::DepSkyClient(gcs::MultiCloudSession& session,
+                           std::size_t faults_tolerated,
+                           std::string data_container)
+    : StorageClientBase(session),
+      container_(std::move(data_container)),
+      quorum_(session.client_count() - faults_tolerated),
+      replication_(container_),
+      erasure_(container_, {.k = 3, .m = 1}),
+      recovery_(session, store_, log_, replication_, erasure_) {
+  all_targets_.resize(session_.client_count());
+  std::iota(all_targets_.begin(), all_targets_.end(), 0);
+  (void)session_.ensure_container_everywhere(container_);
+}
+
+common::Result<common::SimDuration> DepSkyClient::quorum_latency(
+    std::span<const cloud::OpResult> results) const {
+  std::vector<common::SimDuration> acks;
+  for (const auto& r : results) {
+    if (r.ok()) acks.push_back(r.latency);
+  }
+  if (acks.size() < quorum_) {
+    return common::unavailable("quorum unreachable (" +
+                               std::to_string(acks.size()) + "/" +
+                               std::to_string(quorum_) + " acks)");
+  }
+  std::nth_element(acks.begin(),
+                   acks.begin() + static_cast<std::ptrdiff_t>(quorum_ - 1),
+                   acks.end());
+  return acks[quorum_ - 1];
+}
+
+dist::WriteResult DepSkyClient::write_object(const std::string& path,
+                                             common::ByteSpan data) {
+  dist::WriteResult result;
+  const auto prev = store_.lookup(path);
+
+  std::vector<gcs::BatchPut> batch;
+  std::vector<cloud::ObjectKey> keys;
+  for (std::size_t i = 0; i < all_targets_.size(); ++i) {
+    keys.push_back({container_, dist::fragment_object_name(path, 'q', i)});
+    batch.push_back({all_targets_[i], keys.back(), data});
+  }
+  auto puts = session_.parallel_put(batch, nullptr);
+
+  auto latency = quorum_latency(puts);
+  if (!latency.is_ok()) {
+    result.status = latency.status();
+    // The client still waited for the failures to time out.
+    for (const auto& p : puts) result.latency = std::max(result.latency, p.latency);
+    return result;
+  }
+  result.latency = latency.value();
+
+  meta::FileMeta m;
+  m.path = path;
+  m.size = data.size();
+  m.redundancy = meta::RedundancyKind::kReplicated;
+  m.crc = common::crc32c(data);
+  m.version = prev.has_value() ? prev->version + 1 : 1;
+  for (std::size_t i = 0; i < puts.size(); ++i) {
+    m.locations.push_back(
+        {session_.client(all_targets_[i]).provider_name(), keys[i].name});
+    if (!puts[i].ok()) {
+      log_.append(session_.client(all_targets_[i]).provider_name(),
+                  container_, path, keys[i].name, meta::LogAction::kPut);
+    }
+  }
+  store_.upsert(m);
+  result.status = common::Status::ok();
+  result.meta = std::move(m);
+  return result;
+}
+
+common::SimDuration DepSkyClient::persist_metadata(const std::string& dir) {
+  const common::Bytes block = store_.serialize_directory(dir);
+  auto r = write_object(meta_block_path(dir), block);
+  return r.latency;
+}
+
+dist::WriteResult DepSkyClient::put(const std::string& path,
+                                    common::ByteSpan data) {
+  dist::WriteResult result = write_object(path, data);
+  if (!result.status.is_ok()) {
+    note_put(result.latency, false);
+    return result;
+  }
+  result.latency += persist_metadata(result.meta.directory());
+  note_put(result.latency, true);
+  return result;
+}
+
+dist::ReadResult DepSkyClient::get(const std::string& path) {
+  dist::ReadResult result;
+  const auto m = store_.lookup(path);
+  if (!m.has_value()) {
+    result.status = common::not_found("no such file: " + path);
+    note_get(0, false, false);
+    return result;
+  }
+  result = replication_.read(session_, *m);
+  note_get(result.latency, result.status.is_ok(), result.degraded);
+  return result;
+}
+
+dist::WriteResult DepSkyClient::update(const std::string& path,
+                                       std::uint64_t offset,
+                                       common::ByteSpan data) {
+  dist::WriteResult result;
+  const auto m = store_.lookup(path);
+  if (!m.has_value()) {
+    result.status = common::not_found("no such file: " + path);
+    note_update(0, false);
+    return result;
+  }
+  if (offset + data.size() > m->size) {
+    result.status = common::invalid_argument("update must not grow the file");
+    note_update(0, false);
+    return result;
+  }
+
+  if (offset == 0 && data.size() == m->size) {
+    result = write_object(path, data);
+  } else {
+    // Quorum block write.
+    std::vector<gcs::BatchRangePut> batch;
+    for (std::size_t i = 0; i < m->locations.size(); ++i) {
+      const std::size_t idx = session_.index_of(m->locations[i].provider);
+      if (idx == static_cast<std::size_t>(-1)) continue;
+      batch.push_back(
+          {idx, {container_, m->locations[i].object_name}, offset, data});
+    }
+    auto puts = session_.parallel_put_range(batch, nullptr);
+    auto latency = quorum_latency(puts);
+    if (!latency.is_ok()) {
+      result.status = latency.status();
+      note_update(result.latency, false);
+      return result;
+    }
+    result.latency = latency.value();
+    result.status = common::Status::ok();
+    result.meta = *m;
+    result.meta.version = m->version + 1;
+    result.meta.crc = 0;
+    for (std::size_t i = 0; i < puts.size(); ++i) {
+      if (!puts[i].ok()) {
+        log_.append(m->locations[i].provider, container_, path,
+                    m->locations[i].object_name, meta::LogAction::kPut);
+      }
+    }
+    store_.upsert(result.meta);
+  }
+  if (!result.status.is_ok()) {
+    note_update(result.latency, false);
+    return result;
+  }
+  result.latency += persist_metadata(m->directory());
+  note_update(result.latency, true);
+  return result;
+}
+
+dist::RemoveResult DepSkyClient::remove(const std::string& path) {
+  dist::RemoveResult result;
+  const auto m = store_.lookup(path);
+  if (!m.has_value()) {
+    result.status = common::not_found("no such file: " + path);
+    note_remove(0, false);
+    return result;
+  }
+  result = replication_.remove(session_, *m);
+  for (const auto& provider : result.unreachable_providers) {
+    for (const auto& loc : m->locations) {
+      if (loc.provider == provider) {
+        log_.append(provider, container_, path, loc.object_name,
+                    meta::LogAction::kRemove);
+      }
+    }
+  }
+  store_.erase(path);
+  result.latency += persist_metadata(m->directory());
+  note_remove(result.latency, result.status.is_ok());
+  return result;
+}
+
+common::SimDuration DepSkyClient::on_provider_restored(
+    const std::string& provider) {
+  return recovery_.resync(provider).latency;
+}
+
+}  // namespace hyrd::core

@@ -1,0 +1,56 @@
+// DepSkyClient: a simplified DepSky baseline (Bessani et al., EuroSys'11)
+// — the fourth related system in the paper's Table I.
+//
+// DepSky replicates data on every cloud and uses Byzantine quorums: with
+// n = 4 clouds and f = 1 tolerated faults, a write completes when
+// n - f = 3 clouds acknowledge, and a read is served from any verified
+// replica. We model the quorum-latency semantics (a write costs the
+// 3rd-fastest acknowledgment, not the slowest) and full 4x replication's
+// storage bill; the cryptographic machinery (signatures, secret sharing)
+// is out of scope — Table I's axes are redundancy, recovery, performance
+// and cost, all of which this model reproduces.
+#pragma once
+
+#include "core/storage_client.h"
+#include "dist/erasure_scheme.h"
+#include "dist/recovery.h"
+#include "dist/replication.h"
+
+namespace hyrd::core {
+
+class DepSkyClient final : public StorageClientBase {
+ public:
+  explicit DepSkyClient(gcs::MultiCloudSession& session,
+                        std::size_t faults_tolerated = 1,
+                        std::string data_container = "depsky-data");
+
+  [[nodiscard]] std::string name() const override { return "DepSky"; }
+  [[nodiscard]] std::size_t quorum() const { return quorum_; }
+
+  dist::WriteResult put(const std::string& path,
+                        common::ByteSpan data) override;
+  dist::ReadResult get(const std::string& path) override;
+  dist::WriteResult update(const std::string& path, std::uint64_t offset,
+                           common::ByteSpan data) override;
+  dist::RemoveResult remove(const std::string& path) override;
+  common::SimDuration on_provider_restored(const std::string& provider) override;
+
+ private:
+  /// Quorum completion time: the q-th smallest latency among successful
+  /// acknowledgments. Fails when fewer than q clouds acknowledged.
+  common::Result<common::SimDuration> quorum_latency(
+      std::span<const cloud::OpResult> results) const;
+
+  dist::WriteResult write_object(const std::string& path,
+                                 common::ByteSpan data);
+  common::SimDuration persist_metadata(const std::string& dir);
+
+  std::string container_;
+  std::size_t quorum_;
+  dist::ReplicationScheme replication_;  // read path + RecoveryManager
+  dist::ErasureScheme erasure_;          // RecoveryManager wiring only
+  dist::RecoveryManager recovery_;
+  std::vector<std::size_t> all_targets_;
+};
+
+}  // namespace hyrd::core

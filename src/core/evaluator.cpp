@@ -1,0 +1,130 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/bytes.h"
+
+namespace hyrd::core {
+
+namespace {
+
+std::vector<std::size_t> sorted_indices(
+    const std::vector<ProviderEvaluation>& evals,
+    double (*key)(const ProviderEvaluation&)) {
+  std::vector<std::size_t> order(evals.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return key(evals[a]) < key(evals[b]);
+  });
+  std::vector<std::size_t> out;
+  out.reserve(order.size());
+  for (std::size_t i : order) out.push_back(evals[i].client_index);
+  return out;
+}
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+std::vector<std::size_t> EvaluationReport::performance_order() const {
+  return sorted_indices(providers,
+                        [](const ProviderEvaluation& e) { return e.mean_read_ms; });
+}
+
+std::vector<std::size_t> EvaluationReport::cost_order() const {
+  return sorted_indices(providers,
+                        [](const ProviderEvaluation& e) { return e.cost_score; });
+}
+
+EvaluationReport CostPerfEvaluator::evaluate(
+    gcs::MultiCloudSession& session) const {
+  EvaluationReport report;
+  const common::Bytes payload =
+      common::patterned(config_.evaluator_probe_size, /*seed=*/42);
+
+  for (std::size_t i = 0; i < session.client_count(); ++i) {
+    auto& client = session.client(i);
+    ProviderEvaluation eval;
+    eval.provider = client.provider_name();
+    eval.client_index = i;
+
+    const auto& prices = client.provider()->config().prices;
+    eval.cost_score = prices.storage_gb_month + prices.data_out_gb;
+
+    if (!client.provider()->online()) {
+      eval.mean_read_ms = std::numeric_limits<double>::infinity();
+      eval.mean_write_ms = std::numeric_limits<double>::infinity();
+      report.providers.push_back(std::move(eval));
+      continue;
+    }
+
+    auto ensure = client.ensure_container(config_.probe_container);
+    report.probe_latency += ensure.latency;
+
+    double read_ms = 0.0;
+    double write_ms = 0.0;
+    std::size_t completed = 0;
+    for (std::size_t p = 0; p < config_.evaluator_probes; ++p) {
+      const cloud::ObjectKey key{config_.probe_container,
+                                 "probe-" + std::to_string(p)};
+      auto put = client.put(key, payload);
+      report.probe_latency += put.latency;
+      if (!put.ok()) continue;
+      auto get = client.get(key);
+      report.probe_latency += get.latency;
+      if (!get.ok()) continue;
+      write_ms += common::to_ms(put.latency);
+      read_ms += common::to_ms(get.latency);
+      ++completed;
+      auto rm = client.remove(key);
+      report.probe_latency += rm.latency;
+    }
+    if (completed > 0) {
+      eval.mean_read_ms = read_ms / static_cast<double>(completed);
+      eval.mean_write_ms = write_ms / static_cast<double>(completed);
+    } else {
+      eval.mean_read_ms = std::numeric_limits<double>::infinity();
+      eval.mean_write_ms = std::numeric_limits<double>::infinity();
+    }
+    report.providers.push_back(std::move(eval));
+  }
+
+  // Categorize against the fleet medians. Performance-oriented: measured
+  // read latency at or below the median. Cost-oriented: cheap to *serve*
+  // (storage+egress score <= median) or cheap to *store* (Table II's
+  // criterion, "storage capacity price is lower" — this is what makes
+  // Amazon S3 cost-oriented despite its egress price). A provider can be
+  // both (the paper's Aliyun).
+  std::vector<double> lat;
+  std::vector<double> serve_cost;
+  std::vector<double> storage_cost;
+  for (std::size_t i = 0; i < report.providers.size(); ++i) {
+    const auto& e = report.providers[i];
+    if (std::isfinite(e.mean_read_ms)) lat.push_back(e.mean_read_ms);
+    serve_cost.push_back(e.cost_score);
+    storage_cost.push_back(
+        session.client(i).provider()->config().prices.storage_gb_month);
+  }
+  const double lat_median = median_of(lat);
+  const double serve_median = median_of(serve_cost);
+  const double storage_median = median_of(storage_cost);
+  for (std::size_t i = 0; i < report.providers.size(); ++i) {
+    auto& e = report.providers[i];
+    const double storage =
+        session.client(i).provider()->config().prices.storage_gb_month;
+    e.category.performance_oriented = e.mean_read_ms <= lat_median;
+    e.category.cost_oriented =
+        e.cost_score <= serve_median || storage <= storage_median;
+  }
+  return report;
+}
+
+}  // namespace hyrd::core

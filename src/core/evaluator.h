@@ -1,0 +1,54 @@
+// CostPerfEvaluator: HyRD's third functional module (paper §III-B).
+//
+// Evaluates every cloud provider on two axes — measured access latency
+// (by issuing real probe operations through the GCS-API middleware, as the
+// paper's Evaluation module does) and published prices (Table II) — then
+// categorizes providers as performance-oriented, cost-oriented, or both,
+// and hands the Request Dispatcher its placement orders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/pricing.h"
+#include "common/clock.h"
+#include "core/config.h"
+#include "gcsapi/session.h"
+
+namespace hyrd::core {
+
+struct ProviderEvaluation {
+  std::string provider;
+  std::size_t client_index = 0;
+  double mean_read_ms = 0.0;
+  double mean_write_ms = 0.0;
+  double cost_score = 0.0;  // $/GB: storage + egress (read-heavy proxy)
+  cloud::ProviderCategory category;
+};
+
+struct EvaluationReport {
+  std::vector<ProviderEvaluation> providers;  // session client order
+  common::SimDuration probe_latency = 0;      // virtual time spent probing
+
+  /// Client indices sorted fastest-first (measured read latency).
+  [[nodiscard]] std::vector<std::size_t> performance_order() const;
+  /// Client indices sorted cheapest-first (cost score).
+  [[nodiscard]] std::vector<std::size_t> cost_order() const;
+};
+
+class CostPerfEvaluator {
+ public:
+  explicit CostPerfEvaluator(const HyRDConfig& config) : config_(config) {}
+
+  /// Probes every provider (`evaluator_probes` GET+PUT pairs of
+  /// `evaluator_probe_size` bytes on the probe container) and combines the
+  /// measurements with the price schedules. Providers currently offline
+  /// get +inf latency and fall to the back of the performance order.
+  EvaluationReport evaluate(gcs::MultiCloudSession& session) const;
+
+ private:
+  HyRDConfig config_;
+};
+
+}  // namespace hyrd::core

@@ -1,0 +1,474 @@
+#include "core/hyrd_client.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/checksum.h"
+
+namespace hyrd::core {
+
+HyRDClient::HyRDClient(gcs::MultiCloudSession& session, HyRDConfig config)
+    : StorageClientBase(session),
+      config_(config),
+      monitor_(config.large_file_threshold),
+      data_replication_(config.data_container),
+      meta_replication_(config.meta_container),
+      erasure_(config.data_container, config.geometry),
+      recovery_(session, store_, log_, data_replication_, erasure_) {
+  (void)session_.ensure_container_everywhere(config_.data_container);
+  (void)session_.ensure_container_everywhere(config_.meta_container);
+
+  CostPerfEvaluator evaluator(config_);
+  eval_ = evaluator.evaluate(session_);
+
+  const auto perf = eval_.performance_order();
+  const std::size_t level =
+      std::min(config_.replication_level, perf.size());
+  replica_targets_.assign(perf.begin(),
+                          perf.begin() + static_cast<std::ptrdiff_t>(level));
+
+  // Erasure slots: large files go to the *cost-oriented* providers
+  // (Fig. 2), cheapest-to-serve first, so data fragments sit where reads
+  // are cheap and parity lands on the most expensive slot. If the
+  // geometry needs more slots than there are cost-oriented providers,
+  // fall back to the remaining providers in cost order.
+  const auto cost = eval_.cost_order();
+  std::vector<std::size_t> pool;
+  for (std::size_t idx : cost) {
+    for (const auto& e : eval_.providers) {
+      if (e.client_index == idx && e.category.cost_oriented) {
+        pool.push_back(idx);
+      }
+    }
+  }
+  for (std::size_t idx : cost) {
+    if (std::find(pool.begin(), pool.end(), idx) == pool.end()) {
+      pool.push_back(idx);
+    }
+  }
+  const std::size_t slots = std::min(config_.geometry.total(), pool.size());
+  shard_slots_.assign(pool.begin(),
+                      pool.begin() + static_cast<std::ptrdiff_t>(slots));
+  assert(shard_slots_.size() == config_.geometry.total() &&
+         "need at least k+m providers for the configured geometry");
+
+  recovery_.set_block_regenerator(
+      [this](const std::string& path) -> std::optional<common::Bytes> {
+        auto dir = parse_meta_block_path(path);
+        if (!dir.has_value()) return std::nullopt;
+        return store_.serialize_directory(*dir);
+      });
+}
+
+common::SimDuration HyRDClient::persist_metadata(const std::string& dir) {
+  const common::Bytes block = store_.serialize_directory(dir);
+  const std::string object = meta_block_object_name(dir);
+  monitor_.record_write(DataClass::kMetadata, block.size());
+
+  std::vector<gcs::BatchPut> batch;
+  batch.reserve(replica_targets_.size());
+  for (std::size_t target : replica_targets_) {
+    batch.push_back({target,
+                     {config_.meta_container, object},
+                     common::ByteSpan(block)});
+  }
+  common::SimDuration latency = 0;
+  auto results = session_.parallel_put(batch, &latency);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      log_.append(session_.client(replica_targets_[i]).provider_name(),
+                  config_.meta_container, meta_block_path(dir), object,
+                  meta::LogAction::kPut);
+    }
+  }
+  return latency;
+}
+
+void HyRDClient::log_unreachable_fragments(
+    const std::vector<std::string>& unreachable, const std::string& container,
+    const meta::FileMeta& m) {
+  for (const auto& provider : unreachable) {
+    for (const auto& loc : m.locations) {
+      if (loc.provider == provider) {
+        log_.append(provider, container, m.path, loc.object_name,
+                    meta::LogAction::kPut);
+      }
+    }
+  }
+}
+
+void HyRDClient::drop_hot_copy(const std::string& path, bool remove_remote) {
+  meta::FragmentLocation loc;
+  {
+    std::lock_guard lock(hot_mu_);
+    auto it = hot_copies_.find(path);
+    if (it == hot_copies_.end()) return;
+    loc = it->second;
+    hot_copies_.erase(it);
+  }
+  if (remove_remote) {
+    const std::size_t idx = session_.index_of(loc.provider);
+    if (idx != static_cast<std::size_t>(-1)) {
+      (void)session_.client(idx).remove(
+          {config_.data_container, loc.object_name});
+    }
+  }
+  monitor_.forget(path);
+}
+
+bool HyRDClient::has_hot_copy(const std::string& path) const {
+  std::lock_guard lock(hot_mu_);
+  return hot_copies_.contains(path);
+}
+
+common::SimDuration HyRDClient::release_previous(const std::string& path,
+                                                 const meta::FileMeta& prev) {
+  common::SimDuration latency = 0;
+  const bool last_ref = dedup_.unlink(path);
+  if (last_ref) {
+    auto rm = prev.redundancy == meta::RedundancyKind::kReplicated
+                  ? data_replication_.remove(session_, prev)
+                  : erasure_.remove(session_, prev);
+    latency += rm.latency;
+    for (const auto& provider : rm.unreachable_providers) {
+      for (const auto& loc : prev.locations) {
+        if (loc.provider == provider) {
+          log_.append(provider, config_.data_container, prev.path,
+                      loc.object_name, meta::LogAction::kRemove);
+        }
+      }
+    }
+  }
+  drop_hot_copy(path, /*remove_remote=*/last_ref);
+  return latency;
+}
+
+dist::WriteResult HyRDClient::put_dedup(const std::string& path,
+                                        common::ByteSpan data, DataClass cls) {
+  const auto digest = common::Sha256::digest(data);
+  const auto prev = store_.lookup(path);
+  dist::WriteResult result;
+
+  const auto canonical = dedup_.find(digest);
+  if (canonical.has_value() && canonical->size == data.size()) {
+    // Duplicate content: alias the existing fragments; only metadata moves.
+    meta::FileMeta alias = *canonical;
+    alias.path = path;
+    alias.version = prev.has_value() ? prev->version + 1 : 1;
+    if (prev.has_value()) result.latency += release_previous(path, *prev);
+    store_.upsert(alias);
+    dedup_.add_alias(digest, path, data.size());
+    result.status = common::Status::ok();
+    result.meta = std::move(alias);
+    result.latency += persist_metadata(result.meta.directory());
+    return result;
+  }
+
+  // Unique content: write fragments under content-addressed names so
+  // future aliases can share them and overwrites never clobber shared
+  // fragments.
+  const std::string cas_path = "cas:" + digest.hex();
+  std::vector<std::string> unreachable;
+  if (cls == DataClass::kSmallFile) {
+    result = data_replication_.write(session_, cas_path, data,
+                                     replica_targets_, &unreachable);
+  } else {
+    result = erasure_.write(session_, cas_path, data, shard_slots_,
+                            &unreachable);
+  }
+  if (!result.status.is_ok()) return result;
+  result.meta.path = path;
+  result.meta.version = prev.has_value() ? prev->version + 1 : 1;
+  if (prev.has_value()) result.latency += release_previous(path, *prev);
+  store_.upsert(result.meta);
+  log_unreachable_fragments(unreachable, config_.data_container, result.meta);
+  dedup_.add_canonical(digest, result.meta);
+  result.latency += persist_metadata(result.meta.directory());
+  return result;
+}
+
+dist::WriteResult HyRDClient::put(const std::string& path,
+                                  common::ByteSpan data) {
+  const DataClass cls = monitor_.classify_file(data.size());
+  monitor_.record_write(cls, data.size());
+  if (config_.dedup_enabled) {
+    auto result = put_dedup(path, data, cls);
+    note_put(result.latency, result.status.is_ok());
+    return result;
+  }
+  const auto prev = store_.lookup(path);
+
+  std::vector<std::string> unreachable;
+  dist::WriteResult result;
+  if (cls == DataClass::kSmallFile) {
+    result = data_replication_.write(session_, path, data, replica_targets_,
+                                     &unreachable);
+  } else {
+    result = erasure_.write(session_, path, data, shard_slots_, &unreachable);
+  }
+  if (!result.status.is_ok()) {
+    note_put(result.latency, false);
+    return result;
+  }
+
+  // A file that crossed the size threshold changes redundancy kind; the
+  // old fragments use a different name suffix and must be removed.
+  if (prev.has_value() && prev->redundancy != result.meta.redundancy) {
+    auto rm = prev->redundancy == meta::RedundancyKind::kReplicated
+                  ? data_replication_.remove(session_, *prev)
+                  : erasure_.remove(session_, *prev);
+    result.latency += rm.latency;
+    for (const auto& provider : rm.unreachable_providers) {
+      for (const auto& loc : prev->locations) {
+        if (loc.provider == provider) {
+          log_.append(provider, config_.data_container, prev->path,
+                      loc.object_name, meta::LogAction::kRemove);
+        }
+      }
+    }
+  }
+
+  result.meta.version = prev.has_value() ? prev->version + 1 : 1;
+  store_.upsert(result.meta);
+  log_unreachable_fragments(unreachable, config_.data_container, result.meta);
+  drop_hot_copy(path, /*remove_remote=*/true);
+
+  result.latency += persist_metadata(result.meta.directory());
+  note_put(result.latency, true);
+  return result;
+}
+
+dist::ReadResult HyRDClient::get(const std::string& path) {
+  dist::ReadResult result;
+  const auto m = store_.lookup(path);
+  if (!m.has_value()) {
+    result.status = common::not_found("no such file: " + path);
+    note_get(0, false, false);
+    return result;
+  }
+
+  if (m->redundancy == meta::RedundancyKind::kReplicated) {
+    monitor_.record_read(DataClass::kSmallFile, m->size);
+    result = data_replication_.read(session_, *m);
+    note_get(result.latency, result.status.is_ok(), result.degraded);
+    return result;
+  }
+
+  monitor_.record_read(DataClass::kLargeFile, m->size);
+
+  // Hot-copy fast path (Fig. 2): frequently read large files may also
+  // live fully on a performance-oriented provider. The dispatcher serves
+  // from the hot copy only when that is expected to beat the stripe —
+  // always the case when a data-slot provider is in outage (the stripe
+  // would need reconstruction), sometimes the case for latency alone.
+  {
+    std::lock_guard lock(hot_mu_);
+    auto it = hot_copies_.find(path);
+    if (it != hot_copies_.end()) {
+      const std::size_t idx = session_.index_of(it->second.provider);
+      bool use_hot = idx != static_cast<std::size_t>(-1) &&
+                     session_.client(idx).provider()->online();
+      if (use_hot) {
+        // Expected stripe latency over the k fragments the read would
+        // actually fetch (online slots, data first, parity filling in for
+        // degraded slots) — compared with a full-size hot-copy read.
+        std::size_t online_slots = 0;
+        common::SimDuration stripe_expected = 0;
+        for (std::size_t i = 0;
+             i < m->locations.size() && online_slots < m->stripe_k; ++i) {
+          const std::size_t slot = session_.index_of(m->locations[i].provider);
+          if (slot == static_cast<std::size_t>(-1) ||
+              !session_.client(slot).provider()->online()) {
+            continue;
+          }
+          ++online_slots;
+          stripe_expected = std::max(
+              stripe_expected,
+              session_.client(slot).provider()->latency_model().expected(
+                  cloud::OpKind::kGet, m->shard_size));
+        }
+        const bool stripe_unreachable = online_slots < m->stripe_k;
+        const common::SimDuration hot_expected =
+            session_.client(idx).provider()->latency_model().expected(
+                cloud::OpKind::kGet, m->size);
+        use_hot = stripe_unreachable || hot_expected < stripe_expected;
+      }
+      if (use_hot) {
+        auto get = session_.client(idx).get(
+            {config_.data_container, it->second.object_name});
+        if (get.ok() && common::crc32c(get.data) == m->crc) {
+          result.status = common::Status::ok();
+          result.latency = get.latency;
+          result.data = std::move(get.data);
+          note_get(result.latency, true, false);
+          return result;
+        }
+        // Hot copy unreachable or stale: fall through to the stripe.
+        result.latency += get.latency;
+      }
+    }
+  }
+
+  auto stripe_read = erasure_.read(session_, *m);
+  stripe_read.latency += result.latency;
+  result = std::move(stripe_read);
+
+  if (result.status.is_ok() && config_.hot_promotion_enabled) {
+    const std::uint32_t reads = monitor_.bump_read_count(path);
+    if (reads >= config_.hot_promotion_reads && !has_hot_copy(path) &&
+        !replica_targets_.empty()) {
+      // Background promotion: not charged to this read's latency.
+      const std::size_t target = replica_targets_.front();
+      const std::string object = dist::fragment_object_name(path, 'h', 0);
+      auto putr = session_.client(target).put(
+          {config_.data_container, object}, result.data);
+      if (putr.ok()) {
+        std::lock_guard lock(hot_mu_);
+        hot_copies_[path] = {session_.client(target).provider_name(), object};
+      }
+    }
+  }
+
+  note_get(result.latency, result.status.is_ok(), result.degraded);
+  return result;
+}
+
+dist::WriteResult HyRDClient::update(const std::string& path,
+                                     std::uint64_t offset,
+                                     common::ByteSpan data) {
+  dist::WriteResult result;
+  const auto m = store_.lookup(path);
+  if (!m.has_value()) {
+    result.status = common::not_found("no such file: " + path);
+    note_update(0, false);
+    return result;
+  }
+  if (offset + data.size() > m->size) {
+    result.status = common::invalid_argument("update must not grow the file");
+    note_update(0, false);
+    return result;
+  }
+
+  if (config_.dedup_enabled) {
+    // Copy-on-write: dedup must hash the full new content, and shared
+    // fragments may never be patched in place. This is the cost the paper
+    // warns about ("applying data deduplication in HyRD is not easy").
+    dist::ReadResult whole =
+        m->redundancy == meta::RedundancyKind::kReplicated
+            ? data_replication_.read(session_, *m)
+            : erasure_.read(session_, *m);
+    if (!whole.status.is_ok()) {
+      result.status = whole.status;
+      result.latency = whole.latency;
+      note_update(result.latency, false);
+      return result;
+    }
+    std::memcpy(whole.data.data() + offset, data.data(), data.size());
+    monitor_.record_write(monitor_.classify_file(whole.data.size()),
+                          data.size());
+    result = put_dedup(path, whole.data,
+                       monitor_.classify_file(whole.data.size()));
+    result.latency += whole.latency;
+    note_update(result.latency, result.status.is_ok());
+    return result;
+  }
+
+  std::vector<std::string> unreachable;
+  if (m->redundancy == meta::RedundancyKind::kReplicated) {
+    monitor_.record_write(DataClass::kSmallFile, data.size());
+    if (offset == 0 && data.size() == m->size) {
+      // Whole-file overwrite: replication needs no read at all.
+      result = data_replication_.write(session_, path, data, replica_targets_,
+                                       &unreachable);
+    } else {
+      // Partial update under replication: block writes only, zero reads
+      // (the paper's §II-B contrast with erasure coding's 2R+2W).
+      result = data_replication_.update_range(session_, *m, offset, data,
+                                              &unreachable);
+    }
+  } else {
+    monitor_.record_write(DataClass::kLargeFile, data.size());
+    result = erasure_.update_range(session_, *m, offset, data, nullptr,
+                                   &unreachable);
+  }
+
+  if (!result.status.is_ok()) {
+    note_update(result.latency, false);
+    return result;
+  }
+  result.meta.version = m->version + 1;
+  store_.upsert(result.meta);
+  log_unreachable_fragments(unreachable, config_.data_container, result.meta);
+  drop_hot_copy(path, /*remove_remote=*/true);
+  result.latency += persist_metadata(result.meta.directory());
+  note_update(result.latency, true);
+  return result;
+}
+
+dist::RemoveResult HyRDClient::remove(const std::string& path) {
+  dist::RemoveResult result;
+  const auto m = store_.lookup(path);
+  if (!m.has_value()) {
+    result.status = common::not_found("no such file: " + path);
+    note_remove(0, false);
+    return result;
+  }
+
+  // Under dedup, fragments are deleted only when the last path
+  // referencing the content goes away.
+  const bool delete_fragments =
+      !config_.dedup_enabled || dedup_.unlink(path);
+  if (delete_fragments) {
+    result = m->redundancy == meta::RedundancyKind::kReplicated
+                 ? data_replication_.remove(session_, *m)
+                 : erasure_.remove(session_, *m);
+    for (const auto& provider : result.unreachable_providers) {
+      for (const auto& loc : m->locations) {
+        if (loc.provider == provider) {
+          log_.append(provider, config_.data_container, path, loc.object_name,
+                      meta::LogAction::kRemove);
+        }
+      }
+    }
+  } else {
+    result.status = common::Status::ok();
+  }
+  store_.erase(path);
+  drop_hot_copy(path, /*remove_remote=*/delete_fragments);
+  result.latency += persist_metadata(m->directory());
+  note_remove(result.latency, result.status.is_ok());
+  return result;
+}
+
+common::SimDuration HyRDClient::on_provider_restored(
+    const std::string& provider) {
+  auto report = recovery_.resync(provider);
+  return report.latency;
+}
+
+common::Status HyRDClient::rebuild_metadata_from_cloud() {
+  store_.clear();
+  // List the metadata container on each replica target (fastest first)
+  // and load every block found.
+  for (std::size_t target : replica_targets_) {
+    auto& client = session_.client(target);
+    auto listing = client.list(config_.meta_container);
+    if (!listing.ok()) continue;
+    bool all_ok = true;
+    for (const auto& name : listing.names) {
+      auto block = client.get({config_.meta_container, name});
+      if (!block.ok()) {
+        all_ok = false;
+        continue;
+      }
+      if (auto st = store_.load_directory_block(block.data); !st.is_ok()) {
+        return st;
+      }
+    }
+    if (all_ok) return common::Status::ok();
+  }
+  return common::unavailable("no metadata replica fully readable");
+}
+
+}  // namespace hyrd::core

@@ -1,0 +1,369 @@
+#include "core/nccloud_client.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <set>
+
+#include "common/checksum.h"
+#include "dist/scheme.h"
+
+namespace hyrd::core {
+
+NCCloudClient::NCCloudClient(gcs::MultiCloudSession& session,
+                             std::uint64_t seed, std::string data_container)
+    : StorageClientBase(session),
+      container_(std::move(data_container)),
+      code_(session.client_count(), 2),
+      rng_(seed) {
+  (void)session_.ensure_container_everywhere(container_);
+}
+
+std::string NCCloudClient::chunk_name(const std::string& path,
+                                      std::size_t index) const {
+  return dist::fragment_object_name(path, 'f', index);
+}
+
+dist::WriteResult NCCloudClient::write_object(const std::string& path,
+                                              common::ByteSpan data) {
+  dist::WriteResult result;
+  const auto prev = store_.lookup(path);
+
+  erasure::Fmsr::Encoded enc;
+  {
+    std::lock_guard lock(coeff_mu_);
+    enc = code_.encode(data, rng_);
+  }
+
+  const std::size_t cpn = code_.chunks_per_node();
+  std::vector<gcs::BatchPut> batch;
+  for (std::size_t c = 0; c < code_.total_chunks(); ++c) {
+    batch.push_back({c / cpn,
+                     {container_, chunk_name(path, c)},
+                     common::ByteSpan(enc.chunks[c])});
+  }
+  common::SimDuration batch_latency = 0;
+  auto puts = session_.parallel_put(batch, &batch_latency);
+  result.latency = batch_latency;
+
+  // A node "landed" when all its chunks did; need >= k nodes for the
+  // object to be decodable.
+  std::size_t landed_nodes = 0;
+  for (std::size_t node = 0; node < code_.nodes(); ++node) {
+    bool ok = true;
+    for (std::size_t c = 0; c < cpn; ++c) {
+      ok = ok && puts[node * cpn + c].ok();
+    }
+    if (ok) ++landed_nodes;
+  }
+  if (landed_nodes < code_.data_nodes()) {
+    result.status = common::unavailable("fewer than k nodes reachable");
+    return result;
+  }
+
+  meta::FileMeta m;
+  m.path = path;
+  m.size = data.size();
+  m.redundancy = meta::RedundancyKind::kErasure;
+  m.crc = enc.object_crc;
+  m.stripe_k = static_cast<std::uint32_t>(code_.data_nodes());
+  m.stripe_m = static_cast<std::uint32_t>(code_.nodes() - code_.data_nodes());
+  m.shard_size = enc.chunk_size;
+  m.version = prev.has_value() ? prev->version + 1 : 1;
+  for (std::size_t c = 0; c < code_.total_chunks(); ++c) {
+    m.locations.push_back(
+        {session_.client(c / cpn).provider_name(), chunk_name(path, c)});
+    m.fragment_crcs.push_back(common::crc32c(enc.chunks[c]));
+    if (!puts[c].ok()) {
+      log_.append(session_.client(c / cpn).provider_name(), container_, path,
+                  chunk_name(path, c), meta::LogAction::kPut);
+    }
+  }
+  store_.upsert(m);
+  {
+    std::lock_guard lock(coeff_mu_);
+    coefficients_[path] = enc.coefficients;
+  }
+  result.status = common::Status::ok();
+  result.meta = std::move(m);
+  return result;
+}
+
+common::SimDuration NCCloudClient::persist_metadata(const std::string& dir) {
+  // Metadata blocks are small and latency-critical; NCCloud's proxy keeps
+  // them replicated on every cloud.
+  const common::Bytes block = store_.serialize_directory(dir);
+  const std::string object = meta_block_object_name(dir);
+  std::vector<gcs::BatchPut> batch;
+  for (std::size_t i = 0; i < session_.client_count(); ++i) {
+    batch.push_back({i, {container_, object}, common::ByteSpan(block)});
+  }
+  common::SimDuration latency = 0;
+  auto results = session_.parallel_put(batch, &latency);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      log_.append(session_.client(i).provider_name(), container_,
+                  meta_block_path(dir), object, meta::LogAction::kPut);
+    }
+  }
+  return latency;
+}
+
+dist::WriteResult NCCloudClient::put(const std::string& path,
+                                     common::ByteSpan data) {
+  dist::WriteResult result = write_object(path, data);
+  if (!result.status.is_ok()) {
+    note_put(result.latency, false);
+    return result;
+  }
+  result.latency += persist_metadata(result.meta.directory());
+  note_put(result.latency, true);
+  return result;
+}
+
+dist::ReadResult NCCloudClient::get(const std::string& path) {
+  dist::ReadResult result;
+  const auto m = store_.lookup(path);
+  if (!m.has_value()) {
+    result.status = common::not_found("no such file: " + path);
+    note_get(0, false, false);
+    return result;
+  }
+  erasure::Matrix coeffs;
+  {
+    std::lock_guard lock(coeff_mu_);
+    auto it = coefficients_.find(path);
+    if (it == coefficients_.end()) {
+      result.status = common::internal_error("missing coefficients for " +
+                                             path);
+      note_get(0, false, false);
+      return result;
+    }
+    coeffs = it->second;
+  }
+
+  // Choose k nodes: online, expected-fastest first; on failure walk
+  // through the remaining pairs.
+  const std::size_t cpn = code_.chunks_per_node();
+  std::vector<std::size_t> nodes(code_.nodes());
+  std::iota(nodes.begin(), nodes.end(), 0);
+  const auto order = dist::order_by_expected_read_latency(
+      session_, nodes, m->shard_size * cpn);
+
+  std::vector<std::size_t> preferred;
+  std::vector<std::size_t> fallback;
+  for (std::size_t node : order) {
+    (session_.client(node).provider()->online() ? preferred : fallback)
+        .push_back(node);
+    if (!session_.client(node).provider()->online()) result.degraded = true;
+  }
+  preferred.insert(preferred.end(), fallback.begin(), fallback.end());
+
+  // Try node subsets of size k in preference order (lexicographic over
+  // the ranked list — at n=4, k=2 that is at most 6 pairs).
+  for (std::size_t a = 0; a < preferred.size(); ++a) {
+    for (std::size_t b = a + 1; b < preferred.size(); ++b) {
+      const std::vector<std::size_t> pick = {preferred[a], preferred[b]};
+      std::vector<gcs::BatchGet> batch;
+      std::vector<std::size_t> indices;
+      for (std::size_t node : pick) {
+        for (std::size_t c = 0; c < cpn; ++c) {
+          const std::size_t idx = node * cpn + c;
+          batch.push_back({node, {container_, m->locations[idx].object_name}});
+          indices.push_back(idx);
+        }
+      }
+      common::SimDuration batch_latency = 0;
+      auto gets = session_.parallel_get(batch, &batch_latency);
+      result.latency += batch_latency;
+
+      std::vector<common::Bytes> chunks;
+      bool ok = true;
+      for (std::size_t j = 0; j < gets.size(); ++j) {
+        if (!gets[j].ok() ||
+            (m->fragment_crcs[indices[j]] != 0 &&
+             common::crc32c(gets[j].data) != m->fragment_crcs[indices[j]])) {
+          ok = false;
+          break;
+        }
+        chunks.push_back(std::move(gets[j].data));
+      }
+      if (!ok) {
+        result.degraded = true;
+        continue;
+      }
+      auto decoded = code_.decode(coeffs, indices, chunks, m->size, m->crc);
+      if (!decoded.is_ok()) {
+        result.degraded = true;
+        continue;
+      }
+      result.status = common::Status::ok();
+      result.data = std::move(decoded).value();
+      note_get(result.latency, true, result.degraded);
+      return result;
+    }
+  }
+  result.status = common::data_loss("no decodable node pair for " + path);
+  note_get(result.latency, false, true);
+  return result;
+}
+
+dist::WriteResult NCCloudClient::update(const std::string& path,
+                                        std::uint64_t offset,
+                                        common::ByteSpan data) {
+  dist::WriteResult result;
+  const auto m = store_.lookup(path);
+  if (!m.has_value()) {
+    result.status = common::not_found("no such file: " + path);
+    note_update(0, false);
+    return result;
+  }
+  if (offset + data.size() > m->size) {
+    result.status = common::invalid_argument("update must not grow the file");
+    note_update(0, false);
+    return result;
+  }
+
+  // F-MSR has no partial-update path: read, patch, re-encode everything
+  // (Table I: "Low for small updates").
+  auto whole = get(path);
+  if (!whole.status.is_ok()) {
+    result.status = whole.status;
+    result.latency = whole.latency;
+    note_update(result.latency, false);
+    return result;
+  }
+  std::memcpy(whole.data.data() + offset, data.data(), data.size());
+  result = write_object(path, whole.data);
+  result.latency += whole.latency;
+  if (!result.status.is_ok()) {
+    note_update(result.latency, false);
+    return result;
+  }
+  result.latency += persist_metadata(m->directory());
+  note_update(result.latency, true);
+  return result;
+}
+
+dist::RemoveResult NCCloudClient::remove(const std::string& path) {
+  dist::RemoveResult result;
+  const auto m = store_.lookup(path);
+  if (!m.has_value()) {
+    result.status = common::not_found("no such file: " + path);
+    note_remove(0, false);
+    return result;
+  }
+  const std::size_t cpn = code_.chunks_per_node();
+  common::SimDuration max_latency = 0;
+  for (std::size_t c = 0; c < m->locations.size(); ++c) {
+    auto r = session_.client(c / cpn).remove(
+        {container_, m->locations[c].object_name});
+    max_latency = std::max(max_latency, r.latency);
+    if (!r.ok() && r.status.code() == common::StatusCode::kUnavailable) {
+      log_.append(m->locations[c].provider, container_, path,
+                  m->locations[c].object_name, meta::LogAction::kRemove);
+      result.unreachable_providers.push_back(m->locations[c].provider);
+    }
+  }
+  store_.erase(path);
+  {
+    std::lock_guard lock(coeff_mu_);
+    coefficients_.erase(path);
+  }
+  result.latency = max_latency;
+  result.status = common::Status::ok();
+  result.latency += persist_metadata(m->directory());
+  note_remove(result.latency, true);
+  return result;
+}
+
+common::SimDuration NCCloudClient::on_provider_restored(
+    const std::string& provider) {
+  const std::size_t node = session_.index_of(provider);
+  if (node == static_cast<std::size_t>(-1)) return 0;
+  common::SimDuration latency = 0;
+  const std::size_t cpn = code_.chunks_per_node();
+
+  const auto pending = log_.pending_for(provider);
+  std::uint64_t max_seq = 0;
+  // Collect the distinct data paths needing repair; metadata blocks are
+  // regenerated directly.
+  std::set<std::string> repair_paths;
+  for (const auto& rec : pending) {
+    max_seq = std::max(max_seq, rec.seq);
+    if (auto dir = parse_meta_block_path(rec.path); dir.has_value()) {
+      const common::Bytes block = store_.serialize_directory(*dir);
+      auto r = session_.client(node).put({container_, rec.object_name},
+                                         block);
+      latency += r.latency;
+      continue;
+    }
+    if (rec.action == meta::LogAction::kRemove) {
+      auto r = session_.client(node).remove({container_, rec.object_name});
+      latency += r.latency;
+      continue;
+    }
+    repair_paths.insert(rec.path);
+  }
+
+  for (const auto& path : repair_paths) {
+    const auto m = store_.lookup(path);
+    if (!m.has_value()) continue;  // deleted meanwhile
+    erasure::Matrix coeffs;
+    {
+      std::lock_guard lock(coeff_mu_);
+      auto it = coefficients_.find(path);
+      if (it == coefficients_.end()) continue;
+      coeffs = it->second;
+    }
+
+    // Plan the functional repair, download exactly the planned chunks
+    // (one per survivor — the NCCloud bandwidth saving), regenerate, push.
+    erasure::Fmsr::RepairPlan plan;
+    {
+      std::lock_guard lock(coeff_mu_);
+      auto planned = code_.plan_repair(coeffs, node, rng_);
+      if (!planned.is_ok()) continue;
+      plan = std::move(planned).value();
+    }
+    std::vector<gcs::BatchGet> batch;
+    for (std::size_t idx : plan.survivor_chunk_indices) {
+      batch.push_back(
+          {idx / cpn, {container_, m->locations[idx].object_name}});
+    }
+    common::SimDuration batch_latency = 0;
+    auto gets = session_.parallel_get(batch, &batch_latency);
+    latency += batch_latency;
+    std::vector<common::Bytes> survivor_chunks;
+    bool ok = true;
+    for (auto& g : gets) {
+      if (!g.ok()) {
+        ok = false;
+        break;
+      }
+      survivor_chunks.push_back(std::move(g.data));
+    }
+    if (!ok) continue;
+
+    const auto new_chunks = code_.execute_repair(plan, survivor_chunks);
+    meta::FileMeta updated = *m;
+    common::SimDuration push_latency = 0;
+    for (std::size_t c = 0; c < cpn; ++c) {
+      const std::size_t idx = node * cpn + c;
+      auto r = session_.client(node).put(
+          {container_, m->locations[idx].object_name}, new_chunks[c]);
+      push_latency = std::max(push_latency, r.latency);
+      updated.fragment_crcs[idx] = common::crc32c(new_chunks[c]);
+    }
+    latency += push_latency;
+    store_.upsert(updated);
+    {
+      std::lock_guard lock(coeff_mu_);
+      coefficients_[path] = plan.new_coefficients;
+    }
+  }
+  log_.truncate(provider, max_seq);
+  return latency;
+}
+
+}  // namespace hyrd::core

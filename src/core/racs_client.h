@@ -1,0 +1,55 @@
+// RACSClient: the RACS baseline (Abu-Libdeh et al., SoCC'10) — RAID-like
+// erasure striping of *all* data, regardless of size or type, across every
+// provider. Parity placement rotates per object (classic RAID5), derived
+// deterministically from the path hash so overwrites reuse their slots.
+//
+// This is the scheme the paper's §II-B critiques: small updates pay the
+// read-modify-write penalty, and reading metadata or a small file during
+// an outage touches every surviving provider to reconstruct.
+#pragma once
+
+#include "core/storage_client.h"
+#include "dist/erasure_scheme.h"
+#include "dist/recovery.h"
+#include "dist/replication.h"
+#include "erasure/striper.h"
+
+namespace hyrd::core {
+
+class RACSClient final : public StorageClientBase {
+ public:
+  explicit RACSClient(gcs::MultiCloudSession& session,
+                      erasure::StripeGeometry geometry = {.k = 3, .m = 1},
+                      std::string data_container = "racs-data");
+
+  [[nodiscard]] std::string name() const override { return "RACS"; }
+
+  dist::WriteResult put(const std::string& path,
+                        common::ByteSpan data) override;
+  dist::ReadResult get(const std::string& path) override;
+  dist::WriteResult update(const std::string& path, std::uint64_t offset,
+                           common::ByteSpan data) override;
+  dist::RemoveResult remove(const std::string& path) override;
+  common::SimDuration on_provider_restored(const std::string& provider) override;
+
+  [[nodiscard]] const erasure::StripeGeometry& geometry() const {
+    return erasure_.geometry();
+  }
+
+ private:
+  /// Slot assignment for one object: rotation start = hash(path) mod n.
+  [[nodiscard]] std::vector<std::size_t> slots_for(const std::string& path) const;
+
+  /// Stripes one object (data or metadata block), maintaining meta/log.
+  dist::WriteResult write_object(const std::string& path,
+                                 common::ByteSpan data);
+
+  common::SimDuration persist_metadata(const std::string& dir);
+
+  std::string container_;
+  dist::ErasureScheme erasure_;
+  dist::ReplicationScheme replication_;  // only for RecoveryManager wiring
+  dist::RecoveryManager recovery_;
+};
+
+}  // namespace hyrd::core

@@ -1,0 +1,45 @@
+// SingleCloudClient: everything on one provider, no redundancy — the
+// baseline Fig. 6 normalizes against (Amazon S3) and the configuration
+// whose outage behaviour motivates the whole paper: when the provider is
+// down, the service is simply unavailable.
+#pragma once
+
+#include "core/storage_client.h"
+#include "dist/erasure_scheme.h"
+#include "dist/recovery.h"
+#include "dist/replication.h"
+
+namespace hyrd::core {
+
+class SingleCloudClient final : public StorageClientBase {
+ public:
+  SingleCloudClient(gcs::MultiCloudSession& session, std::string provider,
+                    std::string data_container = "single-data");
+
+  [[nodiscard]] std::string name() const override {
+    return "Single(" + provider_ + ")";
+  }
+  [[nodiscard]] const std::string& provider() const { return provider_; }
+
+  dist::WriteResult put(const std::string& path,
+                        common::ByteSpan data) override;
+  dist::ReadResult get(const std::string& path) override;
+  dist::WriteResult update(const std::string& path, std::uint64_t offset,
+                           common::ByteSpan data) override;
+  dist::RemoveResult remove(const std::string& path) override;
+  common::SimDuration on_provider_restored(const std::string& provider) override;
+
+ private:
+  dist::WriteResult write_object(const std::string& path,
+                                 common::ByteSpan data);
+  common::SimDuration persist_metadata(const std::string& dir);
+
+  std::string provider_;
+  std::string container_;
+  dist::ReplicationScheme replication_;  // degenerate level-1 replication
+  dist::ErasureScheme erasure_;          // RecoveryManager wiring only
+  dist::RecoveryManager recovery_;
+  std::vector<std::size_t> target_;
+};
+
+}  // namespace hyrd::core

@@ -1,0 +1,82 @@
+#include "core/storage_client.h"
+
+#include "common/checksum.h"
+
+namespace hyrd::core {
+
+namespace {
+constexpr std::string_view kMetaPathPrefix = "//meta/";
+}
+
+ClientStats StorageClient::stats_snapshot() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+void StorageClient::reset_stats() {
+  std::lock_guard lock(stats_mu_);
+  stats_ = ClientStats{};
+}
+
+void StorageClient::note_put(common::SimDuration latency, bool ok) {
+  std::lock_guard lock(stats_mu_);
+  stats_.put_ms.add(common::to_ms(latency));
+  if (!ok) ++stats_.failed_ops;
+}
+
+void StorageClient::note_get(common::SimDuration latency, bool ok,
+                             bool degraded) {
+  std::lock_guard lock(stats_mu_);
+  stats_.get_ms.add(common::to_ms(latency));
+  if (!ok) ++stats_.failed_ops;
+  if (degraded) ++stats_.degraded_reads;
+}
+
+void StorageClient::note_update(common::SimDuration latency, bool ok) {
+  std::lock_guard lock(stats_mu_);
+  stats_.update_ms.add(common::to_ms(latency));
+  if (!ok) ++stats_.failed_ops;
+}
+
+void StorageClient::note_remove(common::SimDuration latency, bool ok) {
+  std::lock_guard lock(stats_mu_);
+  stats_.remove_ms.add(common::to_ms(latency));
+  if (!ok) ++stats_.failed_ops;
+}
+
+std::optional<meta::FileMeta> StorageClientBase::stat(
+    const std::string& path) const {
+  return store_.lookup(path);
+}
+
+std::vector<std::string> StorageClientBase::list() const {
+  // Synthetic metadata-block entries (used by schemes that persist their
+  // directory blocks through the normal write path) are not user files.
+  std::vector<std::string> out;
+  for (auto& p : store_.all_paths()) {
+    if (!p.starts_with(kMetaPathPrefix)) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::string StorageClientBase::meta_block_path(const std::string& dir) {
+  return std::string(kMetaPathPrefix) + dir;
+}
+
+std::string StorageClientBase::meta_block_object_name(const std::string& dir) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "md.%016llx",
+                static_cast<unsigned long long>(
+                    common::fnv1a(std::string_view(dir))));
+  return buf;
+}
+
+std::optional<std::string> StorageClientBase::parse_meta_block_path(
+    const std::string& path) {
+  if (path.starts_with(kMetaPathPrefix)) {
+    return path.substr(kMetaPathPrefix.size());
+  }
+  return std::nullopt;
+}
+
+}  // namespace hyrd::core

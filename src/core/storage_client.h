@@ -1,0 +1,117 @@
+// StorageClient: the uniform client-facing API every evaluated scheme
+// implements — HyRD and the three baselines (RACS, DuraCloud, single
+// cloud). Benchmarks drive all schemes through this interface so their
+// latency/cost numbers are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "dist/scheme.h"
+#include "gcsapi/session.h"
+#include "metadata/metadata_store.h"
+#include "metadata/update_log.h"
+
+namespace hyrd::core {
+
+/// Per-client operation statistics (virtual milliseconds).
+struct ClientStats {
+  common::RunningStat put_ms;
+  common::RunningStat get_ms;
+  common::RunningStat update_ms;
+  common::RunningStat remove_ms;
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t failed_ops = 0;
+
+  [[nodiscard]] double mean_op_ms() const {
+    const double n = static_cast<double>(put_ms.count() + get_ms.count() +
+                                         update_ms.count() + remove_ms.count());
+    if (n == 0) return 0.0;
+    return (put_ms.sum() + get_ms.sum() + update_ms.sum() + remove_ms.sum()) / n;
+  }
+};
+
+class StorageClient {
+ public:
+  virtual ~StorageClient() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Writes (or overwrites) the file at `path`.
+  virtual dist::WriteResult put(const std::string& path,
+                                common::ByteSpan data) = 0;
+
+  /// Reads the whole file.
+  virtual dist::ReadResult get(const std::string& path) = 0;
+
+  /// In-place update of [offset, offset+data.size()); must not grow the
+  /// file. This is the operation whose cost separates replication from
+  /// erasure coding (paper §II-B write amplification).
+  virtual dist::WriteResult update(const std::string& path,
+                                   std::uint64_t offset,
+                                   common::ByteSpan data) = 0;
+
+  virtual dist::RemoveResult remove(const std::string& path) = 0;
+
+  /// Client-side metadata lookup (served from the in-memory store; the
+  /// paper loads metadata blocks into client memory before file access).
+  [[nodiscard]] virtual std::optional<meta::FileMeta> stat(
+      const std::string& path) const = 0;
+
+  [[nodiscard]] virtual std::vector<std::string> list() const = 0;
+
+  /// Notification that a provider finished an outage and is back online;
+  /// schemes with update logs run their consistency update now. Returns
+  /// the virtual time the resync took.
+  virtual common::SimDuration on_provider_restored(
+      const std::string& provider) = 0;
+
+  [[nodiscard]] ClientStats stats_snapshot() const;
+  void reset_stats();
+
+ protected:
+  void note_put(common::SimDuration latency, bool ok);
+  void note_get(common::SimDuration latency, bool ok, bool degraded);
+  void note_update(common::SimDuration latency, bool ok);
+  void note_remove(common::SimDuration latency, bool ok);
+
+ private:
+  mutable std::mutex stats_mu_;
+  ClientStats stats_;
+};
+
+/// Shared plumbing for concrete clients: session + metadata store +
+/// update log + deterministic metadata-block naming.
+class StorageClientBase : public StorageClient {
+ public:
+  [[nodiscard]] std::optional<meta::FileMeta> stat(
+      const std::string& path) const override;
+  [[nodiscard]] std::vector<std::string> list() const override;
+
+  [[nodiscard]] const meta::MetadataStore& metadata() const { return store_; }
+  [[nodiscard]] const meta::UpdateLog& update_log() const { return log_; }
+
+  /// Synthetic logical path used in the update log for a directory's
+  /// metadata block.
+  static std::string meta_block_path(const std::string& dir);
+  /// Provider-side object name for a directory's metadata block.
+  static std::string meta_block_object_name(const std::string& dir);
+  /// True if `path` is a synthetic metadata-block path; returns the dir.
+  static std::optional<std::string> parse_meta_block_path(
+      const std::string& path);
+
+ protected:
+  explicit StorageClientBase(gcs::MultiCloudSession& session)
+      : session_(session) {}
+
+  gcs::MultiCloudSession& session_;
+  meta::MetadataStore store_;
+  meta::UpdateLog log_;
+};
+
+}  // namespace hyrd::core

@@ -1,0 +1,34 @@
+#include "core/workload_monitor.h"
+
+namespace hyrd::core {
+
+void WorkloadMonitor::record_write(DataClass c, std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  auto& s = per_class_[static_cast<std::size_t>(c)];
+  ++s.writes;
+  s.bytes_written += bytes;
+}
+
+void WorkloadMonitor::record_read(DataClass c, std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  auto& s = per_class_[static_cast<std::size_t>(c)];
+  ++s.reads;
+  s.bytes_read += bytes;
+}
+
+std::uint32_t WorkloadMonitor::bump_read_count(const std::string& path) {
+  std::lock_guard lock(mu_);
+  return ++read_counts_[path];
+}
+
+void WorkloadMonitor::forget(const std::string& path) {
+  std::lock_guard lock(mu_);
+  read_counts_.erase(path);
+}
+
+ClassStats WorkloadMonitor::stats(DataClass c) const {
+  std::lock_guard lock(mu_);
+  return per_class_[static_cast<std::size_t>(c)];
+}
+
+}  // namespace hyrd::core

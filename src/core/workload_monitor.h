@@ -1,0 +1,69 @@
+// WorkloadMonitor: HyRD's first functional module (paper §III-B) —
+// classifies incoming writes as file-system metadata, small files, or
+// large files, and tracks per-class traffic plus per-file read frequency
+// (feeding the hot-large-file promotion of Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/config.h"
+
+namespace hyrd::core {
+
+enum class DataClass : std::uint8_t {
+  kMetadata = 0,
+  kSmallFile = 1,
+  kLargeFile = 2,
+};
+
+constexpr std::string_view data_class_name(DataClass c) {
+  switch (c) {
+    case DataClass::kMetadata: return "metadata";
+    case DataClass::kSmallFile: return "small-file";
+    case DataClass::kLargeFile: return "large-file";
+  }
+  return "?";
+}
+
+struct ClassStats {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+class WorkloadMonitor {
+ public:
+  explicit WorkloadMonitor(std::uint64_t large_file_threshold)
+      : threshold_(large_file_threshold) {}
+
+  [[nodiscard]] std::uint64_t threshold() const { return threshold_; }
+  void set_threshold(std::uint64_t t) { threshold_ = t; }
+
+  /// Classification is by size alone (workload independent, §III-A):
+  /// files at or above the threshold are large, the rest small. Metadata
+  /// is classified by the caller (it knows what it is writing).
+  [[nodiscard]] DataClass classify_file(std::uint64_t size) const {
+    return size >= threshold_ ? DataClass::kLargeFile : DataClass::kSmallFile;
+  }
+
+  void record_write(DataClass c, std::uint64_t bytes);
+  void record_read(DataClass c, std::uint64_t bytes);
+
+  /// Bumps and returns the read count of `path` (promotion heuristic).
+  std::uint32_t bump_read_count(const std::string& path);
+  void forget(const std::string& path);
+
+  [[nodiscard]] ClassStats stats(DataClass c) const;
+
+ private:
+  std::uint64_t threshold_;
+  mutable std::mutex mu_;
+  ClassStats per_class_[3];
+  std::unordered_map<std::string, std::uint32_t> read_counts_;
+};
+
+}  // namespace hyrd::core

@@ -1,0 +1,410 @@
+#include "dist/erasure_scheme.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "erasure/raid5.h"
+#include "erasure/reed_solomon.h"
+
+namespace hyrd::dist {
+
+namespace {
+
+/// Maps each fragment slot of `meta` to its session client index; -1 when
+/// the provider is not in the session.
+std::vector<std::size_t> slot_clients(const gcs::MultiCloudSession& session,
+                                      const meta::FileMeta& meta) {
+  std::vector<std::size_t> out;
+  out.reserve(meta.locations.size());
+  for (const auto& loc : meta.locations) {
+    out.push_back(session.index_of(loc.provider));
+  }
+  return out;
+}
+
+/// True if fragment `slot` of `meta` passes its integrity check (or no
+/// digest is recorded for it).
+bool fragment_intact(const meta::FileMeta& meta, std::size_t slot,
+                     common::ByteSpan fragment) {
+  if (slot >= meta.fragment_crcs.size()) return true;   // no digest recorded
+  if (meta.fragment_crcs[slot] == 0) return true;       // digest unknown
+  return common::crc32c(fragment) == meta.fragment_crcs[slot];
+}
+
+}  // namespace
+
+WriteResult ErasureScheme::write(gcs::MultiCloudSession& session,
+                                 const std::string& path, common::ByteSpan data,
+                                 const std::vector<std::size_t>& shard_clients,
+                                 std::vector<std::string>* unreachable) const {
+  WriteResult result;
+  const auto& geom = striper_.geometry();
+  if (shard_clients.size() != geom.total()) {
+    result.status =
+        common::invalid_argument("erasure write needs exactly k+m targets");
+    return result;
+  }
+
+  const erasure::StripeSet stripes = striper_.encode(data);
+
+  std::vector<gcs::BatchPut> batch;
+  std::vector<cloud::ObjectKey> keys;
+  batch.reserve(geom.total());
+  keys.reserve(geom.total());
+  for (std::size_t i = 0; i < geom.total(); ++i) {
+    keys.push_back({container_, fragment_object_name(path, 's', i)});
+    batch.push_back({shard_clients[i], keys.back(),
+                     common::ByteSpan(stripes.shards[i])});
+  }
+
+  common::SimDuration batch_latency = 0;
+  auto put_results = session.parallel_put(batch, &batch_latency);
+  result.latency = batch_latency;
+
+  std::size_t landed = 0;
+  meta::FileMeta m;
+  m.path = path;
+  m.size = data.size();
+  m.redundancy = meta::RedundancyKind::kErasure;
+  m.crc = stripes.object_crc;
+  m.stripe_k = static_cast<std::uint32_t>(geom.k);
+  m.stripe_m = static_cast<std::uint32_t>(geom.m);
+  m.shard_size = stripes.shard_size;
+  m.fragment_crcs.reserve(geom.total());
+  for (const auto& shard : stripes.shards) {
+    m.fragment_crcs.push_back(common::crc32c(shard));
+  }
+  for (std::size_t i = 0; i < put_results.size(); ++i) {
+    const std::string& provider =
+        session.client(shard_clients[i]).provider_name();
+    if (put_results[i].ok()) {
+      ++landed;
+    } else if (unreachable != nullptr) {
+      unreachable->push_back(provider);
+    }
+    m.locations.push_back({provider, keys[i].name});
+  }
+
+  if (landed < geom.k) {
+    result.status =
+        common::unavailable("fewer than k fragments written; stripe lost");
+    return result;
+  }
+  result.status = common::Status::ok();
+  result.meta = std::move(m);
+  return result;
+}
+
+ReadResult ErasureScheme::read(gcs::MultiCloudSession& session,
+                               const meta::FileMeta& meta) const {
+  ReadResult result;
+  const auto& geom = striper_.geometry();
+  if (meta.locations.size() != geom.total() || meta.stripe_k != geom.k ||
+      meta.stripe_m != geom.m) {
+    result.status = common::invalid_argument("meta/geometry mismatch");
+    return result;
+  }
+  const auto clients = slot_clients(session, meta);
+  for (std::size_t i = 0; i < geom.total(); ++i) {
+    if (clients[i] == static_cast<std::size_t>(-1)) {
+      result.status = common::internal_error("unknown provider in meta");
+      return result;
+    }
+  }
+
+  // Phase 1: fetch k fragments in parallel. Providers known to be in
+  // outage are skipped up front (a client learns this from its first
+  // refused connection and the Cost & Performance Evaluator tracks it),
+  // so a known outage costs one parallel round, not two; data slots are
+  // preferred so the fast concatenation path applies when possible.
+  std::vector<gcs::BatchGet> batch;
+  std::vector<std::size_t> batch_slots;
+  batch.reserve(geom.k);
+  for (std::size_t i = 0; i < geom.total() && batch.size() < geom.k; ++i) {
+    if (outage_aware_ && !session.client(clients[i]).provider()->online()) {
+      result.degraded = true;
+      continue;
+    }
+    batch.push_back({clients[i], {container_, meta.locations[i].object_name}});
+    batch_slots.push_back(i);
+  }
+  common::SimDuration phase_latency = 0;
+  auto gets = session.parallel_get(batch, &phase_latency);
+  result.latency += phase_latency;
+
+  std::vector<std::optional<common::Bytes>> shards(geom.total());
+  bool all_fetched_ok = !gets.empty();
+  for (std::size_t j = 0; j < gets.size(); ++j) {
+    if (gets[j].ok() && fragment_intact(meta, batch_slots[j], gets[j].data)) {
+      shards[batch_slots[j]] = std::move(gets[j].data);
+    } else {
+      // Unreachable — or silently corrupted: a failed integrity check
+      // turns the fragment into an erasure and reconstruction takes over.
+      all_fetched_ok = false;
+      result.degraded = true;
+    }
+  }
+  const bool have_all_data = [&] {
+    for (std::size_t i = 0; i < geom.k; ++i) {
+      if (!shards[i].has_value()) return false;
+    }
+    return true;
+  }();
+
+  if (all_fetched_ok && have_all_data) {
+    // Fast path: concatenate and truncate to logical size.
+    common::Bytes object;
+    object.reserve(meta.size);
+    for (std::size_t i = 0; i < geom.k && object.size() < meta.size; ++i) {
+      const std::size_t remaining =
+          static_cast<std::size_t>(meta.size) - object.size();
+      const std::size_t take = std::min(shards[i]->size(), remaining);
+      object.insert(object.end(), shards[i]->begin(),
+                    shards[i]->begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    if (meta.crc != 0 && common::crc32c(object) != meta.crc) {
+      result.status = common::data_loss("object CRC mismatch");
+      return result;
+    }
+    result.status = common::Status::ok();
+    result.data = std::move(object);
+    return result;
+  }
+
+  // Phase 2 (only on mid-flight surprises): fetch fragments not already
+  // held, from slots not tried in phase 1.
+  std::size_t present = 0;
+  for (const auto& s : shards) present += s.has_value() ? 1 : 0;
+  if (present < geom.k) {
+    std::vector<gcs::BatchGet> batch2;
+    std::vector<std::size_t> batch2_slots;
+    for (std::size_t i = 0; i < geom.total(); ++i) {
+      if (shards[i].has_value()) continue;
+      if (std::find(batch_slots.begin(), batch_slots.end(), i) !=
+          batch_slots.end()) {
+        continue;  // already failed in phase 1
+      }
+      batch2.push_back(
+          {clients[i], {container_, meta.locations[i].object_name}});
+      batch2_slots.push_back(i);
+    }
+    auto gets2 = session.parallel_get(batch2, &phase_latency);
+    result.latency += phase_latency;
+    for (std::size_t j = 0; j < gets2.size(); ++j) {
+      if (gets2[j].ok() &&
+          fragment_intact(meta, batch2_slots[j], gets2[j].data)) {
+        shards[batch2_slots[j]] = std::move(gets2[j].data);
+      }
+    }
+  }
+
+  auto object = striper_.decode_degraded(geom, meta.size, meta.crc,
+                                         std::move(shards));
+  if (!object.is_ok()) {
+    result.status = object.status();
+    return result;
+  }
+  result.status = common::Status::ok();
+  result.data = std::move(object).value();
+  return result;
+}
+
+WriteResult ErasureScheme::update_range(gcs::MultiCloudSession& session,
+                                        const meta::FileMeta& meta,
+                                        std::uint64_t offset,
+                                        common::ByteSpan new_bytes,
+                                        bool* rmw_used,
+                                        std::vector<std::string>* unreachable) const {
+  WriteResult result;
+  const auto& geom = striper_.geometry();
+  if (offset + new_bytes.size() > meta.size) {
+    result.status = common::invalid_argument("update range exceeds file size");
+    return result;
+  }
+  const std::uint64_t shard_size = meta.shard_size;
+  const std::size_t first_shard =
+      static_cast<std::size_t>(offset / shard_size);
+  const std::size_t last_shard = new_bytes.empty()
+          ? first_shard
+          : static_cast<std::size_t>((offset + new_bytes.size() - 1) / shard_size);
+
+  if (first_shard != last_shard || first_shard >= geom.k) {
+    // Multi-fragment update: read-whole, patch, re-stripe.
+    if (rmw_used != nullptr) *rmw_used = false;
+    ReadResult whole = read(session, meta);
+    if (!whole.status.is_ok()) {
+      result.status = whole.status;
+      result.latency = whole.latency;
+      return result;
+    }
+    std::memcpy(whole.data.data() + offset, new_bytes.data(), new_bytes.size());
+    std::vector<std::size_t> clients = slot_clients(session, meta);
+    result = write(session, meta.path, whole.data, clients, unreachable);
+    result.latency += whole.latency;
+    result.meta.version = meta.version + 1;
+    return result;
+  }
+
+  if (rmw_used != nullptr) *rmw_used = true;
+
+  // RMW path at *block* granularity — the paper's RAID5 small-update cost
+  // model: read the old data block and the old parity block(s), compute
+  // the delta, write the new blocks back. (1+m) range reads + (1+m) range
+  // writes = 2R + 2W for RAID5. Range reads are plain HTTP; range writes
+  // model block overwrites in a block-chunked layout (DESIGN.md §2).
+  const auto clients = slot_clients(session, meta);
+  const std::size_t in_shard =
+      static_cast<std::size_t>(offset - first_shard * shard_size);
+  const std::uint64_t block_len = new_bytes.size();
+
+  std::vector<gcs::BatchRangeGet> reads;
+  reads.push_back({clients[first_shard],
+                   {container_, meta.locations[first_shard].object_name},
+                   in_shard, block_len});
+  for (std::size_t p = 0; p < geom.m; ++p) {
+    reads.push_back({clients[geom.k + p],
+                     {container_, meta.locations[geom.k + p].object_name},
+                     in_shard, block_len});
+  }
+  common::SimDuration phase_latency = 0;
+  auto gets = session.parallel_get_range(reads, &phase_latency);
+  result.latency += phase_latency;
+  for (const auto& g : gets) {
+    if (!g.ok()) {
+      // A needed fragment is unreachable: fall back to a degraded
+      // read + full re-stripe (the expensive path the paper describes).
+      ReadResult whole = read(session, meta);
+      if (!whole.status.is_ok()) {
+        result.status = whole.status;
+        result.latency += whole.latency;
+        return result;
+      }
+      std::memcpy(whole.data.data() + offset, new_bytes.data(),
+                  new_bytes.size());
+      result = write(session, meta.path, whole.data, clients, unreachable);
+      result.latency += whole.latency;
+      result.meta.version = meta.version + 1;
+      if (rmw_used != nullptr) *rmw_used = false;
+      return result;
+    }
+  }
+
+  // The code is linear bytewise, so parity deltas apply per block.
+  const common::Bytes& old_block = gets[0].data;
+  erasure::ReedSolomon rs(geom.k, geom.m);
+  auto deltas = rs.parity_delta(first_shard, old_block, new_bytes);
+  assert(deltas.is_ok());
+  std::vector<common::Bytes> new_parity_blocks;
+  new_parity_blocks.reserve(geom.m);
+  for (std::size_t p = 0; p < geom.m; ++p) {
+    common::Bytes block = std::move(gets[1 + p].data);
+    const auto& d = deltas.value()[p];
+    for (std::size_t i = 0; i < block.size(); ++i) block[i] ^= d[i];
+    new_parity_blocks.push_back(std::move(block));
+  }
+
+  std::vector<gcs::BatchRangePut> writes;
+  writes.push_back({clients[first_shard],
+                    {container_, meta.locations[first_shard].object_name},
+                    in_shard, new_bytes});
+  for (std::size_t p = 0; p < geom.m; ++p) {
+    writes.push_back({clients[geom.k + p],
+                      {container_, meta.locations[geom.k + p].object_name},
+                      in_shard, common::ByteSpan(new_parity_blocks[p])});
+  }
+  auto puts = session.parallel_put_range(writes, &phase_latency);
+  result.latency += phase_latency;
+  for (const auto& p : puts) {
+    if (!p.ok()) {
+      result.status = p.status;
+      return result;
+    }
+  }
+
+  result.status = common::Status::ok();
+  result.meta = meta;
+  result.meta.version = meta.version + 1;
+  // Whole-object and modified-fragment digests are unknown after an
+  // in-place block update; mark them absent (0 = sentinel) rather than
+  // re-reading whole fragments.
+  result.meta.crc = 0;
+  if (result.meta.fragment_crcs.size() == geom.total()) {
+    result.meta.fragment_crcs[first_shard] = 0;
+    for (std::size_t p = 0; p < geom.m; ++p) {
+      result.meta.fragment_crcs[geom.k + p] = 0;
+    }
+  }
+  return result;
+}
+
+RemoveResult ErasureScheme::remove(gcs::MultiCloudSession& session,
+                                   const meta::FileMeta& meta) const {
+  RemoveResult result;
+  common::SimDuration max_latency = 0;
+  for (const auto& loc : meta.locations) {
+    const std::size_t idx = session.index_of(loc.provider);
+    if (idx == static_cast<std::size_t>(-1)) {
+      result.unreachable_providers.push_back(loc.provider);
+      continue;
+    }
+    auto r = session.client(idx).remove({container_, loc.object_name});
+    max_latency = std::max(max_latency, r.latency);
+    if (!r.ok() && r.status.code() == common::StatusCode::kUnavailable) {
+      result.unreachable_providers.push_back(loc.provider);
+    }
+  }
+  result.latency = max_latency;
+  result.status = common::Status::ok();
+  return result;
+}
+
+common::Result<std::vector<std::pair<std::string, common::Bytes>>>
+ErasureScheme::rebuild_fragments_for(gcs::MultiCloudSession& session,
+                                     const meta::FileMeta& meta,
+                                     const std::string& provider,
+                                     common::SimDuration* latency) const {
+  const auto& geom = striper_.geometry();
+  const auto clients = slot_clients(session, meta);
+
+  // Fetch every fragment not on `provider`.
+  std::vector<std::optional<common::Bytes>> shards(geom.total());
+  std::vector<gcs::BatchGet> batch;
+  std::vector<std::size_t> batch_slots;
+  std::vector<std::size_t> target_slots;
+  for (std::size_t i = 0; i < geom.total(); ++i) {
+    if (meta.locations[i].provider == provider) {
+      target_slots.push_back(i);
+      continue;
+    }
+    if (clients[i] == static_cast<std::size_t>(-1)) continue;
+    batch.push_back({clients[i], {container_, meta.locations[i].object_name}});
+    batch_slots.push_back(i);
+  }
+  if (target_slots.empty()) {
+    return std::vector<std::pair<std::string, common::Bytes>>{};
+  }
+
+  common::SimDuration phase_latency = 0;
+  auto gets = session.parallel_get(batch, &phase_latency);
+  if (latency != nullptr) *latency += phase_latency;
+  for (std::size_t j = 0; j < gets.size(); ++j) {
+    // Corrupt survivors must not poison the rebuilt fragments.
+    if (gets[j].ok() && fragment_intact(meta, batch_slots[j], gets[j].data)) {
+      shards[batch_slots[j]] = std::move(gets[j].data);
+    }
+  }
+
+  erasure::ReedSolomon rs(geom.k, geom.m);
+  if (auto st = rs.reconstruct(shards); !st.is_ok()) return st;
+
+  std::vector<std::pair<std::string, common::Bytes>> out;
+  out.reserve(target_slots.size());
+  for (std::size_t slot : target_slots) {
+    out.emplace_back(meta.locations[slot].object_name, std::move(*shards[slot]));
+  }
+  return out;
+}
+
+}  // namespace hyrd::dist

@@ -1,0 +1,74 @@
+#include "dist/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hyrd::dist {
+
+namespace {
+
+std::vector<std::size_t> all_clients(const gcs::MultiCloudSession& session) {
+  std::vector<std::size_t> out(session.client_count());
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> RoundRobinPlacement::replicas(
+    const gcs::MultiCloudSession& session, std::size_t count) {
+  const std::size_t n = session.client_count();
+  const std::size_t start = next_.fetch_add(1) % n;
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count && i < n; ++i) {
+    out.push_back((start + i) % n);
+  }
+  return out;
+}
+
+std::vector<std::size_t> RoundRobinPlacement::shards(
+    const gcs::MultiCloudSession& session, std::size_t count) {
+  // Same rotation; rotating the start slot rotates which provider holds
+  // parity (the last slot), RAID5-style.
+  return replicas(session, count);
+}
+
+std::vector<std::size_t> CategoryPlacement::replicas(
+    const gcs::MultiCloudSession& session, std::size_t count) {
+  // Fastest expected small read first: performance-oriented providers.
+  std::vector<std::size_t> clients = all_clients(session);
+  std::stable_sort(clients.begin(), clients.end(), [&](std::size_t a,
+                                                       std::size_t b) {
+    const auto la = session.client(a).provider()->latency_model().expected(
+        cloud::OpKind::kGet, reference_size_);
+    const auto lb = session.client(b).provider()->latency_model().expected(
+        cloud::OpKind::kGet, reference_size_);
+    return la < lb;
+  });
+  if (clients.size() > count) clients.resize(count);
+  return clients;
+}
+
+std::vector<std::size_t> CategoryPlacement::shards(
+    const gcs::MultiCloudSession& session, std::size_t count) {
+  // Cheapest to serve first: rank by storage + egress price. Data slots
+  // (the first k) land on cheap-egress providers; parity (the last slots)
+  // lands on the most expensive, which is only touched on degraded paths.
+  std::vector<std::size_t> clients = all_clients(session);
+  auto cost_score = [&](std::size_t idx) {
+    const auto& prices = session.client(idx).provider()->config().prices;
+    // Storage dominates long-term cost; egress dominates read-heavy
+    // workloads (the IA trace reads 2.1x what it writes). Equal weights
+    // approximate the paper's dual criterion.
+    return prices.storage_gb_month + prices.data_out_gb;
+  };
+  std::stable_sort(clients.begin(), clients.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cost_score(a) < cost_score(b);
+                   });
+  if (clients.size() > count) clients.resize(count);
+  return clients;
+}
+
+}  // namespace hyrd::dist

@@ -1,0 +1,64 @@
+// Placement policies: which providers get which fragments.
+//
+// RoundRobinPlacement is RACS-style: every object uses all providers, with
+// the parity slot rotating (classic RAID5 parity rotation) so no single
+// provider accumulates all parity.
+//
+// CategoryPlacement is HyRD-style (Fig. 2): replicas go to the expected-
+// fastest providers (performance-oriented), erasure data fragments go to
+// the cheapest-to-serve providers with parity pushed onto the most
+// expensive slot (parity is only read on degraded paths, so placing it on
+// the costly/slow provider minimizes both normal-read latency and egress
+// cost).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gcsapi/session.h"
+
+namespace hyrd::dist {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Client indices for `count` replicas, preference order.
+  virtual std::vector<std::size_t> replicas(
+      const gcs::MultiCloudSession& session, std::size_t count) = 0;
+
+  /// Client indices for `count` erasure slots (k data slots first, then
+  /// parity slots).
+  virtual std::vector<std::size_t> shards(const gcs::MultiCloudSession& session,
+                                          std::size_t count) = 0;
+};
+
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  std::vector<std::size_t> replicas(const gcs::MultiCloudSession& session,
+                                    std::size_t count) override;
+  std::vector<std::size_t> shards(const gcs::MultiCloudSession& session,
+                                  std::size_t count) override;
+
+ private:
+  std::atomic<std::size_t> next_{0};
+};
+
+class CategoryPlacement final : public PlacementPolicy {
+ public:
+  /// `reference_size` is the transfer size used to rank providers by
+  /// expected latency for replica placement (small-file regime).
+  explicit CategoryPlacement(std::uint64_t reference_size = 64 * 1024)
+      : reference_size_(reference_size) {}
+
+  std::vector<std::size_t> replicas(const gcs::MultiCloudSession& session,
+                                    std::size_t count) override;
+  std::vector<std::size_t> shards(const gcs::MultiCloudSession& session,
+                                  std::size_t count) override;
+
+ private:
+  std::uint64_t reference_size_;
+};
+
+}  // namespace hyrd::dist

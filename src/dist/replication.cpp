@@ -1,0 +1,209 @@
+#include "dist/replication.h"
+
+#include <algorithm>
+
+#include "common/checksum.h"
+
+namespace hyrd::dist {
+
+WriteResult ReplicationScheme::write(
+    gcs::MultiCloudSession& session, const std::string& path,
+    common::ByteSpan data, const std::vector<std::size_t>& replica_clients,
+    std::vector<std::string>* unreachable) const {
+  WriteResult result;
+  if (replica_clients.empty()) {
+    result.status = common::invalid_argument("no replica targets");
+    return result;
+  }
+
+  std::vector<gcs::BatchPut> batch;
+  std::vector<cloud::ObjectKey> keys;
+  batch.reserve(replica_clients.size());
+  keys.reserve(replica_clients.size());
+  for (std::size_t i = 0; i < replica_clients.size(); ++i) {
+    keys.push_back({container_, fragment_object_name(path, 'r', i)});
+    batch.push_back({replica_clients[i], keys.back(), data});
+  }
+
+  std::vector<cloud::OpResult> results;
+  if (mode_ == ReplicaWriteMode::kParallel) {
+    common::SimDuration batch_latency = 0;
+    results = session.parallel_put(batch, &batch_latency);
+    result.latency = batch_latency;
+  } else {
+    // Sequential synchronization: each copy confirmed in turn; latency is
+    // the sum. Unreachable targets fail fast and are skipped.
+    results.reserve(batch.size());
+    for (const auto& op : batch) {
+      auto r = session.client(op.client_index).put(op.key, op.data);
+      result.latency += r.latency;
+      results.push_back(std::move(r));
+    }
+  }
+
+  std::size_t landed = 0;
+  meta::FileMeta m;
+  m.path = path;
+  m.size = data.size();
+  m.redundancy = meta::RedundancyKind::kReplicated;
+  m.crc = common::crc32c(data);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string& provider =
+        session.client(replica_clients[i]).provider_name();
+    if (results[i].ok()) {
+      ++landed;
+    } else if (unreachable != nullptr) {
+      unreachable->push_back(provider);
+    }
+    // Record every intended location; unreachable ones are the caller's
+    // update-log entries and will be consistency-updated on recovery.
+    m.locations.push_back({provider, keys[i].name});
+  }
+
+  if (landed == 0) {
+    result.status = common::unavailable("no replica target reachable");
+    return result;
+  }
+  result.status = common::Status::ok();
+  result.meta = std::move(m);
+  return result;
+}
+
+ReadResult ReplicationScheme::read(gcs::MultiCloudSession& session,
+                                   const meta::FileMeta& meta) const {
+  ReadResult result;
+  if (meta.locations.empty()) {
+    result.status = common::invalid_argument("meta has no replica locations");
+    return result;
+  }
+
+  // Providers known to be in outage are skipped outright (the client has
+  // already seen their connections refused); surprise failures below
+  // still fail over replica by replica.
+  std::vector<std::size_t> clients;
+  clients.reserve(meta.locations.size());
+  for (const auto& loc : meta.locations) {
+    const std::size_t idx = session.index_of(loc.provider);
+    if (idx == static_cast<std::size_t>(-1)) continue;
+    if (!session.client(idx).provider()->online()) {
+      result.degraded = true;
+      continue;
+    }
+    clients.push_back(idx);
+  }
+  const auto order =
+      order_by_expected_read_latency(session, clients, meta.size);
+
+  bool first_attempt = !result.degraded;
+  for (std::size_t client_idx : order) {
+    // Find the location entry for this client's provider.
+    const auto& provider = session.client(client_idx).provider_name();
+    const meta::FragmentLocation* loc = nullptr;
+    for (const auto& l : meta.locations) {
+      if (l.provider == provider) {
+        loc = &l;
+        break;
+      }
+    }
+    if (loc == nullptr) continue;
+
+    auto get = session.client(client_idx).get({container_, loc->object_name});
+    result.latency += get.latency;
+    if (get.ok()) {
+      // crc == 0 marks "digest unknown" (after a partial range update).
+      if (meta.crc != 0 && common::crc32c(get.data) != meta.crc) {
+        // Stale or corrupt replica (e.g. provider returned from outage
+        // before consistency update); try the next one.
+        result.degraded = true;
+        first_attempt = false;
+        continue;
+      }
+      result.status = common::Status::ok();
+      result.data = std::move(get.data);
+      result.degraded = result.degraded || !first_attempt;
+      return result;
+    }
+    first_attempt = false;
+    result.degraded = true;
+  }
+  result.status = common::unavailable("no replica readable for " + meta.path);
+  return result;
+}
+
+WriteResult ReplicationScheme::update_range(
+    gcs::MultiCloudSession& session, const meta::FileMeta& meta,
+    std::uint64_t offset, common::ByteSpan data,
+    std::vector<std::string>* unreachable) const {
+  WriteResult result;
+  if (offset + data.size() > meta.size) {
+    result.status = common::invalid_argument("update range exceeds file size");
+    return result;
+  }
+
+  std::vector<gcs::BatchRangePut> batch;
+  std::vector<const meta::FragmentLocation*> locs;
+  for (const auto& loc : meta.locations) {
+    const std::size_t idx = session.index_of(loc.provider);
+    if (idx == static_cast<std::size_t>(-1)) continue;
+    batch.push_back({idx, {container_, loc.object_name}, offset, data});
+    locs.push_back(&loc);
+  }
+
+  std::vector<cloud::OpResult> results;
+  if (mode_ == ReplicaWriteMode::kParallel) {
+    common::SimDuration batch_latency = 0;
+    results = session.parallel_put_range(batch, &batch_latency);
+    result.latency = batch_latency;
+  } else {
+    results.reserve(batch.size());
+    for (const auto& op : batch) {
+      auto r = session.client(op.client_index)
+                   .put_range(op.key, op.offset, op.data);
+      result.latency += r.latency;
+      results.push_back(std::move(r));
+    }
+  }
+
+  std::size_t landed = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].ok()) {
+      ++landed;
+    } else if (unreachable != nullptr) {
+      unreachable->push_back(locs[i]->provider);
+    }
+  }
+  if (landed == 0) {
+    result.status = common::unavailable("no replica target reachable");
+    return result;
+  }
+  result.status = common::Status::ok();
+  result.meta = meta;
+  result.meta.version = meta.version + 1;
+  result.meta.crc = 0;
+  return result;
+}
+
+RemoveResult ReplicationScheme::remove(gcs::MultiCloudSession& session,
+                                       const meta::FileMeta& meta) const {
+  RemoveResult result;
+  // Removes are issued to all replicas; virtual latency is the max, i.e.
+  // the parallel-fan-out completion time.
+  common::SimDuration max_latency = 0;
+  for (const auto& loc : meta.locations) {
+    const std::size_t idx = session.index_of(loc.provider);
+    if (idx == static_cast<std::size_t>(-1)) {
+      result.unreachable_providers.push_back(loc.provider);
+      continue;
+    }
+    auto r = session.client(idx).remove({container_, loc.object_name});
+    max_latency = std::max(max_latency, r.latency);
+    if (!r.ok() && r.status.code() == common::StatusCode::kUnavailable) {
+      result.unreachable_providers.push_back(loc.provider);
+    }
+  }
+  result.latency = max_latency;
+  result.status = common::Status::ok();
+  return result;
+}
+
+}  // namespace hyrd::dist

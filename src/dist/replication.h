@@ -1,0 +1,63 @@
+// ReplicationScheme: k-way full replication across providers.
+//
+// The paper uses this for file-system metadata and small files (replication
+// level 2 by default, configurable §III-C) and it is the whole of the
+// DuraCloud baseline. Writes fan out in parallel (latency = slowest
+// replica); reads go to the expected-fastest online replica and fail over.
+#pragma once
+
+#include "dist/scheme.h"
+
+namespace hyrd::dist {
+
+/// How replicas are written. kParallel fans out and completes with the
+/// slowest replica (HyRD's dispatcher). kSequential pushes copies one
+/// after another — the DuraCloud synchronization model, where the write
+/// returns only after every copy is confirmed in turn; this is why the
+/// paper observes DuraCloud *improving* during an outage (the unreachable
+/// copy's write is skipped, "no double writes or updates are performed").
+enum class ReplicaWriteMode { kParallel, kSequential };
+
+class ReplicationScheme {
+ public:
+  explicit ReplicationScheme(std::string container,
+                             ReplicaWriteMode mode = ReplicaWriteMode::kParallel)
+      : container_(std::move(container)), mode_(mode) {}
+
+  [[nodiscard]] const std::string& container() const { return container_; }
+  [[nodiscard]] ReplicaWriteMode write_mode() const { return mode_; }
+
+  /// Writes one replica to each client in `replica_clients` concurrently.
+  /// Succeeds if at least one replica lands (the paper's availability model:
+  /// writes during an outage proceed and the offline copy is logged); the
+  /// result lists which providers were written in meta.locations and which
+  /// were unreachable via `unreachable` (if non-null).
+  WriteResult write(gcs::MultiCloudSession& session, const std::string& path,
+                    common::ByteSpan data,
+                    const std::vector<std::size_t>& replica_clients,
+                    std::vector<std::string>* unreachable = nullptr) const;
+
+  /// Reads from the expected-fastest replica, failing over in latency
+  /// order. `degraded` is set when the first choice was unavailable.
+  ReadResult read(gcs::MultiCloudSession& session,
+                  const meta::FileMeta& meta) const;
+
+  /// In-place range update: a block write to every replica, in parallel —
+  /// no read amplification at all (paper §II-B: under replication a small
+  /// update "just writes new data"). Must not grow the file. The returned
+  /// meta has crc = 0 (whole-object digest unknown after a partial write).
+  WriteResult update_range(gcs::MultiCloudSession& session,
+                           const meta::FileMeta& meta, std::uint64_t offset,
+                           common::ByteSpan data,
+                           std::vector<std::string>* unreachable = nullptr) const;
+
+  /// Removes all replicas concurrently.
+  RemoveResult remove(gcs::MultiCloudSession& session,
+                      const meta::FileMeta& meta) const;
+
+ private:
+  std::string container_;
+  ReplicaWriteMode mode_;
+};
+
+}  // namespace hyrd::dist

@@ -1,0 +1,204 @@
+#include "erasure/fmsr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "erasure/gf256.h"
+
+namespace hyrd::erasure {
+
+namespace {
+constexpr int kMaxDraws = 64;  // MDS retry budget per encode/repair
+}
+
+Fmsr::Fmsr(std::size_t n, std::size_t k) : n_(n), k_(k) {
+  assert(n > k && k >= 1 && n * (n - k) <= 256);
+}
+
+Matrix Fmsr::random_matrix(std::size_t rows, std::size_t cols,
+                           common::Xoshiro256& rng) const {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+  }
+  return m;
+}
+
+bool Fmsr::mds_ok(const Matrix& coefficients) const {
+  // Every k-subset of nodes contributes k*(n-k) = native_chunks() rows;
+  // the object is decodable iff that square system is invertible.
+  const std::size_t cpn = chunks_per_node();
+  std::vector<std::size_t> nodes(n_);
+  for (std::size_t i = 0; i < n_; ++i) nodes[i] = i;
+
+  std::vector<bool> pick(n_, false);
+  std::fill(pick.begin(), pick.begin() + static_cast<std::ptrdiff_t>(k_),
+            true);
+  // Iterate all C(n, k) node subsets via prev_permutation on the mask.
+  do {
+    std::vector<std::size_t> rows;
+    for (std::size_t node = 0; node < n_; ++node) {
+      if (!pick[node]) continue;
+      for (std::size_t c = 0; c < cpn; ++c) {
+        rows.push_back(node * cpn + c);
+      }
+    }
+    if (!coefficients.select_rows(rows).inverted().is_ok()) return false;
+  } while (std::prev_permutation(pick.begin(), pick.end()));
+  return true;
+}
+
+Fmsr::Encoded Fmsr::encode(common::ByteSpan object,
+                           common::Xoshiro256& rng) const {
+  const auto& gf = GF256::instance();
+  Encoded out;
+  out.object_size = object.size();
+  out.object_crc = common::crc32c(object);
+
+  const std::size_t native = native_chunks();
+  const std::uint64_t size = std::max<std::uint64_t>(object.size(), 1);
+  out.chunk_size = static_cast<std::size_t>((size + native - 1) / native);
+
+  // Split into zero-padded native chunks.
+  std::vector<common::Bytes> natives;
+  natives.reserve(native);
+  for (std::size_t i = 0; i < native; ++i) {
+    common::Bytes chunk(out.chunk_size, 0);
+    const std::size_t offset = i * out.chunk_size;
+    if (offset < object.size()) {
+      const std::size_t take =
+          std::min(out.chunk_size, object.size() - offset);
+      std::memcpy(chunk.data(), object.data() + offset, take);
+    }
+    natives.push_back(std::move(chunk));
+  }
+
+  // Draw coefficient matrices until the code is MDS.
+  for (int attempt = 0; attempt < kMaxDraws; ++attempt) {
+    Matrix coeffs = random_matrix(total_chunks(), native, rng);
+    if (!mds_ok(coeffs)) continue;
+    out.coefficients = coeffs;
+    break;
+  }
+  assert(out.coefficients.rows() == total_chunks() &&
+         "no MDS coefficient draw found");
+
+  // Compute the coded chunks.
+  out.chunks.assign(total_chunks(), common::Bytes(out.chunk_size, 0));
+  for (std::size_t c = 0; c < total_chunks(); ++c) {
+    for (std::size_t j = 0; j < native; ++j) {
+      gf.mul_add_region(out.chunks[c], natives[j],
+                        out.coefficients.at(c, j));
+    }
+  }
+  return out;
+}
+
+common::Result<common::Bytes> Fmsr::decode(
+    const Matrix& coefficients, const std::vector<std::size_t>& chunk_indices,
+    const std::vector<common::Bytes>& chunks, std::uint64_t object_size,
+    std::uint32_t object_crc) const {
+  const std::size_t native = native_chunks();
+  if (chunk_indices.size() != native || chunks.size() != native) {
+    return common::invalid_argument("decode needs exactly k(n-k) chunks");
+  }
+  const std::size_t chunk_size = chunks[0].size();
+  for (const auto& c : chunks) {
+    if (c.size() != chunk_size) {
+      return common::invalid_argument("chunk sizes differ");
+    }
+  }
+
+  auto inv = coefficients.select_rows(chunk_indices).inverted();
+  if (!inv.is_ok()) {
+    return common::data_loss("chunk subset not decodable (non-MDS subset)");
+  }
+  const auto& gf = GF256::instance();
+  const Matrix& dec = inv.value();
+
+  common::Bytes object;
+  object.reserve(object_size);
+  common::Bytes native_chunk(chunk_size, 0);
+  for (std::size_t j = 0; j < native && object.size() < object_size; ++j) {
+    std::fill(native_chunk.begin(), native_chunk.end(), 0);
+    for (std::size_t i = 0; i < native; ++i) {
+      gf.mul_add_region(native_chunk, chunks[i], dec.at(j, i));
+    }
+    const std::size_t remaining =
+        static_cast<std::size_t>(object_size) - object.size();
+    const std::size_t take = std::min(chunk_size, remaining);
+    object.insert(object.end(), native_chunk.begin(),
+                  native_chunk.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  if (common::crc32c(object) != object_crc) {
+    return common::data_loss("object CRC mismatch after FMSR decode");
+  }
+  return object;
+}
+
+common::Result<Fmsr::RepairPlan> Fmsr::plan_repair(
+    const Matrix& coefficients, std::size_t failed_node,
+    common::Xoshiro256& rng) const {
+  if (failed_node >= n_) {
+    return common::invalid_argument("bad node index");
+  }
+  const std::size_t cpn = chunks_per_node();
+  const std::size_t native = native_chunks();
+
+  // Survivor node list, in node order.
+  std::vector<std::size_t> survivors;
+  for (std::size_t node = 0; node < n_; ++node) {
+    if (node != failed_node) survivors.push_back(node);
+  }
+
+  for (int attempt = 0; attempt < kMaxDraws; ++attempt) {
+    // Draw a chunk selection (one chunk per survivor) and a mix; a fixed
+    // selection may have no MDS-preserving mix, so both are searched.
+    std::vector<std::size_t> selection;
+    selection.reserve(survivors.size());
+    for (std::size_t node : survivors) {
+      selection.push_back(node * cpn + rng.uniform_int(0, cpn - 1));
+    }
+    const Matrix survivor_rows = coefficients.select_rows(selection);
+    const Matrix mix = random_matrix(cpn, n_ - 1, rng);
+    const Matrix new_rows = mix.mul(survivor_rows);  // cpn x native
+
+    Matrix candidate = coefficients;
+    for (std::size_t r = 0; r < cpn; ++r) {
+      for (std::size_t c = 0; c < native; ++c) {
+        candidate.at(failed_node * cpn + r, c) = new_rows.at(r, c);
+      }
+    }
+    if (!mds_ok(candidate)) continue;
+
+    RepairPlan plan;
+    plan.failed_node = failed_node;
+    plan.survivor_chunk_indices = std::move(selection);
+    plan.mix = mix;
+    plan.new_coefficients = std::move(candidate);
+    return plan;
+  }
+  return common::internal_error("no MDS-preserving repair draw found");
+}
+
+std::vector<common::Bytes> Fmsr::execute_repair(
+    const RepairPlan& plan,
+    const std::vector<common::Bytes>& survivor_chunks) const {
+  assert(survivor_chunks.size() == n_ - 1);
+  const std::size_t cpn = chunks_per_node();
+  const std::size_t chunk_size = survivor_chunks[0].size();
+  const auto& gf = GF256::instance();
+  std::vector<common::Bytes> out(cpn, common::Bytes(chunk_size, 0));
+  for (std::size_t r = 0; r < cpn; ++r) {
+    for (std::size_t s = 0; s < n_ - 1; ++s) {
+      gf.mul_add_region(out[r], survivor_chunks[s], plan.mix.at(r, s));
+    }
+  }
+  return out;
+}
+
+}  // namespace hyrd::erasure

@@ -1,0 +1,76 @@
+#include "erasure/gf256.h"
+
+#include <cassert>
+
+namespace hyrd::erasure {
+
+namespace {
+constexpr unsigned kPrimPoly = 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1
+}
+
+const GF256& GF256::instance() {
+  static const GF256 gf;
+  return gf;
+}
+
+GF256::GF256() {
+  // Generate exp/log tables from the generator element 2.
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(x);
+    log_[x] = static_cast<std::uint16_t>(i);
+    x <<= 1;
+    if (x & 0x100u) x ^= kPrimPoly;
+  }
+  for (unsigned i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+  log_[0] = 0;  // never read; mul() guards zero operands
+
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      mul_table_[a][b] =
+          (a == 0 || b == 0)
+              ? 0
+              : exp_[log_[static_cast<std::uint8_t>(a)] +
+                     log_[static_cast<std::uint8_t>(b)]];
+    }
+  }
+}
+
+std::uint8_t GF256::div(std::uint8_t a, std::uint8_t b) const {
+  assert(b != 0 && "GF256 division by zero");
+  if (a == 0) return 0;
+  return exp_[log_[a] + 255 - log_[b]];
+}
+
+std::uint8_t GF256::inv(std::uint8_t a) const {
+  assert(a != 0 && "GF256 inverse of zero");
+  return exp_[255 - log_[a]];
+}
+
+std::uint8_t GF256::pow(std::uint8_t a, unsigned n) const {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned e = (static_cast<unsigned>(log_[a]) * n) % 255;
+  return exp_[e];
+}
+
+void GF256::mul_add_region(common::MutByteSpan dst, common::ByteSpan src,
+                           std::uint8_t c) const {
+  assert(dst.size() == src.size());
+  if (c == 0) return;
+  const auto& row = mul_table_[c];
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+void GF256::mul_region(common::MutByteSpan dst, common::ByteSpan src,
+                       std::uint8_t c) const {
+  assert(dst.size() == src.size());
+  const auto& row = mul_table_[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace hyrd::erasure

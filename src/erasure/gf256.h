@@ -1,0 +1,60 @@
+// GF(2^8) arithmetic over the AES polynomial x^8+x^4+x^3+x^2+1 (0x11D is the
+// common erasure-coding choice; we use 0x11D as in Jerasure/ISA-L).
+//
+// Tables are built once at static-init time; all hot paths are table lookups
+// plus an optional region operation (dst ^= c * src over a whole buffer)
+// that the Reed–Solomon encoder uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace hyrd::erasure {
+
+class GF256 {
+ public:
+  /// Singleton table set (immutable after construction).
+  static const GF256& instance();
+
+  [[nodiscard]] std::uint8_t add(std::uint8_t a, std::uint8_t b) const {
+    return a ^ b;
+  }
+  [[nodiscard]] std::uint8_t sub(std::uint8_t a, std::uint8_t b) const {
+    return a ^ b;
+  }
+
+  [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  /// Division; b must be nonzero.
+  [[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b) const;
+
+  /// Multiplicative inverse; a must be nonzero.
+  [[nodiscard]] std::uint8_t inv(std::uint8_t a) const;
+
+  /// a^n for n >= 0.
+  [[nodiscard]] std::uint8_t pow(std::uint8_t a, unsigned n) const;
+
+  /// dst[i] ^= c * src[i] for the whole region (the encode/decode kernel).
+  void mul_add_region(common::MutByteSpan dst, common::ByteSpan src,
+                      std::uint8_t c) const;
+
+  /// dst[i] = c * src[i].
+  void mul_region(common::MutByteSpan dst, common::ByteSpan src,
+                  std::uint8_t c) const;
+
+ private:
+  GF256();
+
+  // exp_ is doubled so mul() can skip the mod-255 reduction.
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<std::uint16_t, 256> log_{};
+  // Per-coefficient 256-entry product tables for fast region ops.
+  std::array<std::array<std::uint8_t, 256>, 256> mul_table_{};
+};
+
+}  // namespace hyrd::erasure

@@ -1,0 +1,121 @@
+#include "erasure/matrix.h"
+
+#include <cassert>
+
+#include "erasure/gf256.h"
+
+namespace hyrd::erasure {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::cauchy(std::size_t rows, std::size_t cols) {
+  assert(rows + cols <= 256 && "Cauchy construction exceeds GF(2^8) elements");
+  const auto& gf = GF256::instance();
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const auto xi = static_cast<std::uint8_t>(i + cols);
+      const auto yj = static_cast<std::uint8_t>(j);
+      m.at(i, j) = gf.inv(gf.add(xi, yj));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::rs_generator(std::size_t k, std::size_t m) {
+  Matrix gen(k + m, k);
+  for (std::size_t i = 0; i < k; ++i) gen.at(i, i) = 1;
+  if (m == 1) {
+    // Single parity: the all-ones row is a valid generator (any k of the
+    // k+1 rows are independent) and makes the parity plain XOR — exactly
+    // RAID5, and ~30x faster than a general GF row.
+    for (std::size_t j = 0; j < k; ++j) gen.at(k, j) = 1;
+    return gen;
+  }
+  const Matrix parity = cauchy(m, k);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      gen.at(k + i, j) = parity.at(i, j);
+    }
+  }
+  return gen;
+}
+
+Matrix Matrix::mul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  const auto& gf = GF256::instance();
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < other.cols_; ++j) {
+      std::uint8_t acc = 0;
+      for (std::size_t t = 0; t < cols_; ++t) {
+        acc ^= gf.mul(at(i, t), other.at(t, j));
+      }
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i] < rows_);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.at(i, j) = at(rows[i], j);
+    }
+  }
+  return out;
+}
+
+common::Result<Matrix> Matrix::inverted() const {
+  assert(rows_ == cols_);
+  const auto& gf = GF256::instance();
+  const std::size_t n = rows_;
+  Matrix work = *this;
+  Matrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot row.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) {
+      return common::Status(common::StatusCode::kInvalidArgument,
+                            "singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(work.at(pivot, j), work.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    // Scale pivot row to 1.
+    const std::uint8_t scale = gf.inv(work.at(col, col));
+    if (scale != 1) {
+      for (std::size_t j = 0; j < n; ++j) {
+        work.at(col, j) = gf.mul(work.at(col, j), scale);
+        inv.at(col, j) = gf.mul(inv.at(col, j), scale);
+      }
+    }
+    // Eliminate the column from every other row.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        work.at(r, j) ^= gf.mul(factor, work.at(col, j));
+        inv.at(r, j) ^= gf.mul(factor, inv.at(col, j));
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace hyrd::erasure

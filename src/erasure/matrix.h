@@ -1,0 +1,57 @@
+// Dense matrices over GF(2^8): the linear-algebra core of Reed–Solomon.
+// Supports multiplication, Gauss–Jordan inversion, row extraction, and the
+// Cauchy / extended-Vandermonde constructions used to build coding matrices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyrd::erasure {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  std::uint8_t& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] std::uint8_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::uint8_t* row(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+
+  static Matrix identity(std::size_t n);
+
+  /// Cauchy matrix: element (i,j) = 1/(x_i + y_j) with x_i = i + cols,
+  /// y_j = j. Any square submatrix of a Cauchy matrix is invertible, which
+  /// makes it a safe parity-generator construction for any (k, m) geometry.
+  static Matrix cauchy(std::size_t rows, std::size_t cols);
+
+  /// Systematic encoding matrix for an RS(k, m) code: the top k rows are
+  /// identity, the bottom m rows come from a Cauchy construction.
+  static Matrix rs_generator(std::size_t k, std::size_t m);
+
+  [[nodiscard]] Matrix mul(const Matrix& other) const;
+
+  /// Builds a matrix from the given subset of this matrix's rows.
+  [[nodiscard]] Matrix select_rows(const std::vector<std::size_t>& rows) const;
+
+  /// Gauss–Jordan inversion. Fails iff the matrix is singular.
+  [[nodiscard]] common::Result<Matrix> inverted() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace hyrd::erasure

@@ -1,0 +1,82 @@
+#include "erasure/raid5.h"
+
+#include <cassert>
+
+namespace hyrd::erasure {
+
+namespace {
+void xor_into(common::MutByteSpan dst, common::ByteSpan src) {
+  assert(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+}  // namespace
+
+Raid5::Raid5(std::size_t k) : k_(k) { assert(k >= 1); }
+
+common::Result<common::Bytes> Raid5::encode(
+    std::span<const common::Bytes> data) const {
+  if (data.size() != k_) {
+    return common::invalid_argument("RAID5 encode expects k data shards");
+  }
+  const std::size_t shard_size = data[0].size();
+  common::Bytes parity(shard_size, 0);
+  for (const auto& d : data) {
+    if (d.size() != shard_size) {
+      return common::invalid_argument("data shards must be equally sized");
+    }
+    xor_into(parity, d);
+  }
+  return parity;
+}
+
+common::Status Raid5::reconstruct(
+    std::vector<std::optional<common::Bytes>>& shards) const {
+  if (shards.size() != k_ + 1) {
+    return common::invalid_argument("RAID5 reconstruct expects k+1 slots");
+  }
+  std::size_t missing = shards.size();
+  std::size_t missing_count = 0;
+  std::size_t shard_size = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!shards[i].has_value()) {
+      missing = i;
+      ++missing_count;
+    } else {
+      shard_size = shards[i]->size();
+    }
+  }
+  if (missing_count == 0) return common::Status::ok();
+  if (missing_count > 1) {
+    return common::data_loss("RAID5 tolerates a single missing shard");
+  }
+  common::Bytes out(shard_size, 0);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i == missing) continue;
+    if (shards[i]->size() != shard_size) {
+      return common::invalid_argument("present shards differ in size");
+    }
+    xor_into(out, *shards[i]);
+  }
+  shards[missing] = std::move(out);
+  return common::Status::ok();
+}
+
+common::Bytes Raid5::delta_parity(common::ByteSpan old_parity,
+                                  common::ByteSpan old_data,
+                                  common::ByteSpan new_data) {
+  assert(old_parity.size() == old_data.size() &&
+         old_data.size() == new_data.size());
+  common::Bytes out(old_parity.begin(), old_parity.end());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] ^= old_data[i] ^ new_data[i];
+  }
+  return out;
+}
+
+bool Raid5::verify(std::span<const common::Bytes> shards) const {
+  if (shards.size() != k_ + 1) return false;
+  auto parity = encode(shards.subspan(0, k_));
+  return parity.is_ok() && parity.value() == shards[k_];
+}
+
+}  // namespace hyrd::erasure

@@ -1,0 +1,45 @@
+// RAID5-style single-parity XOR codec: the erasure geometry the paper's
+// prototype and RACS comparison use (k data + 1 parity).
+//
+// Kept separate from ReedSolomon because the XOR-only fast path is the code
+// most updates run through, and because RAID5 delta-parity (new_p = old_p ^
+// old_d ^ new_d) is the canonical statement of the 2-read/2-write small
+// update the paper analyzes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hyrd::erasure {
+
+class Raid5 {
+ public:
+  explicit Raid5(std::size_t k);
+
+  [[nodiscard]] std::size_t data_shards() const { return k_; }
+  [[nodiscard]] std::size_t total_shards() const { return k_ + 1; }
+
+  /// XOR parity across the k data shards.
+  [[nodiscard]] common::Result<common::Bytes> encode(
+      std::span<const common::Bytes> data) const;
+
+  /// Fills in at most one missing shard (data or parity) in place.
+  [[nodiscard]] common::Status reconstruct(
+      std::vector<std::optional<common::Bytes>>& shards) const;
+
+  /// Read-modify-write parity: new_parity = old_parity ^ old_data ^ new_data.
+  [[nodiscard]] static common::Bytes delta_parity(common::ByteSpan old_parity,
+                                                  common::ByteSpan old_data,
+                                                  common::ByteSpan new_data);
+
+  [[nodiscard]] bool verify(std::span<const common::Bytes> shards) const;
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace hyrd::erasure

@@ -1,0 +1,134 @@
+#include "erasure/reed_solomon.h"
+
+#include <cassert>
+
+#include "erasure/gf256.h"
+
+namespace hyrd::erasure {
+
+ReedSolomon::ReedSolomon(std::size_t k, std::size_t m)
+    : k_(k), m_(m), generator_(Matrix::rs_generator(k, m)) {
+  assert(k >= 1 && m >= 1 && k + m <= 256);
+}
+
+common::Result<std::vector<common::Bytes>> ReedSolomon::encode(
+    std::span<const common::Bytes> data) const {
+  if (data.size() != k_) {
+    return common::invalid_argument("encode expects exactly k data shards");
+  }
+  const std::size_t shard_size = data[0].size();
+  for (const auto& d : data) {
+    if (d.size() != shard_size) {
+      return common::invalid_argument("data shards must be equally sized");
+    }
+  }
+  const auto& gf = GF256::instance();
+  std::vector<common::Bytes> parity(m_, common::Bytes(shard_size, 0));
+  for (std::size_t p = 0; p < m_; ++p) {
+    const std::uint8_t* row = generator_.row(k_ + p);
+    for (std::size_t d = 0; d < k_; ++d) {
+      gf.mul_add_region(parity[p], data[d], row[d]);
+    }
+  }
+  return parity;
+}
+
+common::Status ReedSolomon::reconstruct(
+    std::vector<std::optional<common::Bytes>>& shards) const {
+  if (shards.size() != k_ + m_) {
+    return common::invalid_argument("reconstruct expects k+m shard slots");
+  }
+
+  std::vector<std::size_t> present;
+  std::size_t shard_size = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].has_value()) {
+      if (present.empty()) {
+        shard_size = shards[i]->size();
+      } else if (shards[i]->size() != shard_size) {
+        return common::invalid_argument("present shards differ in size");
+      }
+      present.push_back(i);
+    }
+  }
+  if (present.size() < k_) {
+    return common::data_loss("fewer than k shards present");
+  }
+
+  bool any_data_missing = false;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!shards[i].has_value()) any_data_missing = true;
+  }
+
+  const auto& gf = GF256::instance();
+
+  if (any_data_missing) {
+    // Solve for the data vector using the first k present shards:
+    // selected_rows * data = present_shards  =>  data = inv(rows) * shards.
+    std::vector<std::size_t> rows(present.begin(), present.begin() + k_);
+    auto inv = generator_.select_rows(rows).inverted();
+    if (!inv.is_ok()) {
+      return common::internal_error("generator submatrix not invertible");
+    }
+    const Matrix& decode = inv.value();
+
+    std::vector<common::Bytes> data(k_, common::Bytes(shard_size, 0));
+    for (std::size_t d = 0; d < k_; ++d) {
+      for (std::size_t s = 0; s < k_; ++s) {
+        gf.mul_add_region(data[d], *shards[rows[s]], decode.at(d, s));
+      }
+    }
+    for (std::size_t d = 0; d < k_; ++d) {
+      if (!shards[d].has_value()) shards[d] = std::move(data[d]);
+    }
+  }
+
+  // All data shards now exist; recompute any missing parity directly.
+  for (std::size_t p = 0; p < m_; ++p) {
+    if (shards[k_ + p].has_value()) continue;
+    common::Bytes out(shard_size, 0);
+    const std::uint8_t* row = generator_.row(k_ + p);
+    for (std::size_t d = 0; d < k_; ++d) {
+      gf.mul_add_region(out, *shards[d], row[d]);
+    }
+    shards[k_ + p] = std::move(out);
+  }
+  return common::Status::ok();
+}
+
+bool ReedSolomon::verify(std::span<const common::Bytes> shards) const {
+  if (shards.size() != k_ + m_) return false;
+  const std::size_t shard_size = shards[0].size();
+  for (const auto& s : shards) {
+    if (s.size() != shard_size) return false;
+  }
+  auto parity = encode(shards.subspan(0, k_));
+  if (!parity.is_ok()) return false;
+  for (std::size_t p = 0; p < m_; ++p) {
+    if (parity.value()[p] != shards[k_ + p]) return false;
+  }
+  return true;
+}
+
+common::Result<std::vector<common::Bytes>> ReedSolomon::parity_delta(
+    std::size_t data_index, common::ByteSpan old_data,
+    common::ByteSpan new_data) const {
+  if (data_index >= k_) {
+    return common::invalid_argument("data_index out of range");
+  }
+  if (old_data.size() != new_data.size()) {
+    return common::invalid_argument("old/new shard sizes differ");
+  }
+  const auto& gf = GF256::instance();
+  common::Bytes diff(old_data.size());
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    diff[i] = old_data[i] ^ new_data[i];
+  }
+  std::vector<common::Bytes> deltas(m_, common::Bytes(diff.size(), 0));
+  for (std::size_t p = 0; p < m_; ++p) {
+    gf.mul_region(deltas[p], diff, generator_.at(k_ + p, data_index));
+  }
+  return deltas;
+}
+
+}  // namespace hyrd::erasure

@@ -1,0 +1,82 @@
+#include "erasure/striper.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace hyrd::erasure {
+
+Striper::Striper(StripeGeometry geometry)
+    : geometry_(geometry), codec_(geometry.k, geometry.m) {}
+
+std::size_t Striper::shard_size_for(std::uint64_t object_size) const {
+  const std::uint64_t k = geometry_.k;
+  const std::uint64_t size = std::max<std::uint64_t>(object_size, 1);
+  return static_cast<std::size_t>((size + k - 1) / k);
+}
+
+StripeSet Striper::encode(common::ByteSpan object) const {
+  StripeSet set;
+  set.geometry = geometry_;
+  set.object_size = object.size();
+  set.shard_size = shard_size_for(object.size());
+  set.object_crc = common::crc32c(object);
+
+  set.shards.reserve(geometry_.total());
+  for (std::size_t i = 0; i < geometry_.k; ++i) {
+    common::Bytes shard(set.shard_size, 0);
+    const std::size_t offset = i * set.shard_size;
+    if (offset < object.size()) {
+      const std::size_t take = std::min(set.shard_size, object.size() - offset);
+      std::memcpy(shard.data(), object.data() + offset, take);
+    }
+    set.shards.push_back(std::move(shard));
+  }
+
+  auto parity = codec_.encode(
+      std::span<const common::Bytes>(set.shards.data(), geometry_.k));
+  assert(parity.is_ok());
+  for (auto& p : parity.value()) set.shards.push_back(std::move(p));
+  return set;
+}
+
+common::Result<common::Bytes> Striper::decode(const StripeSet& set) const {
+  if (set.shards.size() != geometry_.total()) {
+    return common::invalid_argument("stripe set has wrong shard count");
+  }
+  common::Bytes object;
+  object.reserve(set.object_size);
+  for (std::size_t i = 0; i < geometry_.k && object.size() < set.object_size;
+       ++i) {
+    const std::size_t remaining =
+        static_cast<std::size_t>(set.object_size) - object.size();
+    const std::size_t take = std::min(set.shards[i].size(), remaining);
+    object.insert(object.end(), set.shards[i].begin(),
+                  set.shards[i].begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  if (common::crc32c(object) != set.object_crc) {
+    return common::data_loss("object CRC mismatch after reassembly");
+  }
+  return object;
+}
+
+common::Result<common::Bytes> Striper::decode_degraded(
+    StripeGeometry geometry, std::uint64_t object_size, std::uint32_t crc,
+    std::vector<std::optional<common::Bytes>> shards) const {
+  if (geometry.k != geometry_.k || geometry.m != geometry_.m) {
+    return common::invalid_argument("geometry mismatch");
+  }
+  if (auto st = codec_.reconstruct(shards); !st.is_ok()) {
+    return st;
+  }
+  StripeSet set;
+  set.geometry = geometry;
+  set.object_size = object_size;
+  set.object_crc = crc;
+  set.shards.reserve(shards.size());
+  for (auto& s : shards) set.shards.push_back(std::move(*s));
+  set.shard_size = set.shards[0].size();
+  return decode(set);
+}
+
+}  // namespace hyrd::erasure

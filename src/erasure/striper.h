@@ -1,0 +1,68 @@
+// Object striping: splits a byte object into k equally sized data shards
+// (zero padded), pairs them with parity from a codec, and reassembles the
+// original object from any k surviving shards.
+//
+// A StripeSet is what the distribution layer actually ships to providers:
+// shard i of an object goes to provider (placement[i]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/checksum.h"
+#include "common/status.h"
+#include "erasure/reed_solomon.h"
+
+namespace hyrd::erasure {
+
+/// Geometry of an erasure-coded object.
+struct StripeGeometry {
+  std::size_t k = 3;  // data shards
+  std::size_t m = 1;  // parity shards (m=1 => RAID5 per the paper)
+
+  [[nodiscard]] std::size_t total() const { return k + m; }
+  /// Storage expansion factor n/k (paper §II-B: a rate r=k/n code costs 1/r).
+  [[nodiscard]] double expansion() const {
+    return static_cast<double>(total()) / static_cast<double>(k);
+  }
+};
+
+struct StripeSet {
+  StripeGeometry geometry;
+  std::uint64_t object_size = 0;  // pre-padding logical size
+  std::size_t shard_size = 0;
+  std::vector<common::Bytes> shards;  // k data shards then m parity shards
+  std::uint32_t object_crc = 0;       // CRC32C of the original object
+};
+
+class Striper {
+ public:
+  explicit Striper(StripeGeometry geometry);
+
+  [[nodiscard]] const StripeGeometry& geometry() const { return geometry_; }
+
+  /// Splits + encodes an object. Objects smaller than k bytes still work
+  /// (shards are zero padded); empty objects produce 1-byte shards so every
+  /// provider slot stores a real fragment.
+  [[nodiscard]] StripeSet encode(common::ByteSpan object) const;
+
+  /// Reassembles the original object from a full shard set.
+  [[nodiscard]] common::Result<common::Bytes> decode(const StripeSet& set) const;
+
+  /// Degraded decode: reconstructs missing shards first (any k suffice),
+  /// then reassembles and CRC-checks the object.
+  [[nodiscard]] common::Result<common::Bytes> decode_degraded(
+      StripeGeometry geometry, std::uint64_t object_size, std::uint32_t crc,
+      std::vector<std::optional<common::Bytes>> shards) const;
+
+  /// Shard size implied by an object size under this geometry.
+  [[nodiscard]] std::size_t shard_size_for(std::uint64_t object_size) const;
+
+ private:
+  StripeGeometry geometry_;
+  ReedSolomon codec_;
+};
+
+}  // namespace hyrd::erasure

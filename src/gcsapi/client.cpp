@@ -1,0 +1,122 @@
+#include "gcsapi/client.h"
+
+#include <cassert>
+
+namespace hyrd::gcs {
+
+CloudClient::CloudClient(cloud::SimProvider* provider, RetryPolicy policy)
+    : provider_(provider), policy_(policy) {
+  assert(provider_ != nullptr);
+}
+
+template <typename ResultT, typename ExecFn>
+ResultT CloudClient::run(cloud::OpKind op, const cloud::ObjectKey& key,
+                         common::ByteSpan body, ExecFn&& exec) {
+  // Round-trip through the RESTful boundary: what we execute is what a real
+  // HTTP deployment would have decoded on the wire.
+  const RestRequest encoded = encode_op(op, key, body);
+  auto parsed = parse_request(serialize(encoded));
+  assert(parsed.is_ok() && "REST serialization must round-trip");
+  auto decoded = decode_op(parsed.value());
+  assert(decoded.is_ok() && decoded.value().op == op &&
+         decoded.value().key == key && "REST op must round-trip");
+  (void)decoded;
+
+  ResultT result;
+  common::SimDuration total_latency = 0;
+  double backoff = policy_.backoff_ms;
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    result = exec();
+    total_latency += result.latency;
+    const bool retryable =
+        result.status.code() == common::StatusCode::kUnavailable
+            ? policy_.retry_unavailable
+            : result.status.code() == common::StatusCode::kInternal;
+    if (result.ok() || !retryable || attempt >= policy_.max_attempts) break;
+    total_latency += common::from_ms(backoff);
+    backoff *= policy_.backoff_multiplier;
+  }
+  result.latency = total_latency;
+
+  record_trace({.provider = provider_->name(),
+                .op = op,
+                .key = key.str(),
+                .bytes = result.bytes_transferred,
+                .latency = total_latency,
+                .status = result.status.code(),
+                .attempts = attempt});
+  return result;
+}
+
+cloud::OpResult CloudClient::create(const std::string& container) {
+  const cloud::ObjectKey key{container, ""};
+  return run<cloud::OpResult>(cloud::OpKind::kCreate, key, {},
+                              [&] { return provider_->create(container); });
+}
+
+cloud::OpResult CloudClient::put(const cloud::ObjectKey& key,
+                                 common::ByteSpan data) {
+  return run<cloud::OpResult>(cloud::OpKind::kPut, key, data,
+                              [&] { return provider_->put(key, data); });
+}
+
+cloud::GetResult CloudClient::get(const cloud::ObjectKey& key) {
+  return run<cloud::GetResult>(cloud::OpKind::kGet, key, {},
+                               [&] { return provider_->get(key); });
+}
+
+cloud::OpResult CloudClient::remove(const cloud::ObjectKey& key) {
+  return run<cloud::OpResult>(cloud::OpKind::kRemove, key, {},
+                              [&] { return provider_->remove(key); });
+}
+
+cloud::ListResult CloudClient::list(const std::string& container) {
+  const cloud::ObjectKey key{container, ""};
+  return run<cloud::ListResult>(cloud::OpKind::kList, key, {},
+                                [&] { return provider_->list(container); });
+}
+
+cloud::GetResult CloudClient::get_range(const cloud::ObjectKey& key,
+                                        std::uint64_t offset,
+                                        std::uint64_t length) {
+  return run<cloud::GetResult>(cloud::OpKind::kGet, key, {}, [&] {
+    return provider_->get_range(key, offset, length);
+  });
+}
+
+cloud::OpResult CloudClient::put_range(const cloud::ObjectKey& key,
+                                       std::uint64_t offset,
+                                       common::ByteSpan data) {
+  return run<cloud::OpResult>(cloud::OpKind::kPut, key, data, [&] {
+    return provider_->put_range(key, offset, data);
+  });
+}
+
+cloud::OpResult CloudClient::ensure_container(const std::string& container) {
+  cloud::OpResult r = create(container);
+  if (r.status.code() == common::StatusCode::kAlreadyExists) {
+    r.status = common::Status::ok();
+  }
+  return r;
+}
+
+std::vector<OpTraceEntry> CloudClient::recent_ops() const {
+  std::lock_guard lock(trace_mu_);
+  return {trace_.begin(), trace_.end()};
+}
+
+void CloudClient::set_trace_capacity(std::size_t n) {
+  std::lock_guard lock(trace_mu_);
+  trace_capacity_ = n;
+  while (trace_.size() > trace_capacity_) trace_.pop_front();
+}
+
+void CloudClient::record_trace(OpTraceEntry entry) {
+  std::lock_guard lock(trace_mu_);
+  trace_.push_back(std::move(entry));
+  while (trace_.size() > trace_capacity_) trace_.pop_front();
+}
+
+}  // namespace hyrd::gcs

@@ -1,0 +1,84 @@
+// CloudClient: the per-provider half of the GCS-API middleware.
+//
+// Every call is encoded to the RESTful wire format, round-tripped through
+// the codec (asserting the middleware boundary is lossless), executed
+// against the provider, and retried under a RetryPolicy. Latencies of all
+// attempts — including backoff — accumulate into the reported latency, in
+// virtual time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "cloud/provider.h"
+#include "gcsapi/rest_codec.h"
+
+namespace hyrd::gcs {
+
+struct RetryPolicy {
+  int max_attempts = 3;          // total tries (1 = no retry)
+  double backoff_ms = 50.0;      // initial backoff
+  double backoff_multiplier = 2.0;
+  bool retry_unavailable = false;  // outages are usually long; off by default
+
+  [[nodiscard]] static RetryPolicy none() { return {.max_attempts = 1}; }
+};
+
+/// One completed middleware operation (for audits and debugging).
+struct OpTraceEntry {
+  std::string provider;
+  cloud::OpKind op;
+  std::string key;
+  std::uint64_t bytes = 0;
+  common::SimDuration latency = 0;
+  common::StatusCode status = common::StatusCode::kOk;
+  int attempts = 1;
+};
+
+class CloudClient {
+ public:
+  CloudClient(cloud::SimProvider* provider, RetryPolicy policy = {});
+
+  [[nodiscard]] const std::string& provider_name() const {
+    return provider_->name();
+  }
+  [[nodiscard]] cloud::SimProvider* provider() const { return provider_; }
+
+  cloud::OpResult create(const std::string& container);
+  cloud::OpResult put(const cloud::ObjectKey& key, common::ByteSpan data);
+  cloud::GetResult get(const cloud::ObjectKey& key);
+  cloud::OpResult remove(const cloud::ObjectKey& key);
+  cloud::ListResult list(const std::string& container);
+
+  /// Range GET (RFC 7233 Range header) / block-overwrite PUT.
+  cloud::GetResult get_range(const cloud::ObjectKey& key, std::uint64_t offset,
+                             std::uint64_t length);
+  cloud::OpResult put_range(const cloud::ObjectKey& key, std::uint64_t offset,
+                            common::ByteSpan data);
+
+  /// Creates the container if it does not exist yet (idempotent setup).
+  cloud::OpResult ensure_container(const std::string& container);
+
+  /// Most recent operations, newest last (bounded ring).
+  [[nodiscard]] std::vector<OpTraceEntry> recent_ops() const;
+  void set_trace_capacity(std::size_t n);
+
+ private:
+  /// Encodes op -> wire -> decode, asserting round-trip fidelity, then
+  /// executes with retries. The returned result carries total latency.
+  template <typename ResultT, typename ExecFn>
+  ResultT run(cloud::OpKind op, const cloud::ObjectKey& key,
+              common::ByteSpan body, ExecFn&& exec);
+
+  void record_trace(OpTraceEntry entry);
+
+  cloud::SimProvider* provider_;
+  RetryPolicy policy_;
+  mutable std::mutex trace_mu_;
+  std::deque<OpTraceEntry> trace_;
+  std::size_t trace_capacity_ = 256;
+};
+
+}  // namespace hyrd::gcs

@@ -1,0 +1,63 @@
+// RESTful wire representation of the five GCS-API functions.
+//
+// The paper's prototype drives every provider through RESTful APIs over
+// RFC 2616 HTTP. We reproduce that boundary faithfully: each GCS-API call
+// is encoded as an HTTP/1.1-style message, and the client round-trips every
+// operation through this codec before it reaches the simulated provider —
+// so the system-level interface is exactly the one a real deployment has.
+//
+// Mapping (container = URL's first path segment):
+//   Create  ->  PUT    /container
+//   Put     ->  PUT    /container/name   (body = object bytes)
+//   Get     ->  GET    /container/name
+//   Remove  ->  DELETE /container/name
+//   List    ->  GET    /container?list
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cloud/object_store.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hyrd::gcs {
+
+struct RestRequest {
+  std::string method;  // GET / PUT / DELETE
+  std::string path;    // /container[/name][?list]
+  std::map<std::string, std::string> headers;
+  common::Bytes body;
+
+  friend bool operator==(const RestRequest&, const RestRequest&) = default;
+};
+
+struct RestResponse {
+  int status_code = 200;
+  std::map<std::string, std::string> headers;
+  common::Bytes body;
+};
+
+/// Builds the request message for one GCS-API operation.
+RestRequest encode_op(cloud::OpKind op, const cloud::ObjectKey& key,
+                      common::ByteSpan body);
+
+/// Inverse of encode_op: recovers (op, key) from a request. Fails on
+/// malformed method/path combinations.
+struct DecodedOp {
+  cloud::OpKind op;
+  cloud::ObjectKey key;
+};
+common::Result<DecodedOp> decode_op(const RestRequest& request);
+
+/// Serializes a request to HTTP/1.1 wire text (headers + binary body).
+common::Bytes serialize(const RestRequest& request);
+
+/// Parses wire text back into a request. Fails on malformed messages.
+common::Result<RestRequest> parse_request(common::ByteSpan wire);
+
+/// Maps a Status onto an HTTP status code and back (provider edge).
+int status_to_http(const common::Status& status);
+common::Status http_to_status(int code, const std::string& message);
+
+}  // namespace hyrd::gcs

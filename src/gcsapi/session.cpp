@@ -1,0 +1,109 @@
+#include "gcsapi/session.h"
+
+#include <algorithm>
+
+namespace hyrd::gcs {
+
+MultiCloudSession::MultiCloudSession(cloud::CloudRegistry& registry,
+                                     RetryPolicy policy, std::size_t threads)
+    : pool_(threads) {
+  clients_.reserve(registry.size());
+  for (const auto& p : registry.all()) {
+    clients_.push_back(std::make_unique<CloudClient>(p.get(), policy));
+  }
+}
+
+std::size_t MultiCloudSession::index_of(
+    const std::string& provider_name) const {
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (clients_[i]->provider_name() == provider_name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+common::Status MultiCloudSession::ensure_container_everywhere(
+    const std::string& container) {
+  for (auto& c : clients_) {
+    auto r = c->ensure_container(container);
+    if (!r.ok() &&
+        r.status.code() != common::StatusCode::kUnavailable) {
+      return r.status;
+    }
+  }
+  return common::Status::ok();
+}
+
+std::vector<cloud::OpResult> MultiCloudSession::parallel_put(
+    std::span<const BatchPut> ops, common::SimDuration* batch_latency) {
+  std::vector<cloud::OpResult> results(ops.size());
+  pool_.parallel_for(ops.size(), [&](std::size_t i) {
+    results[i] = clients_[ops[i].client_index]->put(ops[i].key, ops[i].data);
+  });
+  if (batch_latency != nullptr) {
+    common::SimDuration max_lat = 0;
+    for (const auto& r : results) max_lat = std::max(max_lat, r.latency);
+    *batch_latency = max_lat;
+  }
+  return results;
+}
+
+std::vector<cloud::GetResult> MultiCloudSession::parallel_get(
+    std::span<const BatchGet> ops, common::SimDuration* batch_latency) {
+  std::vector<cloud::GetResult> results(ops.size());
+  pool_.parallel_for(ops.size(), [&](std::size_t i) {
+    results[i] = clients_[ops[i].client_index]->get(ops[i].key);
+  });
+  if (batch_latency != nullptr) {
+    common::SimDuration max_lat = 0;
+    for (const auto& r : results) max_lat = std::max(max_lat, r.latency);
+    *batch_latency = max_lat;
+  }
+  return results;
+}
+
+std::vector<cloud::GetResult> MultiCloudSession::parallel_get_range(
+    std::span<const BatchRangeGet> ops, common::SimDuration* batch_latency) {
+  std::vector<cloud::GetResult> results(ops.size());
+  pool_.parallel_for(ops.size(), [&](std::size_t i) {
+    results[i] = clients_[ops[i].client_index]->get_range(
+        ops[i].key, ops[i].offset, ops[i].length);
+  });
+  if (batch_latency != nullptr) {
+    common::SimDuration max_lat = 0;
+    for (const auto& r : results) max_lat = std::max(max_lat, r.latency);
+    *batch_latency = max_lat;
+  }
+  return results;
+}
+
+std::vector<cloud::OpResult> MultiCloudSession::parallel_put_range(
+    std::span<const BatchRangePut> ops, common::SimDuration* batch_latency) {
+  std::vector<cloud::OpResult> results(ops.size());
+  pool_.parallel_for(ops.size(), [&](std::size_t i) {
+    results[i] = clients_[ops[i].client_index]->put_range(
+        ops[i].key, ops[i].offset, ops[i].data);
+  });
+  if (batch_latency != nullptr) {
+    common::SimDuration max_lat = 0;
+    for (const auto& r : results) max_lat = std::max(max_lat, r.latency);
+    *batch_latency = max_lat;
+  }
+  return results;
+}
+
+std::vector<cloud::OpResult> MultiCloudSession::parallel_remove(
+    const std::vector<std::size_t>& client_indices,
+    const cloud::ObjectKey& key, common::SimDuration* batch_latency) {
+  std::vector<cloud::OpResult> results(client_indices.size());
+  pool_.parallel_for(client_indices.size(), [&](std::size_t i) {
+    results[i] = clients_[client_indices[i]]->remove(key);
+  });
+  if (batch_latency != nullptr) {
+    common::SimDuration max_lat = 0;
+    for (const auto& r : results) max_lat = std::max(max_lat, r.latency);
+    *batch_latency = max_lat;
+  }
+  return results;
+}
+
+}  // namespace hyrd::gcs

@@ -1,0 +1,72 @@
+// FileMeta: the client-side inode. Records a logical file's size, version,
+// integrity digest, and *where its redundancy lives* — which providers hold
+// which replicas or which erasure shards.
+//
+// Metadata is itself data: FileMeta records are grouped per directory
+// (paper §III-C, "groups the metadata in a directory together to exploit
+// the access locality") and the resulting blocks are replicated on
+// performance-oriented providers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hyrd::meta {
+
+enum class RedundancyKind : std::uint8_t {
+  kReplicated = 0,
+  kErasure = 1,
+};
+
+constexpr std::string_view redundancy_name(RedundancyKind k) {
+  return k == RedundancyKind::kReplicated ? "replicated" : "erasure";
+}
+
+/// One stored fragment: which provider, and the object name there.
+struct FragmentLocation {
+  std::string provider;
+  std::string object_name;
+
+  friend bool operator==(const FragmentLocation&,
+                         const FragmentLocation&) = default;
+};
+
+struct FileMeta {
+  std::string path;   // logical path, e.g. "/mail/inbox/0001"
+  std::uint64_t size = 0;
+  std::int64_t mtime = 0;   // virtual nanoseconds
+  std::uint64_t version = 0;  // bumped on every write
+  RedundancyKind redundancy = RedundancyKind::kReplicated;
+  std::uint32_t crc = 0;      // CRC32C of the full object
+
+  // Replication: `locations` holds one entry per replica.
+  // Erasure: `locations` holds k data + m parity shard slots in code order.
+  std::vector<FragmentLocation> locations;
+  std::uint32_t stripe_k = 0;
+  std::uint32_t stripe_m = 0;
+  std::uint64_t shard_size = 0;
+
+  /// Per-fragment CRC32C digests (code order, erasure only; empty for
+  /// replication). Lets the read path pinpoint a silently corrupted
+  /// fragment and treat it as an erasure instead of failing the object.
+  /// 0 entries mean "digest unknown" (after an in-place block update).
+  std::vector<std::uint32_t> fragment_crcs;
+
+  friend bool operator==(const FileMeta&, const FileMeta&) = default;
+
+  /// Directory component of `path` ("/" for top-level files).
+  [[nodiscard]] std::string directory() const;
+  [[nodiscard]] std::string filename() const;
+
+  void serialize(class Writer& w) const;
+  static common::Result<FileMeta> deserialize(class Reader& r);
+};
+
+/// Splits a logical path into (directory, filename).
+std::pair<std::string, std::string> split_path(const std::string& path);
+
+}  // namespace hyrd::meta

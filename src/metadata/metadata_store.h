@@ -1,0 +1,46 @@
+// MetadataStore: the client-resident file-system metadata map, grouped per
+// directory so each directory serializes to one block (the replication unit
+// shipped to performance-oriented providers).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metadata/file_meta.h"
+
+namespace hyrd::meta {
+
+class MetadataStore {
+ public:
+  /// Inserts or overwrites the record for meta.path.
+  void upsert(FileMeta meta);
+
+  [[nodiscard]] std::optional<FileMeta> lookup(const std::string& path) const;
+
+  /// Removes a record; false if absent.
+  bool erase(const std::string& path);
+
+  [[nodiscard]] std::size_t file_count() const;
+  [[nodiscard]] std::vector<std::string> directories() const;
+  [[nodiscard]] std::vector<FileMeta> files_in(const std::string& dir) const;
+  [[nodiscard]] std::vector<std::string> all_paths() const;
+
+  /// Serializes one directory's records into a metadata block.
+  [[nodiscard]] common::Bytes serialize_directory(const std::string& dir) const;
+
+  /// Merges a metadata block's records into the store. Records already
+  /// present with a newer version win (last-writer-wins per file).
+  common::Status load_directory_block(common::ByteSpan block);
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  // dir -> filename -> meta
+  std::map<std::string, std::map<std::string, FileMeta>> dirs_;
+};
+
+}  // namespace hyrd::meta

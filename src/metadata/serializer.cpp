@@ -1,0 +1,98 @@
+#include "metadata/serializer.h"
+
+namespace hyrd::meta {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+  }
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::bytes(common::ByteSpan b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+common::Status Reader::need(std::size_t n) {
+  if (pos_ + n > data_.size()) {
+    return common::invalid_argument("truncated metadata record");
+  }
+  return common::Status::ok();
+}
+
+common::Result<std::uint8_t> Reader::u8() {
+  if (auto st = need(1); !st.is_ok()) return st;
+  return data_[pos_++];
+}
+
+common::Result<std::uint16_t> Reader::u16() {
+  if (auto st = need(2); !st.is_ok()) return st;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+common::Result<std::uint32_t> Reader::u32() {
+  if (auto st = need(4); !st.is_ok()) return st;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (i * 8);
+  }
+  pos_ += 4;
+  return v;
+}
+
+common::Result<std::uint64_t> Reader::u64() {
+  if (auto st = need(8); !st.is_ok()) return st;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (i * 8);
+  }
+  pos_ += 8;
+  return v;
+}
+
+common::Result<std::int64_t> Reader::i64() {
+  auto v = u64();
+  if (!v.is_ok()) return v.status();
+  return static_cast<std::int64_t>(v.value());
+}
+
+common::Result<std::string> Reader::str() {
+  auto len = u32();
+  if (!len.is_ok()) return len.status();
+  if (auto st = need(len.value()); !st.is_ok()) return st;
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                  len.value());
+  pos_ += len.value();
+  return out;
+}
+
+common::Result<common::Bytes> Reader::bytes() {
+  auto len = u32();
+  if (!len.is_ok()) return len.status();
+  if (auto st = need(len.value()); !st.is_ok()) return st;
+  common::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
+  pos_ += len.value();
+  return out;
+}
+
+}  // namespace hyrd::meta

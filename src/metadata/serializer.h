@@ -1,0 +1,57 @@
+// Little-endian binary (de)serialization for metadata blocks and log
+// records. Reader is fully bounds-checked: corrupt or truncated input
+// surfaces as a Status, never UB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hyrd::meta {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed (u32) string.
+  void str(std::string_view s);
+
+  /// Length-prefixed (u32) raw bytes.
+  void bytes(common::ByteSpan b);
+
+  [[nodiscard]] const common::Bytes& data() const { return buf_; }
+  [[nodiscard]] common::Bytes take() { return std::move(buf_); }
+
+ private:
+  common::Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(common::ByteSpan data) : data_(data) {}
+
+  common::Result<std::uint8_t> u8();
+  common::Result<std::uint16_t> u16();
+  common::Result<std::uint32_t> u32();
+  common::Result<std::uint64_t> u64();
+  common::Result<std::int64_t> i64();
+  common::Result<std::string> str();
+  common::Result<common::Bytes> bytes();
+
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  common::Status need(std::size_t n);
+
+  common::ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hyrd::meta

@@ -1,0 +1,123 @@
+#include "metadata/update_log.h"
+
+#include <algorithm>
+#include <map>
+
+#include "metadata/serializer.h"
+
+namespace hyrd::meta {
+
+namespace {
+constexpr std::uint32_t kLogMagic = 0x4C4F4731;  // "LOG1"
+}
+
+std::uint64_t UpdateLog::append(std::string provider, std::string container,
+                                std::string path, std::string object_name,
+                                LogAction action) {
+  std::lock_guard lock(mu_);
+  LogRecord rec{next_seq_++,         std::move(provider),
+                std::move(container), std::move(path),
+                std::move(object_name), action};
+  records_.push_back(std::move(rec));
+  return records_.back().seq;
+}
+
+std::vector<LogRecord> UpdateLog::pending_for(
+    const std::string& provider) const {
+  std::lock_guard lock(mu_);
+  // Compaction: keep only the last record per object name.
+  std::map<std::string, const LogRecord*> latest;
+  for (const auto& r : records_) {
+    if (r.provider == provider) latest[r.object_name] = &r;
+  }
+  std::vector<LogRecord> out;
+  out.reserve(latest.size());
+  for (const auto& [name, rec] : latest) out.push_back(*rec);
+  std::sort(out.begin(), out.end(),
+            [](const LogRecord& a, const LogRecord& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void UpdateLog::truncate(const std::string& provider,
+                         std::uint64_t through_seq) {
+  std::lock_guard lock(mu_);
+  std::erase_if(records_, [&](const LogRecord& r) {
+    return r.provider == provider && r.seq <= through_seq;
+  });
+}
+
+std::size_t UpdateLog::size() const {
+  std::lock_guard lock(mu_);
+  return records_.size();
+}
+
+common::Bytes UpdateLog::serialize() const {
+  std::lock_guard lock(mu_);
+  Writer w;
+  w.u32(kLogMagic);
+  w.u64(next_seq_);
+  w.u32(static_cast<std::uint32_t>(records_.size()));
+  for (const auto& r : records_) {
+    w.u64(r.seq);
+    w.str(r.provider);
+    w.str(r.container);
+    w.str(r.path);
+    w.str(r.object_name);
+    w.u8(static_cast<std::uint8_t>(r.action));
+  }
+  return w.take();
+}
+
+common::Status UpdateLog::restore(common::ByteSpan data) {
+  Reader r(data);
+  auto magic = r.u32();
+  if (!magic.is_ok()) return magic.status();
+  if (magic.value() != kLogMagic) {
+    return common::invalid_argument("bad update-log magic");
+  }
+  auto next = r.u64();
+  if (!next.is_ok()) return next.status();
+  auto count = r.u32();
+  if (!count.is_ok()) return count.status();
+
+  // Each record carries a u64 seq + four length-prefixed fields + action:
+  // at least 21 bytes. Bound the reserve by the actual payload so hostile
+  // counts fail cleanly instead of allocating.
+  if (count.value() > r.remaining() / 21) {
+    return common::invalid_argument("record count exceeds payload");
+  }
+  std::vector<LogRecord> recs;
+  recs.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    LogRecord rec;
+    auto seq = r.u64();
+    if (!seq.is_ok()) return seq.status();
+    rec.seq = seq.value();
+    auto provider = r.str();
+    if (!provider.is_ok()) return provider.status();
+    rec.provider = std::move(provider).value();
+    auto container = r.str();
+    if (!container.is_ok()) return container.status();
+    rec.container = std::move(container).value();
+    auto path = r.str();
+    if (!path.is_ok()) return path.status();
+    rec.path = std::move(path).value();
+    auto object_name = r.str();
+    if (!object_name.is_ok()) return object_name.status();
+    rec.object_name = std::move(object_name).value();
+    auto action = r.u8();
+    if (!action.is_ok()) return action.status();
+    if (action.value() > 1) {
+      return common::invalid_argument("bad log action");
+    }
+    rec.action = static_cast<LogAction>(action.value());
+    recs.push_back(std::move(rec));
+  }
+
+  std::lock_guard lock(mu_);
+  next_seq_ = next.value();
+  records_ = std::move(recs);
+  return common::Status::ok();
+}
+
+}  // namespace hyrd::meta

@@ -1,0 +1,59 @@
+// UpdateLog: the write/update log the paper's recovery design keeps during
+// a provider outage (§III-C). While a provider is offline, every mutation
+// that *would* have touched it is appended here; when the provider returns,
+// the log drives consistency updates and is then truncated.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hyrd::meta {
+
+enum class LogAction : std::uint8_t {
+  kPut = 0,     // object on the offline provider is stale; re-push
+  kRemove = 1,  // object was deleted while provider was offline
+};
+
+struct LogRecord {
+  std::uint64_t seq = 0;
+  std::string provider;     // the offline provider this record targets
+  std::string container;    // provider-side container of the stale object
+  std::string path;         // logical file path (or synthetic meta path)
+  std::string object_name;  // provider-side object name
+  LogAction action = LogAction::kPut;
+};
+
+class UpdateLog {
+ public:
+  /// Appends a record; assigns and returns its sequence number.
+  std::uint64_t append(std::string provider, std::string container,
+                       std::string path, std::string object_name,
+                       LogAction action);
+
+  /// All pending records for one provider, in sequence order. Later
+  /// records for the same object supersede earlier ones (compacted view).
+  [[nodiscard]] std::vector<LogRecord> pending_for(
+      const std::string& provider) const;
+
+  /// Drops every record for `provider` with seq <= through_seq.
+  void truncate(const std::string& provider, std::uint64_t through_seq);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Serialized form (crash-consistency snapshot; round-trips in tests).
+  [[nodiscard]] common::Bytes serialize() const;
+  common::Status restore(common::ByteSpan data);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace hyrd::meta

@@ -1,0 +1,57 @@
+#include "workload/ia_trace.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace hyrd::workload {
+
+std::vector<MonthSpec> synthesize_ia_trace(const IaTraceParams& params) {
+  common::Xoshiro256 rng(params.seed);
+  std::vector<MonthSpec> trace;
+  trace.reserve(static_cast<std::size_t>(params.months));
+
+  for (int m = 0; m < params.months; ++m) {
+    MonthSpec spec;
+    spec.month = m;
+
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(m) /
+                         static_cast<double>(params.months);
+    const double season = 1.0 + params.seasonal_amplitude * std::sin(phase);
+    const double w_noise = rng.lognormal(0.0, params.noise_sigma);
+    const double r_noise = rng.lognormal(0.0, params.noise_sigma);
+
+    const double writes =
+        params.mean_monthly_write_bytes * season * w_noise;
+    // Reads ripple half a season out of phase with writes (archive reads
+    // spike when ingest is quiet), preserving the annual byte ratio.
+    const double r_season =
+        1.0 + params.seasonal_amplitude *
+                  std::sin(phase + std::numbers::pi / 3.0);
+    const double reads = params.mean_monthly_write_bytes *
+                         params.read_write_byte_ratio * r_season * r_noise;
+
+    spec.bytes_written = static_cast<std::uint64_t>(writes);
+    spec.bytes_read = static_cast<std::uint64_t>(reads);
+    spec.write_requests = static_cast<std::uint64_t>(
+        writes / params.mean_write_object_bytes);
+    spec.read_requests = static_cast<std::uint64_t>(
+        static_cast<double>(spec.write_requests) *
+        params.read_write_request_ratio * r_noise / w_noise);
+    trace.push_back(spec);
+  }
+  return trace;
+}
+
+TraceTotals trace_totals(const std::vector<MonthSpec>& trace) {
+  TraceTotals totals;
+  for (const auto& m : trace) {
+    totals.bytes_written += m.bytes_written;
+    totals.bytes_read += m.bytes_read;
+    totals.write_requests += m.write_requests;
+    totals.read_requests += m.read_requests;
+  }
+  return totals;
+}
+
+}  // namespace hyrd::workload

@@ -1,0 +1,32 @@
+#include "workload/popularity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hyrd::workload {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  assert(n > 0);
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(common::Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t i) const {
+  assert(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace hyrd::workload

@@ -1,0 +1,35 @@
+// Access-popularity models. Real object-store traffic is heavily skewed —
+// a few hot objects take most reads (the premise behind Fig. 2's
+// "frequently accessed large files are also placed in performance-
+// oriented providers"). ZipfSampler draws ranks 0..n-1 with
+// P(rank i) ∝ 1/(i+1)^s via a precomputed CDF.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hyrd::workload {
+
+class ZipfSampler {
+ public:
+  /// `s` is the skew exponent: 0 = uniform, ~1 = classic Zipf, larger =
+  /// hotter head.
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double skew() const { return s_; }
+
+  /// Draws a rank in [0, n).
+  std::size_t sample(common::Xoshiro256& rng) const;
+
+  /// Probability mass of rank i (for tests / analysis).
+  [[nodiscard]] double pmf(std::size_t i) const;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace hyrd::workload

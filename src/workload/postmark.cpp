@@ -1,0 +1,151 @@
+#include "workload/postmark.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+
+namespace hyrd::workload {
+
+std::uint64_t PostMark::draw_size(common::Xoshiro256& rng) const {
+  switch (config_.size_mode) {
+    case SizeMode::kMixture: {
+      const SizeDist dist(config_.mixture);
+      return std::clamp(dist.sample(rng), config_.min_size, config_.max_size);
+    }
+    case SizeMode::kLogUniform: {
+      const double lo = std::log(static_cast<double>(config_.min_size));
+      const double hi = std::log(static_cast<double>(config_.max_size));
+      return static_cast<std::uint64_t>(
+          std::exp(lo + (hi - lo) * rng.uniform()));
+    }
+    case SizeMode::kUniform:
+      return rng.uniform_int(config_.min_size, config_.max_size);
+  }
+  return config_.min_size;
+}
+
+PostMarkReport PostMark::run(core::StorageClient& client) const {
+  PostMarkReport report;
+  report.client = client.name();
+  common::Xoshiro256 rng(config_.seed);
+
+  struct PoolFile {
+    std::string path;
+    std::uint64_t size;
+  };
+  std::vector<PoolFile> pool;
+  pool.reserve(config_.initial_files + config_.transactions);
+  std::size_t next_id = 0;
+
+  // Pick a transaction target with the configured small-file access skew.
+  auto pick_victim = [&]() -> std::size_t {
+    std::vector<std::size_t> small_idx, large_idx;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      (pool[i].size <= config_.small_cut ? small_idx : large_idx).push_back(i);
+    }
+    if (small_idx.empty()) return large_idx[rng.uniform_int(0, large_idx.size() - 1)];
+    if (large_idx.empty()) return small_idx[rng.uniform_int(0, small_idx.size() - 1)];
+    const auto& side =
+        rng.chance(config_.small_txn_bias) ? small_idx : large_idx;
+    return side[rng.uniform_int(0, side.size() - 1)];
+  };
+
+  auto make_path = [&](std::size_t id) {
+    const std::size_t sub = id % std::max<std::size_t>(config_.subdirectories, 1);
+    return "/postmark/s" + std::to_string(sub) + "/f" + std::to_string(id);
+  };
+
+  auto create_file = [&](common::Samples& samples) {
+    const std::uint64_t size = draw_size(rng);
+    const std::string path = make_path(next_id++);
+    const common::Bytes data = common::patterned(size, rng());
+    auto r = client.put(path, data);
+    samples.add(common::to_ms(r.latency));
+    report.all_ms.add(common::to_ms(r.latency));
+    if (r.status.is_ok()) {
+      pool.push_back({path, size});
+      report.bytes_written += size;
+    } else {
+      ++report.failed;
+    }
+  };
+
+  // Phase 1: initial pool.
+  for (std::size_t i = 0; i < config_.initial_files; ++i) {
+    create_file(report.create_ms);
+    ++report.creates;
+  }
+
+  // Phase 2: transactions.
+  const double total_w =
+      config_.w_read + config_.w_update + config_.w_create + config_.w_delete;
+  for (std::size_t t = 0; t < config_.transactions; ++t) {
+    double u = rng.uniform() * total_w;
+    if (pool.empty()) {
+      create_file(report.create_ms);
+      ++report.creates;
+      continue;
+    }
+    if (u < config_.w_read) {
+      const auto& f = pool[pick_victim()];
+      auto r = client.get(f.path);
+      report.read_ms.add(common::to_ms(r.latency));
+      report.all_ms.add(common::to_ms(r.latency));
+      ++report.reads;
+      if (r.status.is_ok()) {
+        report.bytes_read += r.data.size();
+        if (r.degraded) ++report.degraded_reads;
+      } else {
+        ++report.failed;
+      }
+      continue;
+    }
+    u -= config_.w_read;
+    if (u < config_.w_update) {
+      const auto& f = pool[pick_victim()];
+      const std::uint64_t block = std::min(config_.update_block, f.size);
+      const std::uint64_t offset =
+          f.size > block ? rng.uniform_int(0, f.size - block) : 0;
+      const common::Bytes data = common::patterned(block, rng());
+      auto r = client.update(f.path, offset, data);
+      report.update_ms.add(common::to_ms(r.latency));
+      report.all_ms.add(common::to_ms(r.latency));
+      ++report.updates;
+      if (r.status.is_ok()) {
+        report.bytes_written += block;
+      } else {
+        ++report.failed;
+      }
+      continue;
+    }
+    u -= config_.w_update;
+    if (u < config_.w_create) {
+      create_file(report.create_ms);
+      ++report.creates;
+      continue;
+    }
+    // Delete.
+    const std::size_t victim = rng.uniform_int(0, pool.size() - 1);
+    auto r = client.remove(pool[victim].path);
+    report.delete_ms.add(common::to_ms(r.latency));
+    report.all_ms.add(common::to_ms(r.latency));
+    ++report.deletes;
+    if (!r.status.is_ok()) ++report.failed;
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+
+  // Phase 3: cleanup.
+  if (config_.cleanup) {
+    for (const auto& f : pool) {
+      auto r = client.remove(f.path);
+      report.delete_ms.add(common::to_ms(r.latency));
+      ++report.deletes;
+      if (!r.status.is_ok()) ++report.failed;
+    }
+    pool.clear();
+  }
+  return report;
+}
+
+}  // namespace hyrd::workload

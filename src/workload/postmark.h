@@ -1,0 +1,88 @@
+// PostMark: from-scratch reimplementation of Katcher's small-file benchmark
+// (the tool the paper uses for Figures 5 and 6).
+//
+// Phase 1 creates an initial pool of files with sizes uniform in
+// [min_size, max_size]; phase 2 runs a transaction mix of reads, updates
+// (the classic PostMark "append"), creates and deletes against the pool;
+// phase 3 optionally deletes everything. All latencies are virtual and per
+// transaction-type percentiles come back in the report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/storage_client.h"
+#include "workload/size_dist.h"
+
+namespace hyrd::workload {
+
+/// How PostMark draws file sizes within [min_size, max_size].
+enum class SizeMode {
+  kMixture,     // Agrawal-style small/medium/large mixture (default; the
+                // "random text and image files" population of the paper)
+  kLogUniform,  // uniform in log-size
+  kUniform,     // classic PostMark: uniform in bytes
+};
+
+struct PostMarkConfig {
+  std::size_t initial_files = 50;
+  std::size_t transactions = 200;
+  std::uint64_t min_size = 1024;                 // 1 KB (paper)
+  std::uint64_t max_size = 100ull * 1024 * 1024; // 100 MB (paper)
+  // Transaction mix (weights; normalized internally). PostMark's default
+  // biases read/append vs create/delete 1:1 and read vs append 1:1.
+  double w_read = 5.0;
+  double w_update = 3.0;
+  double w_create = 1.0;
+  double w_delete = 1.0;
+  std::uint64_t update_block = 4096;  // bytes rewritten by an update txn
+  std::size_t subdirectories = 10;
+  bool cleanup = false;  // phase 3
+  std::uint64_t seed = 20150529;     // IPDPS'15 conference date
+  SizeMode size_mode = SizeMode::kMixture;
+  SizeDistParams mixture = {};       // used when size_mode == kMixture
+
+  /// Access skew (paper §II-B, citing Agrawal/Lofstead: "small files that
+  /// are 4 KB or smaller account for the most user accesses"): probability
+  /// that a read/update transaction targets the small-file population when
+  /// both populations exist. 0.5 disables the skew.
+  double small_txn_bias = 0.8;
+  std::uint64_t small_cut = 64 * 1024;  // pool split point
+};
+
+struct PostMarkReport {
+  std::string client;
+  std::size_t reads = 0, updates = 0, creates = 0, deletes = 0;
+  std::uint64_t bytes_read = 0, bytes_written = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t degraded_reads = 0;
+  common::Samples read_ms;
+  common::Samples update_ms;
+  common::Samples create_ms;
+  common::Samples delete_ms;
+  common::Samples all_ms;
+
+  [[nodiscard]] double mean_latency_ms() const { return all_ms.mean(); }
+};
+
+class PostMark {
+ public:
+  explicit PostMark(PostMarkConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const PostMarkConfig& config() const { return config_; }
+
+  /// Runs the benchmark against `client`. Deterministic given the seed:
+  /// the same op sequence (paths, sizes, order) is issued to every client,
+  /// making scheme comparisons paired.
+  PostMarkReport run(core::StorageClient& client) const;
+
+ private:
+  std::uint64_t draw_size(common::Xoshiro256& rng) const;
+
+  PostMarkConfig config_;
+};
+
+}  // namespace hyrd::workload

@@ -1,0 +1,40 @@
+#include "workload/size_dist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyrd::workload {
+
+namespace {
+
+std::uint64_t clamped_lognormal(common::Xoshiro256& rng, double median,
+                                double sigma, std::uint64_t lo,
+                                std::uint64_t hi) {
+  const double v = rng.lognormal(std::log(median), sigma);
+  const auto bytes = static_cast<std::uint64_t>(v);
+  return std::clamp(bytes, lo, hi);
+}
+
+}  // namespace
+
+std::uint64_t SizeDist::sample(common::Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  if (u < params_.p_small) return sample_small(rng);
+  if (u < params_.p_small + params_.p_medium) {
+    return clamped_lognormal(rng, params_.medium_median, params_.medium_sigma,
+                             params_.medium_min, params_.medium_max);
+  }
+  return sample_large(rng);
+}
+
+std::uint64_t SizeDist::sample_small(common::Xoshiro256& rng) const {
+  return clamped_lognormal(rng, params_.small_median, params_.small_sigma,
+                           params_.small_min, params_.small_max);
+}
+
+std::uint64_t SizeDist::sample_large(common::Xoshiro256& rng) const {
+  return clamped_lognormal(rng, params_.large_median, params_.large_sigma,
+                           params_.large_min, params_.large_max);
+}
+
+}  // namespace hyrd::workload

@@ -1,0 +1,54 @@
+// File-size distributions matching the workload facts HyRD's policy is
+// built on (paper §II-B, citing Agrawal et al. FAST'07):
+//   * more than 50 % of files are 4 KB or smaller;
+//   * files of a few MB (3–9 MB) hold ~80 % of total bytes;
+//   * large files are 10–20 % of the population.
+// Modelled as a three-component clamped-lognormal mixture.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace hyrd::workload {
+
+struct SizeDistParams {
+  // Component weights (must sum to 1).
+  double p_small = 0.54;   // <= 4 KB regime
+  double p_medium = 0.30;  // 4 KB .. 1 MB regime
+  double p_large = 0.16;   // multi-MB regime
+
+  // Lognormal (median, sigma) per component, with clamping bounds.
+  double small_median = 1800.0;
+  double small_sigma = 0.7;
+  std::uint64_t small_min = 256, small_max = 4 * 1024;
+
+  double medium_median = 48.0 * 1024;
+  double medium_sigma = 1.1;
+  std::uint64_t medium_min = 4 * 1024 + 1, medium_max = 1024 * 1024;
+
+  double large_median = 5.0 * 1024 * 1024;
+  double large_sigma = 0.55;
+  std::uint64_t large_min = 1024 * 1024 + 1,
+                large_max = 100ull * 1024 * 1024;
+};
+
+class SizeDist {
+ public:
+  explicit SizeDist(SizeDistParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const SizeDistParams& params() const { return params_; }
+
+  /// Draws one file size in bytes.
+  std::uint64_t sample(common::Xoshiro256& rng) const;
+
+  /// Draws a size from only the small (<=4 KB) component.
+  std::uint64_t sample_small(common::Xoshiro256& rng) const;
+  /// Draws a size from only the large (multi-MB) component.
+  std::uint64_t sample_large(common::Xoshiro256& rng) const;
+
+ private:
+  SizeDistParams params_;
+};
+
+}  // namespace hyrd::workload

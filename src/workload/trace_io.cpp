@@ -1,0 +1,92 @@
+#include "workload/trace_io.h"
+
+#include <charconv>
+
+namespace hyrd::workload {
+
+namespace {
+constexpr std::string_view kHeader =
+    "month,bytes_written,bytes_read,write_requests,read_requests";
+
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+template <typename T>
+bool parse_number(std::string_view field, T& out) {
+  auto [p, ec] = std::from_chars(field.data(), field.data() + field.size(),
+                                 out);
+  return ec == std::errc{} && p == field.data() + field.size();
+}
+
+}  // namespace
+
+std::string trace_to_csv(const std::vector<MonthSpec>& trace) {
+  std::string out(kHeader);
+  out += '\n';
+  for (const auto& m : trace) {
+    out += std::to_string(m.month) + ',' + std::to_string(m.bytes_written) +
+           ',' + std::to_string(m.bytes_read) + ',' +
+           std::to_string(m.write_requests) + ',' +
+           std::to_string(m.read_requests) + '\n';
+  }
+  return out;
+}
+
+common::Result<std::vector<MonthSpec>> trace_from_csv(std::string_view csv) {
+  std::vector<MonthSpec> trace;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto end = csv.find('\n', start);
+    std::string_view line = strip_cr(
+        csv.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                        : end - start));
+    start = end == std::string_view::npos ? csv.size() + 1 : end + 1;
+    ++line_no;
+
+    if (line.empty()) continue;
+    if (line_no == 1) {
+      if (line != kHeader) {
+        return common::invalid_argument("bad CSV header: " +
+                                        std::string(line));
+      }
+      continue;
+    }
+
+    MonthSpec spec;
+    std::string_view fields[5];
+    std::size_t field_count = 0;
+    std::size_t field_start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        if (field_count >= 5) {
+          return common::invalid_argument(
+              "too many fields on line " + std::to_string(line_no));
+        }
+        fields[field_count++] = line.substr(field_start, i - field_start);
+        field_start = i + 1;
+      }
+    }
+    if (field_count != 5) {
+      return common::invalid_argument("expected 5 fields on line " +
+                                      std::to_string(line_no));
+    }
+    if (!parse_number(fields[0], spec.month) ||
+        !parse_number(fields[1], spec.bytes_written) ||
+        !parse_number(fields[2], spec.bytes_read) ||
+        !parse_number(fields[3], spec.write_requests) ||
+        !parse_number(fields[4], spec.read_requests)) {
+      return common::invalid_argument("non-numeric field on line " +
+                                      std::to_string(line_no));
+    }
+    trace.push_back(spec);
+  }
+  if (trace.empty()) {
+    return common::invalid_argument("trace CSV holds no data rows");
+  }
+  return trace;
+}
+
+}  // namespace hyrd::workload

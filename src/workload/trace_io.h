@@ -1,0 +1,26 @@
+// CSV import/export for monthly trace aggregates, so the cost simulator
+// can consume *real* trace summaries (e.g. actual Internet Archive
+// numbers, if you have them) instead of the built-in synthesizer — and so
+// synthesized traces can be exported for plotting.
+//
+// Format (header required, one row per month):
+//   month,bytes_written,bytes_read,write_requests,read_requests
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/ia_trace.h"
+
+namespace hyrd::workload {
+
+/// Serializes a trace to CSV.
+std::string trace_to_csv(const std::vector<MonthSpec>& trace);
+
+/// Parses a CSV trace. Validates the header, field count, and numeric
+/// fields; tolerates trailing newlines and \r\n line endings.
+common::Result<std::vector<MonthSpec>> trace_from_csv(std::string_view csv);
+
+}  // namespace hyrd::workload

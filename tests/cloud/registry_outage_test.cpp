@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "cloud/outage.h"
+#include "cloud/profiles.h"
+#include "cloud/registry.h"
+
+namespace hyrd::cloud {
+namespace {
+
+TEST(CloudRegistry, InstallStandardFour) {
+  CloudRegistry reg;
+  install_standard_four(reg, 1);
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_NE(reg.find("AmazonS3"), nullptr);
+  EXPECT_NE(reg.find("WindowsAzure"), nullptr);
+  EXPECT_NE(reg.find("Aliyun"), nullptr);
+  EXPECT_NE(reg.find("Rackspace"), nullptr);
+  EXPECT_EQ(reg.find("Nimbus"), nullptr);
+}
+
+TEST(CloudRegistry, OnlineFiltering) {
+  CloudRegistry reg;
+  install_standard_four(reg, 1);
+  EXPECT_EQ(reg.online().size(), 4u);
+  reg.find("AmazonS3")->set_online(false);
+  EXPECT_EQ(reg.online().size(), 3u);
+}
+
+TEST(CloudRegistry, DeclaredCategoryQueries) {
+  CloudRegistry reg;
+  install_standard_four(reg, 1);
+  const auto perf = reg.by_declared_category(/*performance=*/true, false);
+  ASSERT_EQ(perf.size(), 2u);  // Azure + Aliyun
+  const auto cost = reg.by_declared_category(false, /*cost=*/true);
+  EXPECT_EQ(cost.size(), 3u);  // S3 + Aliyun + Rackspace
+}
+
+TEST(CloudRegistry, CumulativeCostAggregates) {
+  CloudRegistry reg;
+  install_standard_four(reg, 1);
+  auto* s3 = reg.find("AmazonS3");
+  s3->create("c");
+  s3->put({"c", "k"}, common::Bytes(1'000'000'000ull, 0));
+  reg.close_month_all();
+  EXPECT_NEAR(reg.cumulative_cost(), 0.033 + 0.047 / 1e4 * 2, 1e-9);
+}
+
+TEST(OutageController, TakeDownAndRestore) {
+  CloudRegistry reg;
+  install_standard_four(reg, 1);
+  OutageController ctl(reg);
+
+  EXPECT_TRUE(ctl.take_down("WindowsAzure"));
+  EXPECT_FALSE(reg.find("WindowsAzure")->online());
+  EXPECT_EQ(ctl.offline_providers(),
+            std::vector<std::string>{"WindowsAzure"});
+
+  EXPECT_TRUE(ctl.restore("WindowsAzure"));
+  EXPECT_TRUE(reg.find("WindowsAzure")->online());
+  EXPECT_TRUE(ctl.offline_providers().empty());
+}
+
+TEST(OutageController, UnknownProviderReturnsFalse) {
+  CloudRegistry reg;
+  OutageController ctl(reg);
+  EXPECT_FALSE(ctl.take_down("nope"));
+  EXPECT_FALSE(ctl.restore("nope"));
+  EXPECT_FALSE(ctl.destroy("nope"));
+}
+
+TEST(OutageController, DestroyWipes) {
+  CloudRegistry reg;
+  install_standard_four(reg, 1);
+  auto* ali = reg.find("Aliyun");
+  ali->create("c");
+  ali->put({"c", "k"}, common::bytes_of("v"));
+  OutageController ctl(reg);
+  ASSERT_TRUE(ctl.destroy("Aliyun"));
+  ali->set_online(true);
+  EXPECT_EQ(ali->get({"c", "k"}).status.code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(RandomOutageInjector, RespectsMinOnline) {
+  CloudRegistry reg;
+  install_standard_four(reg, 1);
+  RandomOutageInjector injector(reg, /*seed=*/7, /*p_down=*/0.9,
+                                /*p_up=*/0.0, /*min_online=*/3);
+  for (int i = 0; i < 50; ++i) {
+    injector.step();
+    EXPECT_GE(reg.online().size(), 3u);
+  }
+}
+
+TEST(RandomOutageInjector, EventuallyRecovers) {
+  CloudRegistry reg;
+  install_standard_four(reg, 1);
+  reg.find("AmazonS3")->set_online(false);
+  RandomOutageInjector injector(reg, 11, /*p_down=*/0.0, /*p_up=*/0.5, 0);
+  for (int i = 0; i < 100 && reg.online().size() < 4; ++i) injector.step();
+  EXPECT_EQ(reg.online().size(), 4u);
+}
+
+TEST(RandomOutageInjector, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    CloudRegistry reg;
+    install_standard_four(reg, 1);
+    RandomOutageInjector injector(reg, seed, 0.3, 0.3, 1);
+    std::vector<std::string> events;
+    for (int i = 0; i < 30; ++i) {
+      for (auto& e : injector.step()) events.push_back(e);
+    }
+    return events;
+  };
+  EXPECT_EQ(run(99), run(99));
+}
+
+}  // namespace
+}  // namespace hyrd::cloud

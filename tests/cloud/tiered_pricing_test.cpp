@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "cloud/billing.h"
+#include "cloud/pricing.h"
+
+namespace hyrd::cloud {
+namespace {
+
+TieredRate s3_style_storage() {
+  // 2014-style ladder: first TB at $0.033/GB, next 49 TB at $0.0324,
+  // everything above at $0.031.
+  return TieredRate({
+      {1'000'000'000'000ull, 0.033},
+      {50'000'000'000'000ull, 0.0324},
+      {TieredRate::kUnbounded, 0.031},
+  });
+}
+
+TEST(TieredRate, EmptyCostsNothing) {
+  TieredRate rate;
+  EXPECT_TRUE(rate.empty());
+  EXPECT_DOUBLE_EQ(rate.cost(1'000'000'000ull), 0.0);
+}
+
+TEST(TieredRate, WithinFirstTierMatchesFlatRate) {
+  const auto rate = s3_style_storage();
+  EXPECT_NEAR(rate.cost(500'000'000'000ull), 0.033 * 500, 1e-9);
+  EXPECT_DOUBLE_EQ(rate.first_tier_rate(), 0.033);
+}
+
+TEST(TieredRate, MarginalBillingAcrossTiers) {
+  const auto rate = s3_style_storage();
+  // 2 TB: first TB at 0.033, second at 0.0324.
+  EXPECT_NEAR(rate.cost(2'000'000'000'000ull), 0.033 * 1000 + 0.0324 * 1000,
+              1e-6);
+}
+
+TEST(TieredRate, UnboundedTailTier) {
+  const auto rate = s3_style_storage();
+  // 60 TB: 1 at .033 + 49 at .0324 + 10 at .031.
+  EXPECT_NEAR(rate.cost(60'000'000'000'000ull),
+              0.033 * 1000 + 0.0324 * 49000 + 0.031 * 10000, 1e-3);
+}
+
+TEST(TieredRate, ExactTierBoundary) {
+  const auto rate = s3_style_storage();
+  EXPECT_NEAR(rate.cost(1'000'000'000'000ull), 0.033 * 1000, 1e-9);
+}
+
+TEST(TieredRate, ZeroBytes) {
+  EXPECT_DOUBLE_EQ(s3_style_storage().cost(0), 0.0);
+}
+
+TEST(PriceSchedule, TieredStorageOverridesFlat) {
+  PriceSchedule p;
+  p.storage_gb_month = 999.0;  // must be ignored once tiers are set
+  p.storage_tiers = s3_style_storage();
+  EXPECT_NEAR(p.storage_cost(1'000'000'000ull), 0.033, 1e-9);
+}
+
+TEST(PriceSchedule, TieredEgressOverridesFlat) {
+  PriceSchedule p;
+  p.data_out_gb = 999.0;
+  p.egress_tiers = TieredRate({{TieredRate::kUnbounded, 0.1}});
+  EXPECT_NEAR(p.egress_cost(2'000'000'000ull), 0.2, 1e-9);
+}
+
+TEST(BillingMeter, TieredScheduleFlowsThroughBills) {
+  PriceSchedule p;
+  p.storage_tiers = TieredRate({
+      {1'000'000'000ull, 0.10},  // first GB at $0.10
+      {TieredRate::kUnbounded, 0.01},
+  });
+  BillingMeter meter(p);
+  auto bill = meter.close_month(3'000'000'000ull);  // 1 GB + 2 GB
+  EXPECT_NEAR(bill.storage_cost, 0.10 + 0.02, 1e-9);
+}
+
+}  // namespace
+}  // namespace hyrd::cloud

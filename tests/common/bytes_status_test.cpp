@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace hyrd::common {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+  const Bytes b = bytes_of("hello");
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, PatternedIsDeterministic) {
+  EXPECT_EQ(patterned(1024, 7), patterned(1024, 7));
+  EXPECT_NE(patterned(1024, 7), patterned(1024, 8));
+}
+
+TEST(Bytes, PatternedSize) {
+  EXPECT_EQ(patterned(0, 1).size(), 0u);
+  EXPECT_EQ(patterned(12345, 1).size(), 12345u);
+}
+
+TEST(Bytes, ToHexTruncates) {
+  const Bytes b(64, 0xAB);
+  const std::string hex = to_hex(b, 4);
+  EXPECT_EQ(hex, "abababab...");
+}
+
+TEST(Bytes, Concat) {
+  std::vector<Bytes> parts = {bytes_of("ab"), bytes_of(""), bytes_of("cd")};
+  EXPECT_EQ(to_string(concat(parts)), "abcd");
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(invalid_argument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(already_exists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(data_loss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(failed_precondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(internal_error("boom").message(), "boom");
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(not_found("missing").to_string(), "NOT_FOUND: missing");
+}
+
+TEST(Result, ValueAccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, ErrorAccess) {
+  Result<int> r = not_found("gone");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<Bytes> r(bytes_of("payload"));
+  const Bytes b = std::move(r).value();
+  EXPECT_EQ(to_string(b), "payload");
+}
+
+TEST(Clock, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(from_ms(1.5));
+  clock.advance(from_ms(0.5));
+  EXPECT_EQ(clock.now(), 2 * kMillisecond);
+  clock.advance(-100);  // negative deltas ignored
+  EXPECT_EQ(clock.now(), 2 * kMillisecond);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(Clock, ConversionRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(123.25)), 123.25);
+  EXPECT_DOUBLE_EQ(to_seconds(5 * kSecond), 5.0);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(2 * KiB), "2.0 KiB");
+  EXPECT_EQ(format_bytes(3 * MiB + MiB / 2), "3.5 MiB");
+  EXPECT_EQ(format_bytes(7 * GiB), "7.0 GiB");
+}
+
+TEST(Units, FormatUsd) {
+  EXPECT_EQ(format_usd(1.006), "$1.01");
+  EXPECT_EQ(format_usd(0.0), "$0.00");
+}
+
+}  // namespace
+}  // namespace hyrd::common

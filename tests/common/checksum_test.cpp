@@ -1,0 +1,100 @@
+#include "common/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace hyrd::common {
+namespace {
+
+TEST(Crc32c, KnownVector) {
+  // RFC 3720 test vector: CRC32C("123456789") = 0xE3069283.
+  const Bytes data = bytes_of("123456789");
+  EXPECT_EQ(crc32c(data), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyInputIsZero) { EXPECT_EQ(crc32c({}), 0u); }
+
+TEST(Crc32c, AllZeros32) {
+  const Bytes data(32, 0);
+  EXPECT_EQ(crc32c(data), 0x8A9136AAu);  // RFC 3720 vector
+}
+
+TEST(Crc32c, AllOnes32) {
+  const Bytes data(32, 0xFF);
+  EXPECT_EQ(crc32c(data), 0x62A8AB43u);  // RFC 3720 vector
+}
+
+TEST(Crc32c, DetectsSingleBitFlip) {
+  Bytes data = patterned(4096, 7);
+  const std::uint32_t clean = crc32c(data);
+  data[1234] ^= 0x01;
+  EXPECT_NE(crc32c(data), clean);
+}
+
+TEST(Crc32c, DifferentSeedsDiffer) {
+  const Bytes data = patterned(128, 3);
+  EXPECT_NE(crc32c(data, 0), crc32c(data, 1));
+}
+
+TEST(Fnv1a, MatchesKnownValues) {
+  // Standard FNV-1a 64-bit vectors.
+  EXPECT_EQ(fnv1a(std::string_view("")), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a(std::string_view("a")), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a(std::string_view("foobar")), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, BytesAndStringAgree) {
+  const std::string s = "hello world";
+  EXPECT_EQ(fnv1a(std::string_view(s)), fnv1a(bytes_of(s)));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::digest({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::digest(bytes_of("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, QuickBrownFox) {
+  EXPECT_EQ(Sha256::digest(
+                bytes_of("The quick brown fox jumps over the lazy dog"))
+                .hex(),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  // 56 bytes forces the padding split across two blocks.
+  EXPECT_EQ(
+      Sha256::digest(bytes_of(
+                         "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+          .hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = patterned(10000, 99);
+  Sha256 h;
+  // Feed in awkward chunk sizes spanning block boundaries.
+  std::size_t offset = 0;
+  for (std::size_t chunk : {1u, 63u, 64u, 65u, 1000u, 8807u}) {
+    const std::size_t take = std::min(chunk, data.size() - offset);
+    h.update(ByteSpan(data.data() + offset, take));
+    offset += take;
+    if (offset == data.size()) break;
+  }
+  ASSERT_EQ(offset, data.size());
+  EXPECT_EQ(h.finalize().hex(), Sha256::digest(data).hex());
+}
+
+TEST(Sha256, MillionAs) {
+  const Bytes data(1000000, 'a');
+  EXPECT_EQ(Sha256::digest(data).hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+}  // namespace
+}  // namespace hyrd::common

@@ -1,0 +1,126 @@
+#include "core/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/profiles.h"
+#include "core/hyrd_client.h"
+#include "core/racs_client.h"
+#include "core/single_client.h"
+
+namespace hyrd::core {
+namespace {
+
+TEST(Availability, KOfNDegenerateCases) {
+  const std::vector<double> p = {0.9, 0.9, 0.9};
+  EXPECT_DOUBLE_EQ(k_of_n_availability(p, 0), 1.0);  // always available
+  // k = n: all must be up.
+  EXPECT_NEAR(k_of_n_availability(p, 3), 0.9 * 0.9 * 0.9, 1e-12);
+  // k > n: impossible.
+  EXPECT_DOUBLE_EQ(k_of_n_availability(p, 4), 0.0);
+}
+
+TEST(Availability, ReplicationClosedForm) {
+  // 1 of r with identical p: 1 - (1-p)^r.
+  for (double p : {0.5, 0.9, 0.99}) {
+    const std::vector<double> two(2, p);
+    EXPECT_NEAR(replication_availability(two), 1.0 - (1.0 - p) * (1.0 - p),
+                1e-12);
+  }
+}
+
+TEST(Availability, Raid5ClosedForm) {
+  // 3 of 4 with identical p: p^4 + 4 p^3 (1-p).
+  const double p = 0.95;
+  const std::vector<double> four(4, p);
+  EXPECT_NEAR(k_of_n_availability(four, 3),
+              std::pow(p, 4) + 4 * std::pow(p, 3) * (1 - p), 1e-12);
+}
+
+TEST(Availability, HeterogeneousProbabilities) {
+  // 1 of 2 with p1, p2: 1 - (1-p1)(1-p2).
+  const std::vector<double> p = {0.9, 0.6};
+  EXPECT_NEAR(k_of_n_availability(p, 1), 1.0 - 0.1 * 0.4, 1e-12);
+}
+
+TEST(Availability, EverySchemeBeatsSingleCloud) {
+  // The paper's core claim: Cloud-of-Clouds redundancy improves
+  // availability over any single provider.
+  for (double p : {0.90, 0.95, 0.99, 0.999}) {
+    const auto a = analytic_availability(p);
+    EXPECT_GT(a.duracloud, a.single) << p;
+    EXPECT_GT(a.racs, a.single) << p;
+    EXPECT_GT(a.hyrd_small, a.single) << p;
+    EXPECT_GT(a.hyrd_large, a.single) << p;
+    EXPECT_GT(a.hyrd_overall(0.8), a.single) << p;
+  }
+}
+
+TEST(Availability, NinesConversion) {
+  EXPECT_NEAR(nines(0.9), 1.0, 1e-9);
+  EXPECT_NEAR(nines(0.999), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(nines(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(nines(1.0), 16.0);
+}
+
+TEST(Availability, MonteCarloMatchesAnalyticForHyRD) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 83);
+  gcs::MultiCloudSession session(registry);
+  HyRDClient client(session);
+  client.put("/small", common::patterned(4096, 1));
+  client.put("/large", common::patterned(2 << 20, 2));
+
+  const double p = 0.9;
+  auto measured = measure_read_availability(registry, client,
+                                            {"/small", "/large"}, p,
+                                            /*trials=*/2000, /*seed=*/7);
+  // Both must be readable: P = P(1of2) weighted with P(2of3) but the slot
+  // sets overlap (Aliyun is in both), so bound by the analytic pieces.
+  const auto a = analytic_availability(p);
+  const double independent_lower = a.hyrd_small * a.hyrd_large;
+  const double upper = std::min(a.hyrd_small, a.hyrd_large);
+  EXPECT_GE(measured.availability(), independent_lower - 0.03);
+  EXPECT_LE(measured.availability(), upper + 0.03);
+  EXPECT_GT(measured.availability(), p);  // beats any single cloud
+}
+
+TEST(Availability, MonteCarloSingleCloudMatchesP) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 89);
+  gcs::MultiCloudSession session(registry);
+  SingleCloudClient client(session, "Aliyun");
+  client.put("/f", common::patterned(1000, 3));
+
+  auto measured = measure_read_availability(registry, client, {"/f"}, 0.8,
+                                            2000, 11);
+  EXPECT_NEAR(measured.availability(), 0.8, 0.03);
+}
+
+TEST(Availability, MonteCarloRacsMatchesThreeOfFour) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 97);
+  gcs::MultiCloudSession session(registry);
+  RACSClient client(session);
+  client.put("/f", common::patterned(100 * 1024, 4));
+
+  const double p = 0.85;
+  auto measured =
+      measure_read_availability(registry, client, {"/f"}, p, 2000, 13);
+  const double analytic = k_of_n_availability(std::vector<double>(4, p), 3);
+  EXPECT_NEAR(measured.availability(), analytic, 0.03);
+}
+
+TEST(Availability, ProvidersRestoredAfterMeasurement) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 101);
+  gcs::MultiCloudSession session(registry);
+  SingleCloudClient client(session, "Aliyun");
+  client.put("/f", common::patterned(10, 5));
+  measure_read_availability(registry, client, {"/f"}, 0.5, 100, 17);
+  EXPECT_EQ(registry.online().size(), 4u);
+}
+
+}  // namespace
+}  // namespace hyrd::core

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "cloud/profiles.h"
+#include "core/duracloud_client.h"
+#include "core/racs_client.h"
+#include "core/single_client.h"
+
+namespace hyrd::core {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() {
+    cloud::install_standard_four(registry_, 41);
+    session_ = std::make_unique<gcs::MultiCloudSession>(registry_);
+  }
+  cloud::CloudRegistry registry_;
+  std::unique_ptr<gcs::MultiCloudSession> session_;
+};
+
+// ---------- RACS ----------
+
+TEST_F(BaselineTest, RacsStripesEverythingEvenSmallFiles) {
+  RACSClient racs(*session_);
+  auto w = racs.put("/tiny", common::patterned(100, 1));
+  ASSERT_TRUE(w.status.is_ok());
+  EXPECT_EQ(w.meta.redundancy, meta::RedundancyKind::kErasure);
+  EXPECT_EQ(w.meta.locations.size(), 4u);
+  auto r = racs.get("/tiny");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, common::patterned(100, 1));
+}
+
+TEST_F(BaselineTest, RacsRoundTripLargeFile) {
+  RACSClient racs(*session_);
+  const auto data = common::patterned(10 << 20, 2);
+  ASSERT_TRUE(racs.put("/big", data).status.is_ok());
+  auto r = racs.get("/big");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+}
+
+TEST_F(BaselineTest, RacsParityRotatesAcrossObjects) {
+  RACSClient racs(*session_);
+  // Different paths hash to different rotation starts; across many
+  // objects every provider must hold a parity fragment sometimes.
+  std::set<std::string> parity_providers;
+  for (int i = 0; i < 32; ++i) {
+    auto w = racs.put("/f" + std::to_string(i), common::patterned(100, i));
+    ASSERT_TRUE(w.status.is_ok());
+    parity_providers.insert(w.meta.locations.back().provider);
+  }
+  EXPECT_EQ(parity_providers.size(), 4u);
+}
+
+TEST_F(BaselineTest, RacsOverwriteKeepsPlacement) {
+  RACSClient racs(*session_);
+  auto w1 = racs.put("/f", common::patterned(100, 3));
+  auto w2 = racs.put("/f", common::patterned(200, 4));
+  ASSERT_TRUE(w2.status.is_ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w1.meta.locations[i].provider, w2.meta.locations[i].provider);
+  }
+  EXPECT_EQ(w2.meta.version, 2u);
+}
+
+TEST_F(BaselineTest, RacsDegradedReadDuringOutage) {
+  RACSClient racs(*session_);
+  const auto data = common::patterned(5 << 20, 5);
+  racs.put("/big", data);
+  registry_.find("WindowsAzure")->set_online(false);
+  auto r = racs.get("/big");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+}
+
+TEST_F(BaselineTest, RacsUpdateAndRemove) {
+  RACSClient racs(*session_);
+  const auto data = common::patterned(9 << 20, 6);
+  racs.put("/big", data);
+  const auto patch = common::patterned(4096, 7);
+  auto u = racs.update("/big", 1000, patch);
+  ASSERT_TRUE(u.status.is_ok());
+  auto r = racs.get("/big");
+  common::Bytes expected = data;
+  std::copy(patch.begin(), patch.end(), expected.begin() + 1000);
+  EXPECT_EQ(r.data, expected);
+
+  ASSERT_TRUE(racs.remove("/big").status.is_ok());
+  EXPECT_EQ(racs.get("/big").status.code(), common::StatusCode::kNotFound);
+}
+
+// ---------- DuraCloud ----------
+
+TEST_F(BaselineTest, DuraCloudReplicatesOnItsPair) {
+  DuraCloudClient dura(*session_);
+  const auto data = common::patterned(5 << 20, 8);
+  auto w = dura.put("/big", data);
+  ASSERT_TRUE(w.status.is_ok());
+  EXPECT_EQ(w.meta.redundancy, meta::RedundancyKind::kReplicated);
+  ASSERT_EQ(w.meta.locations.size(), 2u);
+  EXPECT_EQ(w.meta.locations[0].provider, "WindowsAzure");
+  EXPECT_EQ(w.meta.locations[1].provider, "Aliyun");
+  // Full copies on both => stored bytes at least 2x the object.
+  EXPECT_GE(registry_.find("WindowsAzure")->stored_bytes(), data.size());
+  EXPECT_GE(registry_.find("Aliyun")->stored_bytes(), data.size());
+  EXPECT_EQ(registry_.find("AmazonS3")->stored_bytes(), 0u);
+}
+
+TEST_F(BaselineTest, DuraCloudSurvivesOneOutage) {
+  DuraCloudClient dura(*session_);
+  const auto data = common::patterned(1 << 20, 9);
+  dura.put("/f", data);
+  registry_.find("Aliyun")->set_online(false);
+  auto r = dura.get("/f");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+}
+
+TEST_F(BaselineTest, DuraCloudWriteLatencyDropsDuringOutage) {
+  // The paper's Fig. 6 observation: during an outage DuraCloud performs
+  // *better* than normal because no double write happens. Its pair is
+  // {Azure, Aliyun} and Azure is the slower of the two.
+  DuraCloudClient dura(*session_);
+  const auto data = common::patterned(2 << 20, 10);
+  auto normal = dura.put("/n", data);
+  registry_.find("WindowsAzure")->set_online(false);
+  auto outage = dura.put("/o", data);
+  ASSERT_TRUE(normal.status.is_ok());
+  ASSERT_TRUE(outage.status.is_ok());
+  EXPECT_LT(outage.latency, normal.latency);
+}
+
+TEST_F(BaselineTest, DuraCloudUpdateWholeAndPartial) {
+  DuraCloudClient dura(*session_);
+  dura.put("/f", common::patterned(10000, 11));
+  auto whole = dura.update("/f", 0, common::patterned(10000, 12));
+  ASSERT_TRUE(whole.status.is_ok());
+  auto partial = dura.update("/f", 100, common::patterned(50, 13));
+  ASSERT_TRUE(partial.status.is_ok());
+  auto r = dura.get("/f");
+  common::Bytes expected = common::patterned(10000, 12);
+  const auto patch = common::patterned(50, 13);
+  std::copy(patch.begin(), patch.end(), expected.begin() + 100);
+  EXPECT_EQ(r.data, expected);
+}
+
+// ---------- Single cloud ----------
+
+TEST_F(BaselineTest, SingleCloudStoresOnOneProviderOnly) {
+  SingleCloudClient single(*session_, "AmazonS3");
+  EXPECT_EQ(single.name(), "Single(AmazonS3)");
+  const auto data = common::patterned(100000, 14);
+  auto w = single.put("/f", data);
+  ASSERT_TRUE(w.status.is_ok());
+  EXPECT_EQ(w.meta.locations.size(), 1u);
+  EXPECT_GT(registry_.find("AmazonS3")->stored_bytes(), 0u);
+  for (const auto& name : {"WindowsAzure", "Aliyun", "Rackspace"}) {
+    EXPECT_EQ(registry_.find(name)->stored_bytes(), 0u) << name;
+  }
+  auto r = single.get("/f");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+}
+
+TEST_F(BaselineTest, SingleCloudOutageMeansUnavailable) {
+  // The vendor lock-in failure mode that motivates the paper.
+  SingleCloudClient single(*session_, "AmazonS3");
+  single.put("/f", common::patterned(100, 15));
+  registry_.find("AmazonS3")->set_online(false);
+  EXPECT_EQ(single.get("/f").status.code(),
+            common::StatusCode::kUnavailable);
+  EXPECT_EQ(single.put("/g", common::patterned(10, 16)).status.code(),
+            common::StatusCode::kUnavailable);
+}
+
+TEST_F(BaselineTest, SingleCloudRecoversAfterTransientOutage) {
+  SingleCloudClient single(*session_, "Aliyun");
+  const auto data = common::patterned(100, 17);
+  single.put("/f", data);
+  registry_.find("Aliyun")->set_online(false);
+  registry_.find("Aliyun")->set_online(true);
+  single.on_provider_restored("Aliyun");
+  auto r = single.get("/f");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+}
+
+TEST_F(BaselineTest, SchemesAgreeOnContent) {
+  // Same logical operations through all four schemes produce identical
+  // user-visible data.
+  RACSClient racs(*session_);
+  DuraCloudClient dura(*session_);
+  SingleCloudClient single(*session_, "Aliyun");
+
+  const auto data = common::patterned(3 << 20, 18);
+  for (core::StorageClient* c :
+       std::vector<core::StorageClient*>{&racs, &dura, &single}) {
+    ASSERT_TRUE(c->put("/shared", data).status.is_ok()) << c->name();
+    auto r = c->get("/shared");
+    ASSERT_TRUE(r.status.is_ok()) << c->name();
+    EXPECT_EQ(r.data, data) << c->name();
+  }
+}
+
+}  // namespace
+}  // namespace hyrd::core

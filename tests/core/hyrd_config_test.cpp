@@ -1,0 +1,117 @@
+// HyRD configuration-space tests: geometry fallback, replication levels,
+// thresholds, and evaluator edge cases.
+#include <gtest/gtest.h>
+
+#include "cloud/profiles.h"
+#include "core/hyrd_client.h"
+
+namespace hyrd::core {
+namespace {
+
+struct Fleet {
+  Fleet() {
+    cloud::install_standard_four(registry, 191);
+    session = std::make_unique<gcs::MultiCloudSession>(registry);
+  }
+  cloud::CloudRegistry registry;
+  std::unique_ptr<gcs::MultiCloudSession> session;
+};
+
+TEST(HyRDConfigTest, GeometryFallbackUsesAllProviders) {
+  // k=3,m=1 needs 4 slots but only 3 providers are cost-oriented: the
+  // dispatcher must fall back to the remaining provider.
+  Fleet fleet;
+  HyRDConfig config;
+  config.geometry = {.k = 3, .m = 1};
+  HyRDClient client(*fleet.session, config);
+  ASSERT_EQ(client.shard_slots().size(), 4u);
+  std::set<std::size_t> unique(client.shard_slots().begin(),
+                               client.shard_slots().end());
+  EXPECT_EQ(unique.size(), 4u);
+
+  const auto data = common::patterned(3 << 20, 1);
+  auto w = client.put("/f", data);
+  ASSERT_TRUE(w.status.is_ok());
+  EXPECT_EQ(w.meta.locations.size(), 4u);
+  auto r = client.get("/f");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+}
+
+TEST(HyRDConfigTest, ReplicationLevelThree) {
+  Fleet fleet;
+  HyRDConfig config;
+  config.replication_level = 3;
+  HyRDClient client(*fleet.session, config);
+  auto w = client.put("/small", common::patterned(1000, 2));
+  ASSERT_TRUE(w.status.is_ok());
+  EXPECT_EQ(w.meta.locations.size(), 3u);
+
+  // Two concurrent outages of replica holders are now survivable.
+  fleet.registry.find(w.meta.locations[0].provider)->set_online(false);
+  fleet.registry.find(w.meta.locations[1].provider)->set_online(false);
+  auto r = client.get("/small");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, common::patterned(1000, 2));
+}
+
+TEST(HyRDConfigTest, ReplicationLevelCappedAtFleetSize) {
+  Fleet fleet;
+  HyRDConfig config;
+  config.replication_level = 9;
+  HyRDClient client(*fleet.session, config);
+  EXPECT_EQ(client.replica_targets().size(), 4u);
+}
+
+TEST(HyRDConfigTest, CustomThresholdRoutesAccordingly) {
+  Fleet fleet;
+  HyRDConfig config;
+  config.large_file_threshold = 16 * 1024;
+  HyRDClient client(*fleet.session, config);
+  EXPECT_EQ(client.put("/a", common::patterned(8 * 1024, 3))
+                .meta.redundancy,
+            meta::RedundancyKind::kReplicated);
+  EXPECT_EQ(client.put("/b", common::patterned(32 * 1024, 4))
+                .meta.redundancy,
+            meta::RedundancyKind::kErasure);
+}
+
+TEST(HyRDConfigTest, ZeroProbesStillConstructsAndWorks) {
+  Fleet fleet;
+  HyRDConfig config;
+  config.evaluator_probes = 0;
+  HyRDClient client(*fleet.session, config);
+  const auto data = common::patterned(5000, 5);
+  ASSERT_TRUE(client.put("/f", data).status.is_ok());
+  auto r = client.get("/f");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+}
+
+TEST(HyRDConfigTest, EvaluatorCostChargedToProviders) {
+  // The evaluator's probes are real operations: they must appear in the
+  // providers' op counters (the paper's evaluator "directly interacts
+  // with the individual cloud storage providers").
+  Fleet fleet;
+  HyRDClient client(*fleet.session);
+  std::uint64_t probe_ops = 0;
+  for (const auto& p : fleet.registry.all()) {
+    probe_ops += p->counters().total_ops();
+  }
+  EXPECT_GT(probe_ops, 0u);
+}
+
+TEST(HyRDConfigTest, CustomContainersRespected) {
+  Fleet fleet;
+  HyRDConfig config;
+  config.data_container = "my-data";
+  config.meta_container = "my-meta";
+  HyRDClient client(*fleet.session, config);
+  client.put("/f", common::patterned(100, 6));
+  auto* ali = fleet.registry.find("Aliyun");
+  EXPECT_TRUE(ali->raw_store().container_exists("my-data"));
+  EXPECT_TRUE(ali->raw_store().container_exists("my-meta"));
+}
+
+}  // namespace
+}  // namespace hyrd::core

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "cloud/profiles.h"
+#include "core/evaluator.h"
+#include "core/workload_monitor.h"
+
+namespace hyrd::core {
+namespace {
+
+TEST(WorkloadMonitor, ClassifiesByThreshold) {
+  WorkloadMonitor m(1 << 20);
+  EXPECT_EQ(m.classify_file(0), DataClass::kSmallFile);
+  EXPECT_EQ(m.classify_file(4096), DataClass::kSmallFile);
+  EXPECT_EQ(m.classify_file((1 << 20) - 1), DataClass::kSmallFile);
+  EXPECT_EQ(m.classify_file(1 << 20), DataClass::kLargeFile);
+  EXPECT_EQ(m.classify_file(100u << 20), DataClass::kLargeFile);
+}
+
+TEST(WorkloadMonitor, ThresholdIsConfigurable) {
+  WorkloadMonitor m(4096);
+  EXPECT_EQ(m.classify_file(4096), DataClass::kLargeFile);
+  m.set_threshold(8192);
+  EXPECT_EQ(m.classify_file(4096), DataClass::kSmallFile);
+  EXPECT_EQ(m.threshold(), 8192u);
+}
+
+TEST(WorkloadMonitor, TracksPerClassTraffic) {
+  WorkloadMonitor m(1 << 20);
+  m.record_write(DataClass::kSmallFile, 100);
+  m.record_write(DataClass::kSmallFile, 200);
+  m.record_read(DataClass::kLargeFile, 5000);
+  m.record_write(DataClass::kMetadata, 50);
+
+  EXPECT_EQ(m.stats(DataClass::kSmallFile).writes, 2u);
+  EXPECT_EQ(m.stats(DataClass::kSmallFile).bytes_written, 300u);
+  EXPECT_EQ(m.stats(DataClass::kLargeFile).reads, 1u);
+  EXPECT_EQ(m.stats(DataClass::kLargeFile).bytes_read, 5000u);
+  EXPECT_EQ(m.stats(DataClass::kMetadata).writes, 1u);
+}
+
+TEST(WorkloadMonitor, ReadCountsBumpAndForget) {
+  WorkloadMonitor m(1 << 20);
+  EXPECT_EQ(m.bump_read_count("/f"), 1u);
+  EXPECT_EQ(m.bump_read_count("/f"), 2u);
+  EXPECT_EQ(m.bump_read_count("/g"), 1u);
+  m.forget("/f");
+  EXPECT_EQ(m.bump_read_count("/f"), 1u);
+}
+
+TEST(WorkloadMonitor, DataClassNames) {
+  EXPECT_EQ(data_class_name(DataClass::kMetadata), "metadata");
+  EXPECT_EQ(data_class_name(DataClass::kSmallFile), "small-file");
+  EXPECT_EQ(data_class_name(DataClass::kLargeFile), "large-file");
+}
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() {
+    cloud::install_standard_four(registry_, 17);
+    session_ = std::make_unique<gcs::MultiCloudSession>(registry_);
+  }
+  cloud::CloudRegistry registry_;
+  std::unique_ptr<gcs::MultiCloudSession> session_;
+};
+
+TEST_F(EvaluatorTest, MeasuredOrderMatchesCalibration) {
+  CostPerfEvaluator evaluator(HyRDConfig{});
+  auto report = evaluator.evaluate(*session_);
+  ASSERT_EQ(report.providers.size(), 4u);
+
+  const auto perf = report.performance_order();
+  EXPECT_EQ(session_->client(perf[0]).provider_name(), "Aliyun");
+  EXPECT_EQ(session_->client(perf[1]).provider_name(), "WindowsAzure");
+
+  const auto cost = report.cost_order();
+  EXPECT_EQ(session_->client(cost[0]).provider_name(), "Rackspace");
+  EXPECT_EQ(session_->client(cost.back()).provider_name(), "AmazonS3");
+}
+
+TEST_F(EvaluatorTest, CategoriesMatchTableII) {
+  CostPerfEvaluator evaluator(HyRDConfig{});
+  auto report = evaluator.evaluate(*session_);
+  for (const auto& e : report.providers) {
+    if (e.provider == "Aliyun") {
+      // The paper's unique provider: both categories.
+      EXPECT_TRUE(e.category.performance_oriented);
+      EXPECT_TRUE(e.category.cost_oriented);
+    }
+    if (e.provider == "AmazonS3") {
+      // Table II: cost-oriented (cheapest-but-one storage), not fast.
+      EXPECT_FALSE(e.category.performance_oriented);
+      EXPECT_TRUE(e.category.cost_oriented);
+    }
+    if (e.provider == "WindowsAzure") {
+      // Table II: the only purely performance-oriented provider.
+      EXPECT_TRUE(e.category.performance_oriented);
+      EXPECT_FALSE(e.category.cost_oriented);
+    }
+    if (e.provider == "Rackspace") {
+      EXPECT_TRUE(e.category.cost_oriented);
+      EXPECT_FALSE(e.category.performance_oriented);
+    }
+  }
+}
+
+TEST_F(EvaluatorTest, ProbesChargeTimeAndMoney) {
+  CostPerfEvaluator evaluator(HyRDConfig{});
+  auto report = evaluator.evaluate(*session_);
+  EXPECT_GT(report.probe_latency, 0);
+  // The probes moved real (simulated) bytes => S3 charged for egress.
+  auto* s3 = registry_.find("AmazonS3");
+  EXPECT_GT(s3->counters().gets, 0u);
+  EXPECT_GT(s3->billing().open_month_transfer_cost(), 0.0);
+}
+
+TEST_F(EvaluatorTest, OfflineProviderFallsToBackOfPerformanceOrder) {
+  registry_.find("Aliyun")->set_online(false);
+  CostPerfEvaluator evaluator(HyRDConfig{});
+  auto report = evaluator.evaluate(*session_);
+  const auto perf = report.performance_order();
+  EXPECT_EQ(session_->client(perf.back()).provider_name(), "Aliyun");
+  EXPECT_EQ(session_->client(perf[0]).provider_name(), "WindowsAzure");
+}
+
+TEST_F(EvaluatorTest, MeanLatenciesArePlausible) {
+  CostPerfEvaluator evaluator(HyRDConfig{});
+  auto report = evaluator.evaluate(*session_);
+  for (const auto& e : report.providers) {
+    EXPECT_GT(e.mean_read_ms, 0.0) << e.provider;
+    EXPECT_GT(e.mean_write_ms, e.mean_read_ms * 0.5) << e.provider;
+    EXPECT_LT(e.mean_read_ms, 5000.0) << e.provider;
+  }
+}
+
+}  // namespace
+}  // namespace hyrd::core

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cloud/profiles.h"
+#include "dist/placement.h"
+#include "dist/recovery.h"
+
+namespace hyrd::dist {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest() {
+    cloud::install_standard_four(registry_, 3);
+    session_ = std::make_unique<gcs::MultiCloudSession>(registry_);
+  }
+  cloud::CloudRegistry registry_;
+  std::unique_ptr<gcs::MultiCloudSession> session_;
+};
+
+TEST_F(PlacementTest, RoundRobinRotatesStart) {
+  RoundRobinPlacement rr;
+  const auto a = rr.shards(*session_, 4);
+  const auto b = rr.shards(*session_, 4);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_NE(a, b);  // rotation moved
+  EXPECT_EQ(std::set<std::size_t>(a.begin(), a.end()).size(), 4u);
+  // Slot order is a rotation: b starts one past a.
+  EXPECT_EQ(b[0], (a[0] + 1) % 4);
+}
+
+TEST_F(PlacementTest, RoundRobinCapsAtProviderCount) {
+  RoundRobinPlacement rr;
+  EXPECT_EQ(rr.replicas(*session_, 10).size(), 4u);
+}
+
+TEST_F(PlacementTest, CategoryReplicasAreFastestProviders) {
+  CategoryPlacement cat;
+  const auto targets = cat.replicas(*session_, 2);
+  ASSERT_EQ(targets.size(), 2u);
+  // Aliyun is fastest, Azure second (profile calibration).
+  EXPECT_EQ(session_->client(targets[0]).provider_name(), "Aliyun");
+  EXPECT_EQ(session_->client(targets[1]).provider_name(), "WindowsAzure");
+}
+
+TEST_F(PlacementTest, CategoryShardsPutParityOnMostExpensive) {
+  CategoryPlacement cat;
+  const auto slots = cat.shards(*session_, 4);
+  ASSERT_EQ(slots.size(), 4u);
+  // Cost score = storage + egress: Rackspace .13 < Aliyun .152 <
+  // Azure .157 < AmazonS3 .234. Parity (last slot) lands on S3.
+  EXPECT_EQ(session_->client(slots[0]).provider_name(), "Rackspace");
+  EXPECT_EQ(session_->client(slots[3]).provider_name(), "AmazonS3");
+}
+
+TEST_F(PlacementTest, CategoryIsDeterministic) {
+  CategoryPlacement cat;
+  EXPECT_EQ(cat.replicas(*session_, 2), cat.replicas(*session_, 2));
+  EXPECT_EQ(cat.shards(*session_, 4), cat.shards(*session_, 4));
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest()
+      : replication_("data"), erasure_("data", {.k = 3, .m = 1}) {
+    cloud::install_standard_four(registry_, 5);
+    session_ = std::make_unique<gcs::MultiCloudSession>(registry_);
+    session_->ensure_container_everywhere("data");
+    recovery_ = std::make_unique<RecoveryManager>(*session_, store_, log_,
+                                                  replication_, erasure_);
+  }
+
+  std::size_t idx(const std::string& n) { return session_->index_of(n); }
+
+  cloud::CloudRegistry registry_;
+  std::unique_ptr<gcs::MultiCloudSession> session_;
+  meta::MetadataStore store_;
+  meta::UpdateLog log_;
+  ReplicationScheme replication_;
+  ErasureScheme erasure_;
+  std::unique_ptr<RecoveryManager> recovery_;
+};
+
+TEST_F(RecoveryTest, ResyncRepushesReplicatedObject) {
+  // Write while Azure is down; its replica is missing.
+  registry_.find("WindowsAzure")->set_online(false);
+  std::vector<std::string> unreachable;
+  const auto data = common::patterned(2048, 1);
+  auto w = replication_.write(*session_, "/f", data,
+                              {idx("Aliyun"), idx("WindowsAzure")},
+                              &unreachable);
+  ASSERT_TRUE(w.status.is_ok());
+  store_.upsert(w.meta);
+  for (const auto& loc : w.meta.locations) {
+    if (loc.provider == "WindowsAzure") {
+      log_.append("WindowsAzure", "data", "/f", loc.object_name,
+                  meta::LogAction::kPut);
+    }
+  }
+
+  registry_.find("WindowsAzure")->set_online(true);
+  auto report = recovery_->resync("WindowsAzure");
+  ASSERT_TRUE(report.status.is_ok());
+  EXPECT_EQ(report.objects_repushed, 1u);
+  EXPECT_EQ(report.bytes_pushed, 2048u);
+  EXPECT_TRUE(log_.pending_for("WindowsAzure").empty());
+
+  // Azure now serves the replica by itself.
+  registry_.find("Aliyun")->set_online(false);
+  auto r = replication_.read(*session_, w.meta);
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+}
+
+TEST_F(RecoveryTest, ResyncRebuildsErasureFragment) {
+  registry_.find("AmazonS3")->set_online(false);
+  std::vector<std::string> unreachable;
+  const auto data = common::patterned(3 << 20, 2);
+  const std::vector<std::size_t> slots = {idx("Rackspace"), idx("Aliyun"),
+                                          idx("WindowsAzure"),
+                                          idx("AmazonS3")};
+  auto w = erasure_.write(*session_, "/big", data, slots, &unreachable);
+  ASSERT_TRUE(w.status.is_ok());
+  store_.upsert(w.meta);
+  for (const auto& loc : w.meta.locations) {
+    if (loc.provider == "AmazonS3") {
+      log_.append("AmazonS3", "data", "/big", loc.object_name,
+                  meta::LogAction::kPut);
+    }
+  }
+
+  registry_.find("AmazonS3")->set_online(true);
+  auto report = recovery_->resync("AmazonS3");
+  ASSERT_TRUE(report.status.is_ok());
+  EXPECT_EQ(report.objects_repushed, 1u);
+
+  // The rebuilt parity must make single-failure reads work again.
+  registry_.find("Aliyun")->set_online(false);
+  auto r = erasure_.read(*session_, w.meta);
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+}
+
+TEST_F(RecoveryTest, ResyncAppliesLoggedRemoves) {
+  const auto data = common::patterned(512, 3);
+  auto w = replication_.write(*session_, "/f", data,
+                              {idx("Aliyun"), idx("WindowsAzure")});
+  ASSERT_TRUE(w.status.is_ok());
+
+  // Azure goes down; the file is removed meanwhile.
+  registry_.find("WindowsAzure")->set_online(false);
+  auto rm = replication_.remove(*session_, w.meta);
+  for (const auto& p : rm.unreachable_providers) {
+    for (const auto& loc : w.meta.locations) {
+      if (loc.provider == p) {
+        log_.append(p, "data", "/f", loc.object_name, meta::LogAction::kRemove);
+      }
+    }
+  }
+  registry_.find("WindowsAzure")->set_online(true);
+  EXPECT_EQ(registry_.find("WindowsAzure")->object_count(), 1u);  // stale
+
+  auto report = recovery_->resync("WindowsAzure");
+  ASSERT_TRUE(report.status.is_ok());
+  EXPECT_EQ(report.removes_applied, 1u);
+  EXPECT_EQ(registry_.find("WindowsAzure")->object_count(), 0u);
+}
+
+TEST_F(RecoveryTest, ResyncSkipsDeletedFiles) {
+  registry_.find("WindowsAzure")->set_online(false);
+  const auto data = common::patterned(100, 4);
+  auto w = replication_.write(*session_, "/f", data,
+                              {idx("Aliyun"), idx("WindowsAzure")});
+  store_.upsert(w.meta);
+  log_.append("WindowsAzure", "data", "/f", w.meta.locations[1].object_name,
+              meta::LogAction::kPut);
+  // File deleted before the provider returns; its meta is gone.
+  store_.erase("/f");
+
+  registry_.find("WindowsAzure")->set_online(true);
+  auto report = recovery_->resync("WindowsAzure");
+  ASSERT_TRUE(report.status.is_ok());
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.objects_repushed, 0u);
+}
+
+TEST_F(RecoveryTest, ResyncUsesBlockRegenerator) {
+  recovery_->set_block_regenerator(
+      [](const std::string& path) -> std::optional<common::Bytes> {
+        if (path == "synthetic:blk") return common::bytes_of("regenerated");
+        return std::nullopt;
+      });
+  log_.append("Aliyun", "data", "synthetic:blk", "blk-object",
+              meta::LogAction::kPut);
+  auto report = recovery_->resync("Aliyun");
+  ASSERT_TRUE(report.status.is_ok());
+  EXPECT_EQ(report.objects_repushed, 1u);
+  auto got = registry_.find("Aliyun")->get({"data", "blk-object"});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(common::to_string(got.data), "regenerated");
+}
+
+TEST_F(RecoveryTest, ResyncFailsWhileProviderStillOffline) {
+  registry_.find("Aliyun")->set_online(false);
+  auto report = recovery_->resync("Aliyun");
+  EXPECT_EQ(report.status.code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RecoveryTest, ResyncUnknownProviderFails) {
+  auto report = recovery_->resync("Nimbus");
+  EXPECT_EQ(report.status.code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(RecoveryTest, ResyncEmptyLogIsCleanNoop) {
+  auto report = recovery_->resync("Aliyun");
+  EXPECT_TRUE(report.status.is_ok());
+  EXPECT_EQ(report.objects_repushed, 0u);
+  EXPECT_EQ(report.removes_applied, 0u);
+}
+
+}  // namespace
+}  // namespace hyrd::dist

@@ -1,0 +1,156 @@
+#include "dist/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/profiles.h"
+
+namespace hyrd::dist {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest() : scheme_("data") {
+    cloud::install_standard_four(registry_, 7);
+    session_ = std::make_unique<gcs::MultiCloudSession>(registry_);
+    session_->ensure_container_everywhere("data");
+  }
+
+  std::size_t idx(const std::string& name) { return session_->index_of(name); }
+
+  cloud::CloudRegistry registry_;
+  std::unique_ptr<gcs::MultiCloudSession> session_;
+  ReplicationScheme scheme_;
+};
+
+TEST_F(ReplicationTest, WriteCreatesOneObjectPerReplica) {
+  const auto data = common::patterned(4096, 1);
+  auto r = scheme_.write(*session_, "/f", data,
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.meta.locations.size(), 2u);
+  EXPECT_EQ(r.meta.redundancy, meta::RedundancyKind::kReplicated);
+  EXPECT_EQ(r.meta.size, 4096u);
+  EXPECT_EQ(registry_.find("Aliyun")->object_count(), 1u);
+  EXPECT_EQ(registry_.find("WindowsAzure")->object_count(), 1u);
+  EXPECT_EQ(registry_.find("AmazonS3")->object_count(), 0u);
+}
+
+TEST_F(ReplicationTest, ReadReturnsExactData) {
+  const auto data = common::patterned(10000, 2);
+  auto w = scheme_.write(*session_, "/f", data,
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  ASSERT_TRUE(w.status.is_ok());
+  auto r = scheme_.read(*session_, w.meta);
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(ReplicationTest, ReadPrefersFastestProvider) {
+  const auto data = common::patterned(1000, 3);
+  auto w = scheme_.write(*session_, "/f", data,
+                         {idx("Rackspace"), idx("Aliyun")});
+  ASSERT_TRUE(w.status.is_ok());
+  registry_.find("Aliyun")->reset_counters();
+  registry_.find("Rackspace")->reset_counters();
+  auto r = scheme_.read(*session_, w.meta);
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(registry_.find("Aliyun")->counters().gets, 1u);
+  EXPECT_EQ(registry_.find("Rackspace")->counters().gets, 0u);
+}
+
+TEST_F(ReplicationTest, ReadFailsOverWhenFastestIsDown) {
+  const auto data = common::patterned(1000, 4);
+  auto w = scheme_.write(*session_, "/f", data,
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  ASSERT_TRUE(w.status.is_ok());
+  registry_.find("Aliyun")->set_online(false);
+  auto r = scheme_.read(*session_, w.meta);
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+  EXPECT_TRUE(r.degraded);
+}
+
+TEST_F(ReplicationTest, ReadFailsWhenAllReplicasDown) {
+  auto w = scheme_.write(*session_, "/f", common::patterned(10, 5),
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  registry_.find("Aliyun")->set_online(false);
+  registry_.find("WindowsAzure")->set_online(false);
+  auto r = scheme_.read(*session_, w.meta);
+  EXPECT_EQ(r.status.code(), common::StatusCode::kUnavailable);
+}
+
+TEST_F(ReplicationTest, WriteDuringOutageSucceedsAndReportsUnreachable) {
+  registry_.find("WindowsAzure")->set_online(false);
+  std::vector<std::string> unreachable;
+  auto w = scheme_.write(*session_, "/f", common::patterned(100, 6),
+                         {idx("Aliyun"), idx("WindowsAzure")}, &unreachable);
+  ASSERT_TRUE(w.status.is_ok());
+  EXPECT_EQ(unreachable, std::vector<std::string>{"WindowsAzure"});
+  // Both locations are still recorded for later consistency update.
+  EXPECT_EQ(w.meta.locations.size(), 2u);
+}
+
+TEST_F(ReplicationTest, WriteFailsWhenNoTargetReachable) {
+  registry_.find("Aliyun")->set_online(false);
+  registry_.find("WindowsAzure")->set_online(false);
+  std::vector<std::string> unreachable;
+  auto w = scheme_.write(*session_, "/f", common::patterned(100, 7),
+                         {idx("Aliyun"), idx("WindowsAzure")}, &unreachable);
+  EXPECT_EQ(w.status.code(), common::StatusCode::kUnavailable);
+  EXPECT_EQ(unreachable.size(), 2u);
+}
+
+TEST_F(ReplicationTest, WriteRejectsEmptyTargets) {
+  auto w = scheme_.write(*session_, "/f", common::patterned(10, 8), {});
+  EXPECT_EQ(w.status.code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(ReplicationTest, StaleReplicaSkippedByCrc) {
+  const auto data = common::patterned(500, 9);
+  auto w = scheme_.write(*session_, "/f", data,
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  ASSERT_TRUE(w.status.is_ok());
+  // Corrupt the Aliyun (fastest) replica directly.
+  auto* ali = registry_.find("Aliyun");
+  ali->raw_store().put("data", w.meta.locations[0].object_name,
+                       common::patterned(500, 999));
+  auto r = scheme_.read(*session_, w.meta);
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+  EXPECT_TRUE(r.degraded);
+}
+
+TEST_F(ReplicationTest, RemoveDeletesAllReplicas) {
+  auto w = scheme_.write(*session_, "/f", common::patterned(100, 10),
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  auto rm = scheme_.remove(*session_, w.meta);
+  EXPECT_TRUE(rm.status.is_ok());
+  EXPECT_TRUE(rm.unreachable_providers.empty());
+  EXPECT_EQ(registry_.find("Aliyun")->object_count(), 0u);
+  EXPECT_EQ(registry_.find("WindowsAzure")->object_count(), 0u);
+}
+
+TEST_F(ReplicationTest, RemoveReportsUnreachableProvider) {
+  auto w = scheme_.write(*session_, "/f", common::patterned(100, 11),
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  registry_.find("WindowsAzure")->set_online(false);
+  auto rm = scheme_.remove(*session_, w.meta);
+  EXPECT_TRUE(rm.status.is_ok());
+  EXPECT_EQ(rm.unreachable_providers,
+            std::vector<std::string>{"WindowsAzure"});
+}
+
+TEST_F(ReplicationTest, WriteLatencyIsMaxOfReplicas) {
+  // A Rackspace+Aliyun pair must cost at least as much as Rackspace alone.
+  const auto data = common::patterned(500000, 12);
+  auto pair_w = scheme_.write(*session_, "/p", data,
+                              {idx("Rackspace"), idx("Aliyun")});
+  auto solo_w = scheme_.write(*session_, "/s", data, {idx("Aliyun")});
+  ASSERT_TRUE(pair_w.status.is_ok());
+  ASSERT_TRUE(solo_w.status.is_ok());
+  EXPECT_GT(pair_w.latency, solo_w.latency);
+}
+
+}  // namespace
+}  // namespace hyrd::dist

@@ -1,0 +1,123 @@
+// ReplicationScheme::update_range — the zero-read small-update path the
+// paper contrasts with erasure coding's 2R+2W — plus write-mode semantics.
+#include <gtest/gtest.h>
+
+#include "cloud/profiles.h"
+#include "dist/replication.h"
+
+namespace hyrd::dist {
+namespace {
+
+class ReplicationUpdateTest : public ::testing::Test {
+ protected:
+  ReplicationUpdateTest() : scheme_("data") {
+    cloud::install_standard_four(registry_, 29);
+    session_ = std::make_unique<gcs::MultiCloudSession>(registry_);
+    session_->ensure_container_everywhere("data");
+  }
+  std::size_t idx(const std::string& n) { return session_->index_of(n); }
+
+  cloud::CloudRegistry registry_;
+  std::unique_ptr<gcs::MultiCloudSession> session_;
+  ReplicationScheme scheme_;
+};
+
+TEST_F(ReplicationUpdateTest, PatchesEveryReplicaWithZeroReads) {
+  const auto data = common::patterned(8192, 1);
+  auto w = scheme_.write(*session_, "/f", data,
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  ASSERT_TRUE(w.status.is_ok());
+  for (const auto& p : registry_.all()) p->reset_counters();
+
+  const auto patch = common::patterned(512, 2);
+  auto u = scheme_.update_range(*session_, w.meta, 100, patch);
+  ASSERT_TRUE(u.status.is_ok());
+
+  std::uint64_t gets = 0, puts = 0;
+  for (const auto& p : registry_.all()) {
+    gets += p->counters().gets;
+    puts += p->counters().puts;
+  }
+  EXPECT_EQ(gets, 0u);  // the paper's point: replication updates don't read
+  EXPECT_EQ(puts, 2u);  // one block write per replica
+
+  auto r = scheme_.read(*session_, u.meta);
+  ASSERT_TRUE(r.status.is_ok());
+  common::Bytes expected = data;
+  std::copy(patch.begin(), patch.end(), expected.begin() + 100);
+  EXPECT_EQ(r.data, expected);
+}
+
+TEST_F(ReplicationUpdateTest, VersionBumpsAndCrcCleared) {
+  auto w = scheme_.write(*session_, "/f", common::patterned(1000, 3),
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  auto u = scheme_.update_range(*session_, w.meta, 0,
+                                common::patterned(10, 4));
+  ASSERT_TRUE(u.status.is_ok());
+  EXPECT_EQ(u.meta.version, w.meta.version + 1);
+  EXPECT_EQ(u.meta.crc, 0u);
+}
+
+TEST_F(ReplicationUpdateTest, RejectsGrowingUpdate) {
+  auto w = scheme_.write(*session_, "/f", common::patterned(100, 5),
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  auto u = scheme_.update_range(*session_, w.meta, 95,
+                                common::patterned(10, 6));
+  EXPECT_EQ(u.status.code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(ReplicationUpdateTest, OutageReportsUnreachableAndProceeds) {
+  auto w = scheme_.write(*session_, "/f", common::patterned(1000, 7),
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  registry_.find("WindowsAzure")->set_online(false);
+  std::vector<std::string> unreachable;
+  auto u = scheme_.update_range(*session_, w.meta, 10,
+                                common::patterned(100, 8), &unreachable);
+  ASSERT_TRUE(u.status.is_ok());
+  EXPECT_EQ(unreachable, std::vector<std::string>{"WindowsAzure"});
+}
+
+TEST_F(ReplicationUpdateTest, AllReplicasDownFails) {
+  auto w = scheme_.write(*session_, "/f", common::patterned(1000, 9),
+                         {idx("Aliyun"), idx("WindowsAzure")});
+  registry_.find("Aliyun")->set_online(false);
+  registry_.find("WindowsAzure")->set_online(false);
+  auto u = scheme_.update_range(*session_, w.meta, 0,
+                                common::patterned(10, 10));
+  EXPECT_EQ(u.status.code(), common::StatusCode::kUnavailable);
+}
+
+TEST_F(ReplicationUpdateTest, SequentialModeSumsWriteLatency) {
+  ReplicationScheme parallel("data", ReplicaWriteMode::kParallel);
+  ReplicationScheme sequential("data", ReplicaWriteMode::kSequential);
+  const auto data = common::patterned(400 * 1024, 11);
+  const std::vector<std::size_t> targets = {idx("Aliyun"),
+                                            idx("WindowsAzure")};
+  auto wp = parallel.write(*session_, "/p", data, targets);
+  auto ws = sequential.write(*session_, "/s", data, targets);
+  ASSERT_TRUE(wp.status.is_ok());
+  ASSERT_TRUE(ws.status.is_ok());
+  // Sequential ~= sum of both writes; parallel ~= the slower one.
+  EXPECT_GT(ws.latency, wp.latency);
+  EXPECT_GT(ws.latency, wp.latency * 5 / 4);
+}
+
+TEST_F(ReplicationUpdateTest, SequentialModeImprovesDuringOutage) {
+  // The DuraCloud effect: with one copy unreachable, the synchronized
+  // write skips it and completes faster than the healthy double write.
+  ReplicationScheme sequential("data", ReplicaWriteMode::kSequential);
+  const auto data = common::patterned(1 << 20, 12);
+  const std::vector<std::size_t> targets = {idx("WindowsAzure"),
+                                            idx("Aliyun")};
+  auto normal = sequential.write(*session_, "/n", data, targets);
+  registry_.find("WindowsAzure")->set_online(false);
+  std::vector<std::string> unreachable;
+  auto outage = sequential.write(*session_, "/o", data, targets, &unreachable);
+  ASSERT_TRUE(normal.status.is_ok());
+  ASSERT_TRUE(outage.status.is_ok());
+  EXPECT_LT(outage.latency, normal.latency);
+  EXPECT_EQ(unreachable.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hyrd::dist

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "cloud/profiles.h"
+#include "dist/scheme.h"
+
+namespace hyrd::dist {
+namespace {
+
+TEST(FragmentNaming, DeterministicAndDistinct) {
+  const std::string a0 = fragment_object_name("/a", 'r', 0);
+  EXPECT_EQ(a0, fragment_object_name("/a", 'r', 0));
+  EXPECT_NE(a0, fragment_object_name("/a", 'r', 1));
+  EXPECT_NE(a0, fragment_object_name("/a", 's', 0));
+  EXPECT_NE(a0, fragment_object_name("/b", 'r', 0));
+}
+
+TEST(FragmentNaming, SuffixEncodesKindAndIndex) {
+  EXPECT_TRUE(fragment_object_name("/x", 's', 3).ends_with(".s3"));
+  EXPECT_TRUE(fragment_object_name("/x", 'r', 12).ends_with(".r12"));
+}
+
+TEST(FragmentNaming, ProviderSafeCharacters) {
+  const std::string name = fragment_object_name("/weird päth/ name?", 'q', 0);
+  for (char c : name) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '.')
+        << c;
+  }
+}
+
+class LatencyOrderTest : public ::testing::Test {
+ protected:
+  LatencyOrderTest() {
+    cloud::install_standard_four(registry_, 271);
+    session_ = std::make_unique<gcs::MultiCloudSession>(registry_);
+  }
+  cloud::CloudRegistry registry_;
+  std::unique_ptr<gcs::MultiCloudSession> session_;
+};
+
+TEST_F(LatencyOrderTest, OrdersByExpectedLatency) {
+  const auto order = order_by_expected_read_latency(*session_, {0, 1, 2, 3},
+                                                    64 * 1024);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(session_->client(order[0]).provider_name(), "Aliyun");
+  EXPECT_EQ(session_->client(order[1]).provider_name(), "WindowsAzure");
+  // Cross-Pacific providers at the back.
+  EXPECT_EQ(session_->client(order[3]).provider_name(), "Rackspace");
+}
+
+TEST_F(LatencyOrderTest, SubsetPreserved) {
+  const std::size_t s3 = session_->index_of("AmazonS3");
+  const std::size_t rack = session_->index_of("Rackspace");
+  const auto order =
+      order_by_expected_read_latency(*session_, {rack, s3}, 4096);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], s3);  // S3 faster than Rackspace at small sizes
+  EXPECT_EQ(order[1], rack);
+}
+
+TEST_F(LatencyOrderTest, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(order_by_expected_read_latency(*session_, {}, 4096).empty());
+}
+
+}  // namespace
+}  // namespace hyrd::dist

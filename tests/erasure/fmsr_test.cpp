@@ -1,0 +1,188 @@
+#include "erasure/fmsr.h"
+
+#include <gtest/gtest.h>
+
+namespace hyrd::erasure {
+namespace {
+
+/// Chunk indices held by a node set.
+std::vector<std::size_t> node_chunks(const Fmsr& code,
+                                     const std::vector<std::size_t>& nodes) {
+  std::vector<std::size_t> out;
+  for (std::size_t node : nodes) {
+    for (std::size_t c = 0; c < code.chunks_per_node(); ++c) {
+      out.push_back(node * code.chunks_per_node() + c);
+    }
+  }
+  return out;
+}
+
+common::Result<common::Bytes> decode_from_nodes(
+    const Fmsr& code, const Fmsr::Encoded& enc,
+    const std::vector<std::size_t>& nodes) {
+  const auto indices = node_chunks(code, nodes);
+  std::vector<common::Bytes> chunks;
+  for (std::size_t i : indices) chunks.push_back(enc.chunks[i]);
+  return code.decode(enc.coefficients, indices, chunks, enc.object_size,
+                     enc.object_crc);
+}
+
+TEST(Fmsr, GeometryAccessors) {
+  Fmsr code(4, 2);
+  EXPECT_EQ(code.nodes(), 4u);
+  EXPECT_EQ(code.chunks_per_node(), 2u);
+  EXPECT_EQ(code.native_chunks(), 4u);
+  EXPECT_EQ(code.total_chunks(), 8u);
+}
+
+TEST(Fmsr, EncodeProducesMdsCode) {
+  Fmsr code(4, 2);
+  common::Xoshiro256 rng(1);
+  const auto enc = code.encode(common::patterned(10000, 1), rng);
+  EXPECT_EQ(enc.chunks.size(), 8u);
+  EXPECT_TRUE(code.mds_ok(enc.coefficients));
+}
+
+TEST(Fmsr, AnyTwoNodesDecode) {
+  Fmsr code(4, 2);
+  common::Xoshiro256 rng(2);
+  const auto object = common::patterned(123457, 2);
+  const auto enc = code.encode(object, rng);
+
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      auto decoded = decode_from_nodes(code, enc, {a, b});
+      ASSERT_TRUE(decoded.is_ok()) << a << "," << b;
+      EXPECT_EQ(decoded.value(), object) << a << "," << b;
+    }
+  }
+}
+
+TEST(Fmsr, StorageOverheadMatchesRs) {
+  // MSR point: total stored = n/k x object (same as RS), here 2x.
+  Fmsr code(4, 2);
+  common::Xoshiro256 rng(3);
+  const auto enc = code.encode(common::patterned(1 << 20, 3), rng);
+  std::size_t stored = 0;
+  for (const auto& c : enc.chunks) stored += c.size();
+  EXPECT_NEAR(static_cast<double>(stored) / (1 << 20), 2.0, 0.01);
+}
+
+TEST(Fmsr, PlannedRepairUsesOneChunkPerSurvivor) {
+  // The regenerating property: 3 chunks of size M/4 = 0.75M repair
+  // traffic, vs M for conventional erasure codes.
+  Fmsr code(4, 2);
+  common::Xoshiro256 rng(4);
+  const auto object = common::patterned(1 << 20, 4);
+  auto enc = code.encode(object, rng);
+
+  const std::size_t failed = 1;
+  auto plan = code.plan_repair(enc.coefficients, failed, rng);
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_EQ(plan.value().survivor_chunk_indices.size(), 3u);
+
+  std::vector<common::Bytes> survivor_chunks;
+  std::size_t repair_bytes = 0;
+  for (std::size_t i : plan.value().survivor_chunk_indices) {
+    EXPECT_NE(i / 2, failed);  // never downloads from the failed node
+    survivor_chunks.push_back(enc.chunks[i]);
+    repair_bytes += enc.chunks[i].size();
+  }
+  EXPECT_NEAR(static_cast<double>(repair_bytes) / (1 << 20), 0.75, 0.01);
+
+  const auto new_chunks = code.execute_repair(plan.value(), survivor_chunks);
+  ASSERT_EQ(new_chunks.size(), 2u);
+
+  // Install the repaired chunks and verify full decodability again.
+  enc.coefficients = plan.value().new_coefficients;
+  enc.chunks[2] = new_chunks[0];
+  enc.chunks[3] = new_chunks[1];
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      auto decoded = decode_from_nodes(code, enc, {a, b});
+      ASSERT_TRUE(decoded.is_ok()) << a << "," << b;
+      EXPECT_EQ(decoded.value(), object) << a << "," << b;
+    }
+  }
+}
+
+TEST(Fmsr, RepeatedRepairsStayMds) {
+  // Functional repair changes coefficients each round; the MDS property
+  // must survive a long sequence of failures.
+  Fmsr code(4, 2);
+  common::Xoshiro256 rng(5);
+  const auto object = common::patterned(40000, 5);
+  auto enc = code.encode(object, rng);
+
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t failed = rng.uniform_int(0, 3);
+    auto plan = code.plan_repair(enc.coefficients, failed, rng);
+    ASSERT_TRUE(plan.is_ok()) << "round " << round;
+
+    std::vector<common::Bytes> survivor_chunks;
+    for (std::size_t i : plan.value().survivor_chunk_indices) {
+      survivor_chunks.push_back(enc.chunks[i]);
+    }
+    const auto new_chunks = code.execute_repair(plan.value(), survivor_chunks);
+    enc.coefficients = plan.value().new_coefficients;
+    enc.chunks[failed * 2] = new_chunks[0];
+    enc.chunks[failed * 2 + 1] = new_chunks[1];
+    EXPECT_TRUE(code.mds_ok(enc.coefficients)) << "round " << round;
+
+    auto decoded = decode_from_nodes(
+        code, enc, {(failed + 1) % 4, (failed + 2) % 4});
+    ASSERT_TRUE(decoded.is_ok()) << "round " << round;
+    EXPECT_EQ(decoded.value(), object) << "round " << round;
+  }
+}
+
+TEST(Fmsr, DecodeRejectsWrongChunkCount) {
+  Fmsr code(4, 2);
+  common::Xoshiro256 rng(6);
+  const auto enc = code.encode(common::patterned(100, 6), rng);
+  auto r = code.decode(enc.coefficients, {0, 1}, {enc.chunks[0],
+                                                  enc.chunks[1]},
+                       enc.object_size, enc.object_crc);
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(Fmsr, DecodeDetectsCorruption) {
+  Fmsr code(4, 2);
+  common::Xoshiro256 rng(7);
+  auto enc = code.encode(common::patterned(5000, 7), rng);
+  enc.chunks[0][10] ^= 0xFF;
+  auto r = decode_from_nodes(code, enc, {0, 1});
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kDataLoss);
+}
+
+TEST(Fmsr, SmallAndEmptyObjects) {
+  Fmsr code(4, 2);
+  common::Xoshiro256 rng(8);
+  for (std::uint64_t size : {0ull, 1ull, 3ull, 4ull, 5ull, 1000ull}) {
+    const auto object = common::patterned(size, size + 9);
+    const auto enc = code.encode(object, rng);
+    auto decoded = decode_from_nodes(code, enc, {1, 3});
+    ASSERT_TRUE(decoded.is_ok()) << size;
+    EXPECT_EQ(decoded.value(), object) << size;
+  }
+}
+
+TEST(Fmsr, AlternateGeometry) {
+  // (n=3, k=2): 2 native chunks, 1 coded chunk per node.
+  Fmsr code(3, 2);
+  common::Xoshiro256 rng(9);
+  const auto object = common::patterned(9999, 10);
+  const auto enc = code.encode(object, rng);
+  EXPECT_EQ(enc.chunks.size(), 3u);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a + 1; b < 3; ++b) {
+      auto decoded = decode_from_nodes(code, enc, {a, b});
+      ASSERT_TRUE(decoded.is_ok());
+      EXPECT_EQ(decoded.value(), object);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyrd::erasure

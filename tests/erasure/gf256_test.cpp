@@ -1,0 +1,135 @@
+#include "erasure/gf256.h"
+
+#include <gtest/gtest.h>
+
+namespace hyrd::erasure {
+namespace {
+
+const GF256& gf() { return GF256::instance(); }
+
+TEST(GF256, AddIsXor) {
+  EXPECT_EQ(gf().add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(gf().sub(0x57, 0x83), 0x57 ^ 0x83);
+}
+
+TEST(GF256, MulByZeroAndOne) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf().mul(static_cast<std::uint8_t>(a), 0), 0);
+    EXPECT_EQ(gf().mul(0, static_cast<std::uint8_t>(a)), 0);
+    EXPECT_EQ(gf().mul(static_cast<std::uint8_t>(a), 1), a);
+  }
+}
+
+TEST(GF256, MulCommutative) {
+  for (int a = 1; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      EXPECT_EQ(gf().mul(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)),
+                gf().mul(static_cast<std::uint8_t>(b),
+                         static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(GF256, MulAssociative) {
+  for (int a = 1; a < 256; a += 31) {
+    for (int b = 1; b < 256; b += 37) {
+      for (int c = 1; c < 256; c += 41) {
+        const auto ua = static_cast<std::uint8_t>(a);
+        const auto ub = static_cast<std::uint8_t>(b);
+        const auto uc = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(gf().mul(gf().mul(ua, ub), uc),
+                  gf().mul(ua, gf().mul(ub, uc)));
+      }
+    }
+  }
+}
+
+TEST(GF256, DistributiveOverAdd) {
+  for (int a = 1; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 17) {
+      for (int c = 0; c < 256; c += 19) {
+        const auto ua = static_cast<std::uint8_t>(a);
+        const auto ub = static_cast<std::uint8_t>(b);
+        const auto uc = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(gf().mul(ua, gf().add(ub, uc)),
+                  gf().add(gf().mul(ua, ub), gf().mul(ua, uc)));
+      }
+    }
+  }
+}
+
+TEST(GF256, InverseProperty) {
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf().mul(ua, gf().inv(ua)), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, DivUndoesMul) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 9) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(gf().div(gf().mul(ua, ub), ub), ua);
+    }
+  }
+}
+
+TEST(GF256, PowMatchesRepeatedMul) {
+  for (int a = 2; a < 256; a += 51) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    std::uint8_t acc = 1;
+    for (unsigned n = 0; n < 10; ++n) {
+      EXPECT_EQ(gf().pow(ua, n), acc);
+      acc = gf().mul(acc, ua);
+    }
+  }
+}
+
+TEST(GF256, PowEdgeCases) {
+  EXPECT_EQ(gf().pow(0, 0), 1);  // 0^0 convention
+  EXPECT_EQ(gf().pow(0, 5), 0);
+  EXPECT_EQ(gf().pow(1, 1000), 1);
+}
+
+TEST(GF256, MulAddRegionMatchesScalar) {
+  common::Bytes src = common::patterned(257, 1);
+  common::Bytes dst = common::patterned(257, 2);
+  common::Bytes expected = dst;
+  const std::uint8_t c = 0x8E;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    expected[i] ^= gf().mul(c, src[i]);
+  }
+  gf().mul_add_region(dst, src, c);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST(GF256, MulAddRegionZeroCoefficientIsNoop) {
+  common::Bytes src = common::patterned(64, 1);
+  common::Bytes dst = common::patterned(64, 2);
+  const common::Bytes before = dst;
+  gf().mul_add_region(dst, src, 0);
+  EXPECT_EQ(dst, before);
+}
+
+TEST(GF256, MulAddRegionOneCoefficientIsXor) {
+  common::Bytes src = common::patterned(64, 1);
+  common::Bytes dst = common::patterned(64, 2);
+  common::Bytes expected = dst;
+  for (std::size_t i = 0; i < 64; ++i) expected[i] ^= src[i];
+  gf().mul_add_region(dst, src, 1);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST(GF256, MulRegionMatchesScalar) {
+  common::Bytes src = common::patterned(100, 3);
+  common::Bytes dst(100, 0);
+  gf().mul_region(dst, src, 0x1D);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst[i], gf().mul(0x1D, src[i]));
+  }
+}
+
+}  // namespace
+}  // namespace hyrd::erasure

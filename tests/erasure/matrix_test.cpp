@@ -1,0 +1,120 @@
+#include "erasure/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace hyrd::erasure {
+namespace {
+
+TEST(Matrix, IdentityTimesAnythingIsIdentity) {
+  const Matrix id = Matrix::identity(4);
+  Matrix m(4, 4);
+  std::uint8_t v = 1;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m.at(r, c) = v++;
+  }
+  EXPECT_EQ(id.mul(m), m);
+  EXPECT_EQ(m.mul(id), m);
+}
+
+TEST(Matrix, IdentityInvertsToItself) {
+  const Matrix id = Matrix::identity(5);
+  auto inv = id.inverted();
+  ASSERT_TRUE(inv.is_ok());
+  EXPECT_EQ(inv.value(), id);
+}
+
+TEST(Matrix, InvertRoundTrip) {
+  const Matrix c = Matrix::cauchy(4, 4);
+  auto inv = c.inverted();
+  ASSERT_TRUE(inv.is_ok());
+  EXPECT_EQ(c.mul(inv.value()), Matrix::identity(4));
+  EXPECT_EQ(inv.value().mul(c), Matrix::identity(4));
+}
+
+TEST(Matrix, SingularMatrixFailsInversion) {
+  Matrix m(3, 3);
+  // Two identical rows => singular.
+  for (std::size_t c = 0; c < 3; ++c) {
+    m.at(0, c) = static_cast<std::uint8_t>(c + 1);
+    m.at(1, c) = static_cast<std::uint8_t>(c + 1);
+    m.at(2, c) = static_cast<std::uint8_t>(7 * c + 3);
+  }
+  auto inv = m.inverted();
+  EXPECT_FALSE(inv.is_ok());
+  EXPECT_EQ(inv.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(Matrix, ZeroMatrixIsSingular) {
+  Matrix m(2, 2);
+  EXPECT_FALSE(m.inverted().is_ok());
+}
+
+TEST(Matrix, CauchyHasNoZeros) {
+  const Matrix c = Matrix::cauchy(8, 8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t j = 0; j < 8; ++j) EXPECT_NE(c.at(r, j), 0);
+  }
+}
+
+TEST(Matrix, CauchySquareSubmatricesInvertible) {
+  // The defining property that makes Cauchy safe for RS: any square
+  // submatrix is invertible. Spot-check 2x2 minors of a 4x6 Cauchy.
+  const Matrix c = Matrix::cauchy(4, 6);
+  for (std::size_t r1 = 0; r1 < 4; ++r1) {
+    for (std::size_t r2 = r1 + 1; r2 < 4; ++r2) {
+      for (std::size_t c1 = 0; c1 < 6; ++c1) {
+        for (std::size_t c2 = c1 + 1; c2 < 6; ++c2) {
+          Matrix minor(2, 2);
+          minor.at(0, 0) = c.at(r1, c1);
+          minor.at(0, 1) = c.at(r1, c2);
+          minor.at(1, 0) = c.at(r2, c1);
+          minor.at(1, 1) = c.at(r2, c2);
+          EXPECT_TRUE(minor.inverted().is_ok())
+              << "minor (" << r1 << "," << r2 << ")x(" << c1 << "," << c2
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Matrix, RsGeneratorTopIsIdentity) {
+  const Matrix gen = Matrix::rs_generator(4, 2);
+  ASSERT_EQ(gen.rows(), 6u);
+  ASSERT_EQ(gen.cols(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(gen.at(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+TEST(Matrix, RsGeneratorAnyKRowsInvertible) {
+  // Exhaustively check every k-subset of rows for RS(3, 2).
+  const std::size_t k = 3, m = 2;
+  const Matrix gen = Matrix::rs_generator(k, m);
+  const std::size_t n = k + m;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      for (std::size_t c = b + 1; c < n; ++c) {
+        const Matrix sub = gen.select_rows({a, b, c});
+        EXPECT_TRUE(sub.inverted().is_ok())
+            << "rows " << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(Matrix, SelectRowsExtracts) {
+  Matrix m(3, 2);
+  m.at(0, 0) = 1;
+  m.at(1, 0) = 2;
+  m.at(2, 0) = 3;
+  const Matrix sel = m.select_rows({2, 0});
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_EQ(sel.at(0, 0), 3);
+  EXPECT_EQ(sel.at(1, 0), 1);
+}
+
+}  // namespace
+}  // namespace hyrd::erasure

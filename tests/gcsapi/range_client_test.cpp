@@ -1,0 +1,101 @@
+// Range operations through the GCS-API middleware and the parallel
+// session fan-out.
+#include <gtest/gtest.h>
+
+#include "cloud/profiles.h"
+#include "gcsapi/session.h"
+
+namespace hyrd::gcs {
+namespace {
+
+class RangeClientTest : public ::testing::Test {
+ protected:
+  RangeClientTest() {
+    cloud::install_standard_four(registry_, 173);
+    session_ = std::make_unique<MultiCloudSession>(registry_);
+    session_->ensure_container_everywhere("c");
+  }
+  cloud::CloudRegistry registry_;
+  std::unique_ptr<MultiCloudSession> session_;
+};
+
+TEST_F(RangeClientTest, GetRangeThroughClient) {
+  auto& client = session_->client(session_->index_of("Aliyun"));
+  client.put({"c", "k"}, common::bytes_of("hello world"));
+  auto r = client.get_range({"c", "k"}, 6, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(common::to_string(r.data), "world");
+  EXPECT_EQ(r.bytes_transferred, 5u);
+}
+
+TEST_F(RangeClientTest, PutRangeThroughClient) {
+  auto& client = session_->client(session_->index_of("Aliyun"));
+  client.put({"c", "k"}, common::bytes_of("hello world"));
+  ASSERT_TRUE(client.put_range({"c", "k"}, 0, common::bytes_of("HELLO")).ok());
+  auto r = client.get({"c", "k"});
+  EXPECT_EQ(common::to_string(r.data), "HELLO world");
+}
+
+TEST_F(RangeClientTest, RangeOpsAppearInTrace) {
+  auto& client = session_->client(session_->index_of("Aliyun"));
+  client.put({"c", "k"}, common::bytes_of("0123456789"));
+  client.get_range({"c", "k"}, 0, 4);
+  client.put_range({"c", "k"}, 2, common::bytes_of("xy"));
+  const auto trace = client.recent_ops();
+  ASSERT_GE(trace.size(), 3u);
+  EXPECT_EQ(trace[trace.size() - 2].op, cloud::OpKind::kGet);
+  EXPECT_EQ(trace[trace.size() - 2].bytes, 4u);
+  EXPECT_EQ(trace.back().op, cloud::OpKind::kPut);
+  EXPECT_EQ(trace.back().bytes, 2u);
+}
+
+TEST_F(RangeClientTest, ParallelGetRangeBatch) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    session_->client(i).put({"c", "k"}, common::patterned(10000, i));
+  }
+  std::vector<BatchRangeGet> batch;
+  for (std::size_t i = 0; i < 4; ++i) {
+    batch.push_back({i, {"c", "k"}, 100, 256});
+  }
+  common::SimDuration latency = 0;
+  auto results = session_->parallel_get_range(batch, &latency);
+  common::SimDuration max_single = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(results[i].ok());
+    const common::Bytes full = common::patterned(10000, i);
+    EXPECT_EQ(results[i].data,
+              common::Bytes(full.begin() + 100, full.begin() + 356));
+    max_single = std::max(max_single, results[i].latency);
+  }
+  EXPECT_EQ(latency, max_single);
+}
+
+TEST_F(RangeClientTest, ParallelPutRangeBatch) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    session_->client(i).put({"c", "k"}, common::Bytes(1000, 0));
+  }
+  const auto patch = common::patterned(64, 1);
+  std::vector<BatchRangePut> batch;
+  for (std::size_t i = 0; i < 4; ++i) {
+    batch.push_back({i, {"c", "k"}, 500, patch});
+  }
+  common::SimDuration latency = 0;
+  auto results = session_->parallel_put_range(batch, &latency);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(results[i].ok());
+    auto r = session_->client(i).get_range({"c", "k"}, 500, 64);
+    EXPECT_EQ(r.data, patch);
+  }
+}
+
+TEST_F(RangeClientTest, RangeBeyondEofSurfacesInvalidArgument) {
+  auto& client = session_->client(0);
+  client.put({"c", "k"}, common::Bytes(10, 0));
+  EXPECT_EQ(client.get_range({"c", "k"}, 8, 5).status.code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.put_range({"c", "k"}, 8, common::Bytes(5, 0)).status.code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hyrd::gcs

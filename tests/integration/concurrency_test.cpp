@@ -1,0 +1,138 @@
+// Thread-safety: the client stack is documented as safe for concurrent
+// use (provider, billing, metadata store, update log, dedup index all
+// carry their own locks). Hammer it from many threads and verify no data
+// races corrupt state (run under TSan for the full guarantee; these tests
+// catch logic races and crashes either way).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cloud/profiles.h"
+#include "core/hyrd_client.h"
+
+namespace hyrd {
+namespace {
+
+TEST(Concurrency, ParallelPutsToDistinctPaths) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 211);
+  gcs::MultiCloudSession session(registry);
+  core::HyRDClient client(session);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      common::Xoshiro256 rng(1000 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string path =
+            "/t" + std::to_string(t) + "/f" + std::to_string(i);
+        const std::uint64_t size = rng.chance(0.2)
+                                       ? rng.uniform_int(1u << 20, 2u << 20)
+                                       : rng.uniform_int(100, 50000);
+        auto w = client.put(path, common::patterned(size, t * 100 + i));
+        if (!w.status.is_ok()) failures++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(client.list().size(),
+            static_cast<std::size_t>(kThreads * kOpsPerThread));
+
+  // Everything written must read back exactly.
+  for (int t = 0; t < kThreads; ++t) {
+    common::Xoshiro256 rng(1000 + t);
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const std::string path =
+          "/t" + std::to_string(t) + "/f" + std::to_string(i);
+      const std::uint64_t size = rng.chance(0.2)
+                                     ? rng.uniform_int(1u << 20, 2u << 20)
+                                     : rng.uniform_int(100, 50000);
+      auto r = client.get(path);
+      ASSERT_TRUE(r.status.is_ok()) << path;
+      EXPECT_EQ(r.data, common::patterned(size, t * 100 + i)) << path;
+    }
+  }
+}
+
+TEST(Concurrency, MixedReadersWritersAndOutages) {
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, 223);
+  gcs::MultiCloudSession session(registry);
+  core::HyRDClient client(session);
+
+  // Seed a shared working set.
+  for (int i = 0; i < 10; ++i) {
+    client.put("/shared/f" + std::to_string(i),
+               common::patterned(20000, i));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_errors{0};
+  std::vector<std::thread> threads;
+
+  // Readers: any successful read must return a consistent snapshot
+  // (a patterned buffer of the file's stated size).
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      common::Xoshiro256 rng(3000 + t);
+      while (!stop.load()) {
+        const std::string path =
+            "/shared/f" + std::to_string(rng.uniform_int(0, 9));
+        auto r = client.get(path);
+        if (r.status.is_ok()) {
+          const auto m = client.stat(path);
+          if (!m.has_value() || r.data.size() != m->size) {
+            // Benign: the file changed between read and stat. Only flag
+            // an empty successful read, which would be real corruption.
+            if (r.data.empty()) read_errors++;
+          }
+        }
+      }
+    });
+  }
+  // Writers: overwrite shared files.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      common::Xoshiro256 rng(4000 + t);
+      for (int i = 0; i < 30; ++i) {
+        const std::string path =
+            "/shared/f" + std::to_string(rng.uniform_int(0, 9));
+        client.put(path, common::patterned(rng.uniform_int(1000, 40000),
+                                           rng()));
+      }
+    });
+  }
+  // Chaos: flip one provider on and off.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 20; ++i) {
+      registry.find("WindowsAzure")->set_online(i % 2 == 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    registry.find("WindowsAzure")->set_online(true);
+  });
+
+  // Let writers finish, then stop readers.
+  threads[4].join();
+  threads[5].join();
+  threads[6].join();
+  stop.store(true);
+  for (int t = 0; t < 4; ++t) threads[t].join();
+
+  EXPECT_EQ(read_errors.load(), 0);
+  // After resync, every shared file is fully redundant again.
+  client.on_provider_restored("WindowsAzure");
+  registry.find("Aliyun")->set_online(false);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(
+        client.get("/shared/f" + std::to_string(i)).status.is_ok())
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace hyrd

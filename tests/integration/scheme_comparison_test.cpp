@@ -1,0 +1,141 @@
+// Qualitative reproduction of the paper's headline results (Fig. 4 / 6):
+// who wins and in which direction — asserted as invariants so regressions
+// in the models or schemes that would break the reproduction fail CI.
+#include <gtest/gtest.h>
+
+#include "cloud/outage.h"
+#include "cloud/profiles.h"
+#include "core/duracloud_client.h"
+#include "core/hyrd_client.h"
+#include "core/racs_client.h"
+#include "core/single_client.h"
+#include "workload/cost_sim.h"
+#include "workload/postmark.h"
+
+namespace hyrd {
+namespace {
+
+workload::PostMarkConfig bench_config() {
+  workload::PostMarkConfig c;
+  c.initial_files = 30;
+  c.transactions = 120;
+  c.min_size = 1024;
+  c.max_size = 24u << 20;  // trimmed from 100 MB for test runtime
+  return c;
+}
+
+double run_postmark_mean_ms(core::StorageClient& client) {
+  workload::PostMark pm(bench_config());
+  return pm.run(client).mean_latency_ms();
+}
+
+TEST(SchemeComparison, NormalStateLatencyOrdering) {
+  // Paper Fig. 6 normal state: HyRD < RACS < DuraCloud mean latency.
+  cloud::CloudRegistry reg;
+  cloud::install_standard_four(reg, 101);
+  gcs::MultiCloudSession session(reg);
+
+  core::HyRDClient hyrd(session);
+  core::RACSClient racs(session);
+  core::DuraCloudClient dura(session);
+
+  const double hyrd_ms = run_postmark_mean_ms(hyrd);
+  const double racs_ms = run_postmark_mean_ms(racs);
+  const double dura_ms = run_postmark_mean_ms(dura);
+
+  EXPECT_LT(hyrd_ms, racs_ms);
+  EXPECT_LT(racs_ms, dura_ms);
+  // The paper reports HyRD 34.8 % under RACS and 58.7 % under DuraCloud;
+  // require a clear margin in the same direction (the simulated gap runs
+  // ~10-15 % / ~45-55 % depending on seed and workload mix).
+  EXPECT_LT(hyrd_ms, racs_ms * 0.92);
+  EXPECT_LT(hyrd_ms, dura_ms * 0.65);
+}
+
+TEST(SchemeComparison, OutageStateLatencyOrdering) {
+  // Paper Fig. 6 outage (Azure down): HyRD beats RACS by an even wider
+  // margin (46.3 %), and DuraCloud improves over its own normal state.
+  cloud::CloudRegistry reg;
+  cloud::install_standard_four(reg, 103);
+  gcs::MultiCloudSession session(reg);
+
+  core::HyRDClient hyrd(session);
+  core::RACSClient racs(session);
+  core::DuraCloudClient dura(session);
+
+  const double dura_normal_ms = run_postmark_mean_ms(dura);
+
+  cloud::OutageController outages(reg);
+  outages.take_down("WindowsAzure");
+
+  const double hyrd_ms = run_postmark_mean_ms(hyrd);
+  const double racs_ms = run_postmark_mean_ms(racs);
+  const double dura_ms = run_postmark_mean_ms(dura);
+
+  EXPECT_LT(hyrd_ms, racs_ms * 0.80);
+  EXPECT_LT(dura_ms, dura_normal_ms);  // no double writes during outage
+}
+
+TEST(SchemeComparison, HyRDDegradesLessThanRacsUnderOutage) {
+  // RACS must reconstruct small files from all survivors; HyRD reads the
+  // surviving replica. Compare outage-vs-normal degradation ratios.
+  cloud::CloudRegistry reg;
+  cloud::install_standard_four(reg, 107);
+  gcs::MultiCloudSession session(reg);
+  core::HyRDClient hyrd(session);
+  core::RACSClient racs(session);
+
+  const double hyrd_normal = run_postmark_mean_ms(hyrd);
+  const double racs_normal = run_postmark_mean_ms(racs);
+
+  cloud::OutageController outages(reg);
+  outages.take_down("WindowsAzure");
+  const double hyrd_outage = run_postmark_mean_ms(hyrd);
+  const double racs_outage = run_postmark_mean_ms(racs);
+
+  const double hyrd_degradation = hyrd_outage / hyrd_normal;
+  const double racs_degradation = racs_outage / racs_normal;
+  EXPECT_LT(hyrd_degradation, racs_degradation);
+}
+
+TEST(SchemeComparison, CumulativeCostOrdering) {
+  // Paper Fig. 4(b): DuraCloud most expensive; HyRD cheaper than both
+  // DuraCloud and RACS; Aliyun the cheapest single cloud.
+  workload::IaTraceParams tp;
+  tp.mean_monthly_write_bytes = 300e9;
+  const auto trace = workload::synthesize_ia_trace(tp);
+  workload::CostSimulator sim({.scale = 1.0 / 3000.0});
+
+  auto run = [&](auto make_client) {
+    cloud::CloudRegistry reg;
+    cloud::install_standard_four(reg, 109);
+    gcs::MultiCloudSession session(reg);
+    auto client = make_client(session);
+    return sim.replay(trace, *client, reg).total_cost();
+  };
+
+  const double hyrd = run([](gcs::MultiCloudSession& s) {
+    return std::make_unique<core::HyRDClient>(s);
+  });
+  const double racs = run([](gcs::MultiCloudSession& s) {
+    return std::make_unique<core::RACSClient>(s);
+  });
+  const double dura = run([](gcs::MultiCloudSession& s) {
+    return std::make_unique<core::DuraCloudClient>(s);
+  });
+  const double aliyun = run([](gcs::MultiCloudSession& s) {
+    return std::make_unique<core::SingleCloudClient>(s, "Aliyun");
+  });
+  const double azure = run([](gcs::MultiCloudSession& s) {
+    return std::make_unique<core::SingleCloudClient>(s, "WindowsAzure");
+  });
+
+  EXPECT_LT(hyrd, racs);
+  EXPECT_LT(hyrd, dura);
+  EXPECT_GT(dura, racs);       // full replication is the costliest CoC
+  EXPECT_LT(aliyun, azure);    // Aliyun cheapest single provider
+  EXPECT_LT(aliyun, hyrd);     // redundancy costs more than one cheap cloud
+}
+
+}  // namespace
+}  // namespace hyrd

@@ -1,0 +1,102 @@
+#include "metadata/file_meta.h"
+
+#include <gtest/gtest.h>
+
+#include "metadata/serializer.h"
+
+namespace hyrd::meta {
+namespace {
+
+FileMeta sample_meta() {
+  FileMeta m;
+  m.path = "/docs/report.pdf";
+  m.size = 123456;
+  m.mtime = 987654321;
+  m.version = 7;
+  m.redundancy = RedundancyKind::kErasure;
+  m.crc = 0xCAFEBABE;
+  m.stripe_k = 3;
+  m.stripe_m = 1;
+  m.shard_size = 41152;
+  m.locations = {{"AmazonS3", "ab.s0"},
+                 {"WindowsAzure", "ab.s1"},
+                 {"Aliyun", "ab.s2"},
+                 {"Rackspace", "ab.s3"}};
+  return m;
+}
+
+TEST(FileMeta, SerializeDeserializeRoundTrip) {
+  const FileMeta m = sample_meta();
+  Writer w;
+  m.serialize(w);
+  Reader r(w.data());
+  auto back = FileMeta::deserialize(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), m);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(FileMeta, ReplicatedRoundTrip) {
+  FileMeta m;
+  m.path = "/a";
+  m.redundancy = RedundancyKind::kReplicated;
+  m.locations = {{"Aliyun", "x.r0"}, {"WindowsAzure", "x.r1"}};
+  Writer w;
+  m.serialize(w);
+  Reader r(w.data());
+  auto back = FileMeta::deserialize(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), m);
+}
+
+TEST(FileMeta, DeserializeRejectsBadVersion) {
+  Writer w;
+  w.u8(99);
+  Reader r(w.data());
+  EXPECT_FALSE(FileMeta::deserialize(r).is_ok());
+}
+
+TEST(FileMeta, DeserializeRejectsTruncation) {
+  const FileMeta m = sample_meta();
+  Writer w;
+  m.serialize(w);
+  auto full = w.take();
+  for (std::size_t cut : {std::size_t{1}, std::size_t{10}, std::size_t{20},
+                          full.size() - 1}) {
+    common::Bytes truncated(full.begin(),
+                            full.begin() + static_cast<std::ptrdiff_t>(cut));
+    Reader r(truncated);
+    EXPECT_FALSE(FileMeta::deserialize(r).is_ok()) << "cut=" << cut;
+  }
+}
+
+TEST(FileMeta, DeserializeRejectsBadRedundancyKind) {
+  FileMeta m = sample_meta();
+  Writer w;
+  m.serialize(w);
+  auto bytes = w.take();
+  // The redundancy byte follows: version(1) + path(4+16) + size(8) +
+  // mtime(8) + version(8) = offset 45.
+  bytes[45] = 9;
+  Reader r(bytes);
+  EXPECT_FALSE(FileMeta::deserialize(r).is_ok());
+}
+
+TEST(SplitPath, Basics) {
+  EXPECT_EQ(split_path("/a/b/c.txt"), (std::pair<std::string, std::string>{
+                                          "/a/b", "c.txt"}));
+  EXPECT_EQ(split_path("/top.txt"),
+            (std::pair<std::string, std::string>{"/", "top.txt"}));
+  EXPECT_EQ(split_path("noslash"),
+            (std::pair<std::string, std::string>{"/", "noslash"}));
+}
+
+TEST(FileMeta, DirectoryAndFilename) {
+  FileMeta m;
+  m.path = "/mail/inbox/0001";
+  EXPECT_EQ(m.directory(), "/mail/inbox");
+  EXPECT_EQ(m.filename(), "0001");
+}
+
+}  // namespace
+}  // namespace hyrd::meta

@@ -1,0 +1,112 @@
+#include "metadata/metadata_store.h"
+
+#include <gtest/gtest.h>
+
+namespace hyrd::meta {
+namespace {
+
+FileMeta make_meta(const std::string& path, std::uint64_t version = 1) {
+  FileMeta m;
+  m.path = path;
+  m.size = 100;
+  m.version = version;
+  m.redundancy = RedundancyKind::kReplicated;
+  m.locations = {{"Aliyun", "obj.r0"}};
+  return m;
+}
+
+TEST(MetadataStore, UpsertLookupErase) {
+  MetadataStore store;
+  store.upsert(make_meta("/a/b"));
+  auto got = store.lookup("/a/b");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->path, "/a/b");
+  EXPECT_TRUE(store.erase("/a/b"));
+  EXPECT_FALSE(store.lookup("/a/b").has_value());
+  EXPECT_FALSE(store.erase("/a/b"));
+}
+
+TEST(MetadataStore, UpsertOverwrites) {
+  MetadataStore store;
+  store.upsert(make_meta("/a/b", 1));
+  store.upsert(make_meta("/a/b", 2));
+  EXPECT_EQ(store.file_count(), 1u);
+  EXPECT_EQ(store.lookup("/a/b")->version, 2u);
+}
+
+TEST(MetadataStore, DirectoryGrouping) {
+  MetadataStore store;
+  store.upsert(make_meta("/mail/1"));
+  store.upsert(make_meta("/mail/2"));
+  store.upsert(make_meta("/docs/x"));
+  store.upsert(make_meta("/top"));
+
+  const auto dirs = store.directories();
+  EXPECT_EQ(dirs.size(), 3u);  // "/", "/docs", "/mail"
+  EXPECT_EQ(store.files_in("/mail").size(), 2u);
+  EXPECT_EQ(store.files_in("/docs").size(), 1u);
+  EXPECT_EQ(store.files_in("/").size(), 1u);
+  EXPECT_EQ(store.files_in("/none").size(), 0u);
+  EXPECT_EQ(store.file_count(), 4u);
+  EXPECT_EQ(store.all_paths().size(), 4u);
+}
+
+TEST(MetadataStore, EmptyDirectoryRemovedOnErase) {
+  MetadataStore store;
+  store.upsert(make_meta("/only/file"));
+  store.erase("/only/file");
+  EXPECT_TRUE(store.directories().empty());
+}
+
+TEST(MetadataStore, DirectoryBlockRoundTrip) {
+  MetadataStore store;
+  store.upsert(make_meta("/mail/1", 3));
+  store.upsert(make_meta("/mail/2", 5));
+  const common::Bytes block = store.serialize_directory("/mail");
+
+  MetadataStore other;
+  ASSERT_TRUE(other.load_directory_block(block).is_ok());
+  EXPECT_EQ(other.file_count(), 2u);
+  EXPECT_EQ(other.lookup("/mail/1")->version, 3u);
+  EXPECT_EQ(other.lookup("/mail/2")->version, 5u);
+}
+
+TEST(MetadataStore, LoadBlockNewerVersionWins) {
+  MetadataStore a;
+  a.upsert(make_meta("/d/f", 5));
+  const auto block_v5 = a.serialize_directory("/d");
+
+  MetadataStore b;
+  b.upsert(make_meta("/d/f", 7));
+  ASSERT_TRUE(b.load_directory_block(block_v5).is_ok());
+  EXPECT_EQ(b.lookup("/d/f")->version, 7u);  // older block does not clobber
+
+  MetadataStore c;
+  c.upsert(make_meta("/d/f", 2));
+  ASSERT_TRUE(c.load_directory_block(block_v5).is_ok());
+  EXPECT_EQ(c.lookup("/d/f")->version, 5u);  // newer block wins
+}
+
+TEST(MetadataStore, LoadBlockRejectsGarbage) {
+  MetadataStore store;
+  EXPECT_FALSE(store.load_directory_block(common::bytes_of("junk")).is_ok());
+  EXPECT_FALSE(store.load_directory_block({}).is_ok());
+}
+
+TEST(MetadataStore, SerializeEmptyDirectoryIsLoadable) {
+  MetadataStore store;
+  const auto block = store.serialize_directory("/nothing");
+  MetadataStore other;
+  EXPECT_TRUE(other.load_directory_block(block).is_ok());
+  EXPECT_EQ(other.file_count(), 0u);
+}
+
+TEST(MetadataStore, ClearEmptiesStore) {
+  MetadataStore store;
+  store.upsert(make_meta("/a"));
+  store.clear();
+  EXPECT_EQ(store.file_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hyrd::meta

@@ -1,0 +1,80 @@
+#include "metadata/serializer.h"
+
+#include <gtest/gtest.h>
+
+namespace hyrd::meta {
+namespace {
+
+TEST(Serializer, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16().value(), 0xBEEF);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serializer, StringsAndBytesRoundTrip) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  w.bytes(common::patterned(100, 1));
+
+  Reader r(w.data());
+  EXPECT_EQ(r.str().value(), "hello");
+  EXPECT_EQ(r.str().value(), "");
+  EXPECT_EQ(r.bytes().value(), common::patterned(100, 1));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serializer, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  const auto& d = w.data();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(d[0], 0x04);
+  EXPECT_EQ(d[3], 0x01);
+}
+
+TEST(Serializer, TruncatedReadsFailCleanly) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.data());
+  EXPECT_TRUE(r.u32().is_ok());
+  EXPECT_FALSE(r.u8().is_ok());
+  EXPECT_FALSE(r.u64().is_ok());
+}
+
+TEST(Serializer, TruncatedStringLengthFails) {
+  Writer w;
+  w.u32(100);  // declares 100 bytes, provides none
+  Reader r(w.data());
+  EXPECT_FALSE(r.str().is_ok());
+}
+
+TEST(Serializer, RemainingTracksPosition) {
+  Writer w;
+  w.u64(1);
+  Reader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Serializer, UnicodeBytesSurvive) {
+  Writer w;
+  w.str("caf\xC3\xA9 \xE2\x98\x83");
+  Reader r(w.data());
+  EXPECT_EQ(r.str().value(), "caf\xC3\xA9 \xE2\x98\x83");
+}
+
+}  // namespace
+}  // namespace hyrd::meta

@@ -1,0 +1,96 @@
+#include "metadata/update_log.h"
+
+#include <gtest/gtest.h>
+
+namespace hyrd::meta {
+namespace {
+
+TEST(UpdateLog, AppendAssignsIncreasingSeq) {
+  UpdateLog log;
+  const auto s1 = log.append("P", "c", "/a", "o1", LogAction::kPut);
+  const auto s2 = log.append("P", "c", "/b", "o2", LogAction::kPut);
+  EXPECT_LT(s1, s2);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(UpdateLog, PendingFiltersByProvider) {
+  UpdateLog log;
+  log.append("P1", "c", "/a", "o1", LogAction::kPut);
+  log.append("P2", "c", "/b", "o2", LogAction::kPut);
+  const auto pending = log.pending_for("P1");
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].path, "/a");
+  EXPECT_EQ(pending[0].container, "c");
+}
+
+TEST(UpdateLog, PendingCompactsPerObject) {
+  UpdateLog log;
+  log.append("P", "c", "/a", "obj", LogAction::kPut);
+  log.append("P", "c", "/a", "obj", LogAction::kPut);
+  log.append("P", "c", "/a", "obj", LogAction::kRemove);
+  const auto pending = log.pending_for("P");
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].action, LogAction::kRemove);  // last wins
+}
+
+TEST(UpdateLog, PendingOrderedBySeq) {
+  UpdateLog log;
+  log.append("P", "c", "/z", "oz", LogAction::kPut);
+  log.append("P", "c", "/a", "oa", LogAction::kPut);
+  const auto pending = log.pending_for("P");
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_LT(pending[0].seq, pending[1].seq);
+  EXPECT_EQ(pending[0].path, "/z");
+}
+
+TEST(UpdateLog, TruncateDropsOnlyThatProviderPrefix) {
+  UpdateLog log;
+  const auto s1 = log.append("P1", "c", "/a", "o1", LogAction::kPut);
+  log.append("P2", "c", "/b", "o2", LogAction::kPut);
+  const auto s3 = log.append("P1", "c", "/c", "o3", LogAction::kPut);
+  log.truncate("P1", s1);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.pending_for("P1").size(), 1u);
+  log.truncate("P1", s3);
+  EXPECT_TRUE(log.pending_for("P1").empty());
+  EXPECT_EQ(log.pending_for("P2").size(), 1u);
+}
+
+TEST(UpdateLog, SerializeRestoreRoundTrip) {
+  UpdateLog log;
+  log.append("P1", "data", "/a", "o1", LogAction::kPut);
+  log.append("P2", "meta", "//meta//d", "md1", LogAction::kRemove);
+  const auto snapshot = log.serialize();
+
+  UpdateLog restored;
+  ASSERT_TRUE(restored.restore(snapshot).is_ok());
+  EXPECT_EQ(restored.size(), 2u);
+  const auto p2 = restored.pending_for("P2");
+  ASSERT_EQ(p2.size(), 1u);
+  EXPECT_EQ(p2[0].action, LogAction::kRemove);
+  EXPECT_EQ(p2[0].container, "meta");
+
+  // Sequence numbering continues after restore.
+  const auto next = restored.append("P3", "c", "/x", "o", LogAction::kPut);
+  EXPECT_GT(next, p2[0].seq);
+}
+
+TEST(UpdateLog, RestoreRejectsGarbage) {
+  UpdateLog log;
+  EXPECT_FALSE(log.restore(common::bytes_of("nonsense")).is_ok());
+  EXPECT_FALSE(log.restore({}).is_ok());
+}
+
+TEST(UpdateLog, EmptyLogBehaviour) {
+  UpdateLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_TRUE(log.pending_for("P").empty());
+  log.truncate("P", 100);  // no-op
+  const auto snapshot = log.serialize();
+  UpdateLog restored;
+  EXPECT_TRUE(restored.restore(snapshot).is_ok());
+  EXPECT_TRUE(restored.empty());
+}
+
+}  // namespace
+}  // namespace hyrd::meta

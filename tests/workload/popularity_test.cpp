@@ -1,0 +1,71 @@
+#include "workload/popularity.h"
+
+#include <gtest/gtest.h>
+
+namespace hyrd::workload {
+namespace {
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(50, 1.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, PmfMonotonicallyDecreasing) {
+  ZipfSampler zipf(20, 1.2);
+  for (std::size_t i = 1; i < 20; ++i) {
+    EXPECT_LT(zipf.pmf(i), zipf.pmf(i - 1)) << i;
+  }
+}
+
+TEST(ZipfSampler, ZeroSkewIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(zipf.pmf(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfSampler, SampleFrequenciesMatchPmf) {
+  ZipfSampler zipf(8, 1.0);
+  common::Xoshiro256 rng(31);
+  std::vector<int> counts(8, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kN, zipf.pmf(i), 0.01) << i;
+  }
+}
+
+TEST(ZipfSampler, HeadDominatesAtHighSkew) {
+  ZipfSampler zipf(100, 1.5);
+  common::Xoshiro256 rng(37);
+  int head = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (zipf.sample(rng) < 5) ++head;
+  }
+  EXPECT_GT(head, kN / 2);  // top 5 of 100 take the majority of accesses
+}
+
+TEST(ZipfSampler, SamplesWithinRange) {
+  ZipfSampler zipf(3, 2.0);
+  common::Xoshiro256 rng(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 3u);
+}
+
+TEST(ZipfSampler, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  common::Xoshiro256 rng(43);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.pmf(0), 1.0);
+}
+
+TEST(ZipfSampler, DeterministicForSeed) {
+  ZipfSampler zipf(16, 0.9);
+  common::Xoshiro256 a(47), b(47);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+}
+
+}  // namespace
+}  // namespace hyrd::workload

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "cloud/profiles.h"
+#include "core/hyrd_client.h"
+#include "core/single_client.h"
+#include "workload/cost_sim.h"
+#include "workload/postmark.h"
+
+namespace hyrd::workload {
+namespace {
+
+struct Fleet {
+  Fleet() {
+    cloud::install_standard_four(registry, 67);
+    session = std::make_unique<gcs::MultiCloudSession>(registry);
+  }
+  cloud::CloudRegistry registry;
+  std::unique_ptr<gcs::MultiCloudSession> session;
+};
+
+PostMarkConfig small_config() {
+  PostMarkConfig c;
+  c.initial_files = 20;
+  c.transactions = 60;
+  c.max_size = 4 << 20;  // keep the test fast
+  return c;
+}
+
+TEST(PostMark, RunsFullMixAgainstHyRD) {
+  Fleet fleet;
+  core::HyRDClient client(*fleet.session);
+  PostMark pm(small_config());
+  auto report = pm.run(client);
+
+  EXPECT_EQ(report.client, "HyRD");
+  EXPECT_GE(report.creates, 20u);
+  EXPECT_GT(report.reads, 0u);
+  EXPECT_GT(report.updates, 0u);
+  EXPECT_GT(report.deletes, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_GT(report.bytes_written, 0u);
+  EXPECT_GT(report.bytes_read, 0u);
+  EXPECT_GT(report.mean_latency_ms(), 0.0);
+  EXPECT_EQ(report.all_ms.count(),
+            report.reads + report.updates + report.creates + report.deletes);
+}
+
+TEST(PostMark, DeterministicOpSequenceAcrossClients) {
+  // The same seed must issue identical logical ops to different schemes:
+  // equal create/read/update/delete counts and byte totals written.
+  Fleet f1, f2;
+  core::HyRDClient hyrd(*f1.session);
+  core::SingleCloudClient single(*f2.session, "Aliyun");
+  PostMark pm(small_config());
+  auto a = pm.run(hyrd);
+  auto b = pm.run(single);
+  EXPECT_EQ(a.creates, b.creates);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.deletes, b.deletes);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+}
+
+TEST(PostMark, CleanupRemovesPool) {
+  Fleet fleet;
+  core::SingleCloudClient client(*fleet.session, "Aliyun");
+  PostMarkConfig config = small_config();
+  config.cleanup = true;
+  PostMark pm(config);
+  auto report = pm.run(client);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_TRUE(client.list().empty());
+}
+
+TEST(PostMark, SizesRespectBounds) {
+  Fleet fleet;
+  core::SingleCloudClient client(*fleet.session, "Aliyun");
+  PostMarkConfig config = small_config();
+  config.initial_files = 40;
+  config.transactions = 0;
+  PostMark pm(config);
+  pm.run(client);
+  for (const auto& path : client.list()) {
+    const auto m = client.stat(path);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_GE(m->size, config.min_size);
+    EXPECT_LE(m->size, config.max_size);
+  }
+}
+
+TEST(CostSim, ReplaysTraceAndBillsMonthly) {
+  Fleet fleet;
+  core::HyRDClient client(*fleet.session);
+
+  IaTraceParams tp;
+  tp.mean_monthly_write_bytes = 200e9;  // smaller trace for test speed
+  const auto trace = synthesize_ia_trace(tp);
+
+  CostSimConfig config;
+  config.scale = 1.0 / 2000.0;
+  CostSimulator sim(config);
+  auto report = sim.replay(trace, client, fleet.registry);
+
+  EXPECT_EQ(report.client, "HyRD");
+  ASSERT_EQ(report.monthly_cost.size(), 12u);
+  ASSERT_EQ(report.cumulative_cost.size(), 12u);
+  EXPECT_GT(report.files_created, 0u);
+  EXPECT_GT(report.total_cost(), 0.0);
+
+  // Cumulative is nondecreasing and ends at the sum of monthly.
+  double sum = 0.0;
+  for (std::size_t m = 0; m < 12; ++m) {
+    EXPECT_GE(report.monthly_cost[m], 0.0);
+    sum += report.monthly_cost[m];
+    EXPECT_NEAR(report.cumulative_cost[m], sum, 1e-6);
+    if (m > 0) {
+      EXPECT_GE(report.cumulative_cost[m], report.cumulative_cost[m - 1]);
+    }
+  }
+}
+
+TEST(CostSim, MonthlyCostGrowsWithResidentData) {
+  // Fig. 4(a): later months re-bill all previously stored data, so
+  // storage-dominated schemes see rising monthly bills.
+  Fleet fleet;
+  core::SingleCloudClient client(*fleet.session, "WindowsAzure");
+
+  IaTraceParams tp;
+  tp.mean_monthly_write_bytes = 200e9;
+  tp.seasonal_amplitude = 0.0;  // isolate the accumulation effect
+  tp.noise_sigma = 0.0;
+  const auto trace = synthesize_ia_trace(tp);
+
+  CostSimulator sim({.scale = 1.0 / 2000.0});
+  auto report = sim.replay(trace, client, fleet.registry);
+  // Azure bills storage only (free egress/txns) => strictly increasing.
+  EXPECT_GT(report.monthly_cost.back(), report.monthly_cost.front() * 2);
+}
+
+TEST(CostSim, IssuedTrafficIsReadDominated) {
+  Fleet fleet;
+  core::SingleCloudClient client(*fleet.session, "Aliyun");
+  IaTraceParams tp;
+  tp.mean_monthly_write_bytes = 200e9;
+  CostSimulator sim({.scale = 1.0 / 2000.0});
+  auto report = sim.replay(synthesize_ia_trace(tp), client, fleet.registry);
+  EXPECT_GT(report.issued.byte_ratio(), 1.2);
+  EXPECT_GT(report.issued.request_ratio(), 1.5);
+}
+
+}  // namespace
+}  // namespace hyrd::workload

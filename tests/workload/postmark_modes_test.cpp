@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "cloud/profiles.h"
+#include "core/single_client.h"
+#include "workload/postmark.h"
+
+namespace hyrd::workload {
+namespace {
+
+struct Fleet {
+  Fleet() {
+    cloud::install_standard_four(registry, 179);
+    session = std::make_unique<gcs::MultiCloudSession>(registry);
+  }
+  cloud::CloudRegistry registry;
+  std::unique_ptr<gcs::MultiCloudSession> session;
+};
+
+PostMarkConfig base_config() {
+  PostMarkConfig c;
+  c.initial_files = 40;
+  c.transactions = 0;
+  c.min_size = 1024;
+  c.max_size = 8 << 20;
+  return c;
+}
+
+std::vector<std::uint64_t> created_sizes(const PostMarkConfig& config) {
+  Fleet fleet;
+  core::SingleCloudClient client(*fleet.session, "Aliyun");
+  PostMark pm(config);
+  pm.run(client);
+  std::vector<std::uint64_t> sizes;
+  for (const auto& path : client.list()) {
+    sizes.push_back(client.stat(path)->size);
+  }
+  return sizes;
+}
+
+TEST(PostMarkModes, AllModesRespectBounds) {
+  for (SizeMode mode :
+       {SizeMode::kMixture, SizeMode::kLogUniform, SizeMode::kUniform}) {
+    PostMarkConfig config = base_config();
+    config.size_mode = mode;
+    for (std::uint64_t size : created_sizes(config)) {
+      EXPECT_GE(size, config.min_size);
+      EXPECT_LE(size, config.max_size);
+    }
+  }
+}
+
+TEST(PostMarkModes, UniformModeSkewsLarge) {
+  // Uniform-in-bytes has mean ~max/2; the mixture is dominated by small
+  // files. Their medians must be far apart.
+  PostMarkConfig uniform = base_config();
+  uniform.size_mode = SizeMode::kUniform;
+  PostMarkConfig mixture = base_config();
+  mixture.size_mode = SizeMode::kMixture;
+
+  auto med = [](std::vector<std::uint64_t> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  EXPECT_GT(med(created_sizes(uniform)), 100 * med(created_sizes(mixture)));
+}
+
+TEST(PostMarkModes, MixtureMostFilesSmall) {
+  PostMarkConfig config = base_config();
+  config.initial_files = 200;
+  std::size_t small = 0;
+  const auto sizes = created_sizes(config);
+  for (auto s : sizes) small += s <= 4096 ? 1 : 0;
+  EXPECT_GT(small * 2, sizes.size());  // > 50%
+}
+
+TEST(PostMarkModes, AccessSkewTargetsSmallFiles) {
+  // With full skew, reads hit only the small population: mean bytes per
+  // read must be tiny relative to the no-skew run.
+  auto mean_read_bytes = [&](double bias) {
+    Fleet fleet;
+    core::SingleCloudClient client(*fleet.session, "Aliyun");
+    PostMarkConfig config = base_config();
+    config.initial_files = 40;
+    config.transactions = 120;
+    config.w_read = 1.0;
+    config.w_update = 0.0;
+    config.w_create = 0.0;
+    config.w_delete = 0.0;
+    config.small_txn_bias = bias;
+    PostMark pm(config);
+    auto report = pm.run(client);
+    return static_cast<double>(report.bytes_read) /
+           static_cast<double>(report.reads);
+  };
+  EXPECT_LT(mean_read_bytes(1.0), 64.0 * 1024);
+  EXPECT_GT(mean_read_bytes(0.0), 256.0 * 1024);
+}
+
+TEST(PostMarkModes, SeedReproducibility) {
+  PostMarkConfig config = base_config();
+  config.transactions = 50;
+  Fleet f1, f2;
+  core::SingleCloudClient c1(*f1.session, "Aliyun");
+  core::SingleCloudClient c2(*f2.session, "Aliyun");
+  PostMark pm(config);
+  auto a = pm.run(c1);
+  auto b = pm.run(c2);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(c1.list(), c2.list());
+}
+
+TEST(PostMarkModes, DifferentSeedsDiffer) {
+  PostMarkConfig a = base_config();
+  PostMarkConfig b = base_config();
+  b.seed = a.seed + 1;
+  EXPECT_NE(created_sizes(a), created_sizes(b));
+}
+
+}  // namespace
+}  // namespace hyrd::workload

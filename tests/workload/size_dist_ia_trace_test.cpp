@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "workload/ia_trace.h"
+#include "workload/size_dist.h"
+
+namespace hyrd::workload {
+namespace {
+
+TEST(SizeDist, MoreThanHalfOfFilesAreAtMost4KB) {
+  // Paper §II-B (Agrawal FAST'07): >50 % of files are <= 4 KB.
+  SizeDist dist;
+  common::Xoshiro256 rng(1);
+  int small = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (dist.sample(rng) <= 4096) ++small;
+  }
+  EXPECT_GT(small, kN / 2);
+}
+
+TEST(SizeDist, LargeFilesHoldMostBytes) {
+  // Paper §II-B: large (multi-MB) files are a small fraction of files but
+  // ~80 % of bytes.
+  SizeDist dist;
+  common::Xoshiro256 rng(2);
+  std::uint64_t total = 0, large_bytes = 0;
+  int large_count = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t s = dist.sample(rng);
+    total += s;
+    if (s > (1u << 20)) {
+      large_bytes += s;
+      ++large_count;
+    }
+  }
+  const double byte_share =
+      static_cast<double>(large_bytes) / static_cast<double>(total);
+  const double count_share = static_cast<double>(large_count) / kN;
+  EXPECT_GT(byte_share, 0.60);
+  EXPECT_LT(count_share, 0.25);
+}
+
+TEST(SizeDist, SamplesWithinBounds) {
+  SizeDist dist;
+  common::Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = dist.sample(rng);
+    EXPECT_GE(s, dist.params().small_min);
+    EXPECT_LE(s, dist.params().large_max);
+  }
+}
+
+TEST(SizeDist, ComponentSamplersRespectRanges) {
+  SizeDist dist;
+  common::Xoshiro256 rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LE(dist.sample_small(rng), 4096u);
+    EXPECT_GT(dist.sample_large(rng), 1u << 20);
+  }
+}
+
+TEST(SizeDist, DeterministicForSeed) {
+  SizeDist dist;
+  common::Xoshiro256 a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(a), dist.sample(b));
+}
+
+TEST(IaTrace, TwelveMonthsByDefault) {
+  const auto trace = synthesize_ia_trace();
+  EXPECT_EQ(trace.size(), 12u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].month, static_cast<int>(i));
+    EXPECT_GT(trace[i].bytes_written, 0u);
+    EXPECT_GT(trace[i].bytes_read, 0u);
+    EXPECT_GT(trace[i].write_requests, 0u);
+    EXPECT_GT(trace[i].read_requests, 0u);
+  }
+}
+
+TEST(IaTrace, ByteRatioMatchesPaper) {
+  // Fig. 3(a): reads outweigh writes by ~2.1:1 in bytes.
+  const auto totals = trace_totals(synthesize_ia_trace());
+  EXPECT_NEAR(totals.byte_ratio(), 2.1, 0.35);
+}
+
+TEST(IaTrace, RequestRatioMatchesPaper) {
+  // Fig. 3(b): read requests outnumber writes by ~3.5:1.
+  const auto totals = trace_totals(synthesize_ia_trace());
+  EXPECT_NEAR(totals.request_ratio(), 3.5, 0.6);
+}
+
+TEST(IaTrace, MonthlyVolumesInTerabyteRange) {
+  const auto trace = synthesize_ia_trace();
+  for (const auto& m : trace) {
+    EXPECT_GT(m.bytes_written + m.bytes_read, 1.0e12);   // > 1 TB
+    EXPECT_LT(m.bytes_written + m.bytes_read, 20.0e12);  // < 20 TB
+  }
+}
+
+TEST(IaTrace, SeasonalVariationPresent) {
+  const auto trace = synthesize_ia_trace();
+  std::uint64_t lo = trace[0].bytes_written, hi = lo;
+  for (const auto& m : trace) {
+    lo = std::min(lo, m.bytes_written);
+    hi = std::max(hi, m.bytes_written);
+  }
+  EXPECT_GT(static_cast<double>(hi) / static_cast<double>(lo), 1.3);
+}
+
+TEST(IaTrace, DeterministicForSeed) {
+  const auto a = synthesize_ia_trace();
+  const auto b = synthesize_ia_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bytes_written, b[i].bytes_written);
+    EXPECT_EQ(a[i].read_requests, b[i].read_requests);
+  }
+}
+
+TEST(IaTrace, ParamsScaleVolumes) {
+  IaTraceParams params;
+  params.mean_monthly_write_bytes = 1e9;
+  const auto totals = trace_totals(synthesize_ia_trace(params));
+  EXPECT_LT(totals.bytes_written, 20e9);
+  EXPECT_GT(totals.bytes_written, 5e9);
+}
+
+}  // namespace
+}  // namespace hyrd::workload

@@ -1,0 +1,71 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+namespace hyrd::workload {
+namespace {
+
+TEST(TraceIo, RoundTrip) {
+  const auto trace = synthesize_ia_trace();
+  const std::string csv = trace_to_csv(trace);
+  auto back = trace_from_csv(csv);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  ASSERT_EQ(back.value().size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back.value()[i].month, trace[i].month);
+    EXPECT_EQ(back.value()[i].bytes_written, trace[i].bytes_written);
+    EXPECT_EQ(back.value()[i].bytes_read, trace[i].bytes_read);
+    EXPECT_EQ(back.value()[i].write_requests, trace[i].write_requests);
+    EXPECT_EQ(back.value()[i].read_requests, trace[i].read_requests);
+  }
+}
+
+TEST(TraceIo, AcceptsCrLfAndTrailingNewlines) {
+  const std::string csv =
+      "month,bytes_written,bytes_read,write_requests,read_requests\r\n"
+      "0,100,200,3,7\r\n\n";
+  auto trace = trace_from_csv(csv);
+  ASSERT_TRUE(trace.is_ok());
+  ASSERT_EQ(trace.value().size(), 1u);
+  EXPECT_EQ(trace.value()[0].bytes_read, 200u);
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  EXPECT_FALSE(trace_from_csv("a,b,c\n1,2,3\n").is_ok());
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  const std::string header =
+      "month,bytes_written,bytes_read,write_requests,read_requests\n";
+  EXPECT_FALSE(trace_from_csv(header + "0,1,2,3\n").is_ok());
+  EXPECT_FALSE(trace_from_csv(header + "0,1,2,3,4,5\n").is_ok());
+}
+
+TEST(TraceIo, RejectsNonNumeric) {
+  const std::string header =
+      "month,bytes_written,bytes_read,write_requests,read_requests\n";
+  EXPECT_FALSE(trace_from_csv(header + "0,abc,2,3,4\n").is_ok());
+  EXPECT_FALSE(trace_from_csv(header + "0,1.5,2,3,4\n").is_ok());
+  EXPECT_FALSE(trace_from_csv(header + "0, 1,2,3,4\n").is_ok());
+}
+
+TEST(TraceIo, RejectsEmptyAndHeaderOnly) {
+  EXPECT_FALSE(trace_from_csv("").is_ok());
+  EXPECT_FALSE(
+      trace_from_csv(
+          "month,bytes_written,bytes_read,write_requests,read_requests\n")
+          .is_ok());
+}
+
+TEST(TraceIo, ImportedTraceDrivesTotals) {
+  const std::string header =
+      "month,bytes_written,bytes_read,write_requests,read_requests\n";
+  auto trace = trace_from_csv(header + "0,1000,2100,10,35\n1,1000,2100,10,35\n");
+  ASSERT_TRUE(trace.is_ok());
+  const auto totals = trace_totals(trace.value());
+  EXPECT_NEAR(totals.byte_ratio(), 2.1, 1e-9);
+  EXPECT_NEAR(totals.request_ratio(), 3.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace hyrd::workload
