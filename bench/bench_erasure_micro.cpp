@@ -1,9 +1,18 @@
 // Microbenchmarks for the erasure-coding substrate: GF(2^8) region
 // kernels, Reed–Solomon encode/decode across geometries, RAID5 XOR and
-// delta-parity, and whole-object striping throughput.
+// delta-parity, checksum kernels, and whole-object striping throughput.
+//
+// Supports `--json` (machine-readable results on stdout) and
+// `--json=FILE` (write FILE, keep the console table) on top of the usual
+// google-benchmark flags.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "common/bytes.h"
+#include "common/checksum.h"
 #include "common/rng.h"
 #include "erasure/fmsr.h"
 #include "erasure/gf256.h"
@@ -34,25 +43,68 @@ void BM_GF256MulAddRegion(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(src.size()));
 }
-BENCHMARK(BM_GF256MulAddRegion)->Range(1 << 10, 1 << 22);
+BENCHMARK(BM_GF256MulAddRegion)->Range(1 << 10, 1 << 22)->Arg(1 << 20);
+
+// The retained byte-at-a-time reference kernel: the before/after baseline
+// for the wide-word path above.
+void BM_GF256MulAddRegionScalar(benchmark::State& state) {
+  const auto& gf = erasure::GF256::instance();
+  common::Bytes src =
+      common::patterned(static_cast<std::size_t>(state.range(0)), 1);
+  common::Bytes dst = common::patterned(src.size(), 2);
+  for (auto _ : state) {
+    gf.mul_add_region_scalar(dst, src, 0x57);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_GF256MulAddRegionScalar)->Arg(1 << 16)->Arg(1 << 20);
+
+// Fused k-source accumulation (what one parity row of RS encode costs).
+void BM_GF256MulAddRegionMulti(benchmark::State& state) {
+  const auto& gf = erasure::GF256::instance();
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t size = static_cast<std::size_t>(state.range(1));
+  const auto shards = make_shards(k, size);
+  std::vector<common::ByteSpan> srcs(shards.begin(), shards.end());
+  std::vector<std::uint8_t> coeffs;
+  for (std::size_t i = 0; i < k; ++i) {
+    coeffs.push_back(static_cast<std::uint8_t>(0x53 + i));
+  }
+  common::Bytes dst(size, 0);
+  for (auto _ : state) {
+    gf.mul_add_region_multi(dst, srcs, coeffs.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * size));
+}
+BENCHMARK(BM_GF256MulAddRegionMulti)
+    ->Args({4, 1 << 16})
+    ->Args({4, 1 << 20})
+    ->Args({8, 1 << 20});
 
 void BM_RsEncode(benchmark::State& state) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));
   const std::size_t m = static_cast<std::size_t>(state.range(1));
+  const std::size_t shard_size = static_cast<std::size_t>(state.range(2));
   erasure::ReedSolomon rs(k, m);
-  const auto shards = make_shards(k, 256 * 1024);
+  const auto shards = make_shards(k, shard_size);
   for (auto _ : state) {
     auto parity = rs.encode(shards);
     benchmark::DoNotOptimize(parity);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(k * 256 * 1024));
+                          static_cast<std::int64_t>(k * shard_size));
 }
 BENCHMARK(BM_RsEncode)
-    ->Args({3, 1})
-    ->Args({4, 2})
-    ->Args({6, 3})
-    ->Args({8, 4});
+    ->Args({3, 1, 256 << 10})
+    ->Args({4, 2, 256 << 10})
+    ->Args({6, 3, 256 << 10})
+    ->Args({8, 4, 256 << 10})
+    ->Args({4, 2, 1 << 20})
+    ->Args({8, 4, 1 << 20});
 
 void BM_RsReconstructWorstCase(benchmark::State& state) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));
@@ -165,4 +217,58 @@ void BM_StriperDegradedDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_StriperDegradedDecode)->Range(64 << 10, 16 << 20);
 
+void BM_Crc32c(benchmark::State& state) {
+  const auto data =
+      common::patterned(static_cast<std::size_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    auto crc = common::crc32c(data);
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Range(1 << 10, 4 << 20);
+
+void BM_Sha256(benchmark::State& state) {
+  const auto data =
+      common::patterned(static_cast<std::size_t>(state.range(0)), 12);
+  for (auto _ : state) {
+    auto digest = common::Sha256::digest(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Range(1 << 10, 4 << 20);
+
 }  // namespace
+
+// Custom entry point: `--json` / `--json=FILE` are shorthands for the
+// verbose google-benchmark output flags, so scripted runs can do
+// `bench_erasure_micro --json=BENCH_erasure.json` and parse MB/s.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--json") {
+      args.emplace_back("--benchmark_format=json");
+    } else if (a.starts_with("--json=")) {
+      args.emplace_back(std::string("--benchmark_out=") +
+                        std::string(a.substr(7)));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(a);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (auto& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -52,6 +52,7 @@ OpResult SimProvider::create(const std::string& container) {
 
 OpResult SimProvider::put(const ObjectKey& key, common::ByteSpan data) {
   if (!online()) return unavailable_result();
+  run_op_hook(OpKind::kPut, key);
   OpResult r;
   r.status = store_.put(key.container, key.name, data);
   if (r.status.is_ok()) {
@@ -69,6 +70,7 @@ GetResult SimProvider::get(const ObjectKey& key) {
     static_cast<OpResult&>(r) = unavailable_result();
     return r;
   }
+  run_op_hook(OpKind::kGet, key);
   auto res = store_.get(key.container, key.name);
   if (res.is_ok()) {
     r.data = std::move(res).value();
@@ -84,6 +86,7 @@ GetResult SimProvider::get(const ObjectKey& key) {
 
 OpResult SimProvider::remove(const ObjectKey& key) {
   if (!online()) return unavailable_result();
+  run_op_hook(OpKind::kRemove, key);
   OpResult r;
   r.status = store_.remove(key.container, key.name);
   r.latency = charge(OpKind::kRemove, 0);
@@ -114,6 +117,7 @@ GetResult SimProvider::get_range(const ObjectKey& key, std::uint64_t offset,
     static_cast<OpResult&>(r) = unavailable_result();
     return r;
   }
+  run_op_hook(OpKind::kGet, key);
   auto res = store_.get_range(key.container, key.name, offset, length);
   if (res.is_ok()) {
     r.data = std::move(res).value();
@@ -130,6 +134,7 @@ GetResult SimProvider::get_range(const ObjectKey& key, std::uint64_t offset,
 OpResult SimProvider::put_range(const ObjectKey& key, std::uint64_t offset,
                                 common::ByteSpan data) {
   if (!online()) return unavailable_result();
+  run_op_hook(OpKind::kPut, key);
   OpResult r;
   r.status = store_.put_range(key.container, key.name, offset, data);
   if (r.status.is_ok()) {

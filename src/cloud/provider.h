@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -91,7 +92,18 @@ class SimProvider final : public ObjectStore {
   /// Direct access to backing state for white-box tests and audits.
   MemoryStore& raw_store() { return store_; }
 
+  /// Test hook invoked at the start of every data-plane op (after the
+  /// availability check, before touching the store). Lets tests observe or
+  /// deliberately stall a specific request — e.g. to prove client code
+  /// holds no locks across provider I/O. Not used in production paths.
+  using OpHook = std::function<void(OpKind, const ObjectKey&)>;
+  void set_op_hook(OpHook hook) { op_hook_ = std::move(hook); }
+
  private:
+  void run_op_hook(OpKind op, const ObjectKey& key) const {
+    if (op_hook_) op_hook_(op, key);
+  }
+
   /// Samples latency + updates billing under the provider lock.
   common::SimDuration charge(OpKind op, std::uint64_t bytes);
   OpResult unavailable_result();
@@ -102,6 +114,7 @@ class SimProvider final : public ObjectStore {
   BillingMeter billing_;
   common::Xoshiro256 rng_;
   OpCounters counters_;
+  OpHook op_hook_;  // set before concurrent use; never mutated mid-test
   std::atomic<bool> online_{true};
   mutable std::mutex mu_;  // guards rng_, billing_, counters_
 };

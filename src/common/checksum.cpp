@@ -3,23 +3,92 @@
 #include <bit>
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define HYRD_CRC_X86 1
+#endif
+
 namespace hyrd::common {
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8 CRC-32C: table[0] is the classic bitwise-derived table,
+// table[t][b] extends it so eight input bytes fold into the running CRC
+// with eight independent lookups per 64-bit load.
+struct Crc32cTables {
+  std::uint32_t t[8][256];
+};
+
+Crc32cTables make_crc32c_tables() {
+  Crc32cTables tables{};
   constexpr std::uint32_t kPolyReflected = 0x82F63B78u;  // 0x1EDC6F41 reflected
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
     }
-    table[i] = crc;
+    tables.t[0][i] = crc;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tables.t[0][i];
+    for (int slice = 1; slice < 8; ++slice) {
+      crc = (crc >> 8) ^ tables.t[0][crc & 0xFFu];
+      tables.t[slice][i] = crc;
+    }
+  }
+  return tables;
 }
 
-const std::array<std::uint32_t, 256> kCrcTable = make_crc32c_table();
+const Crc32cTables kCrc = make_crc32c_tables();
+
+std::uint32_t crc32c_sw(std::uint32_t crc, const std::uint8_t* p,
+                        std::size_t n) {
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    w ^= crc;
+    crc = kCrc.t[7][w & 0xFF] ^ kCrc.t[6][(w >> 8) & 0xFF] ^
+          kCrc.t[5][(w >> 16) & 0xFF] ^ kCrc.t[4][(w >> 24) & 0xFF] ^
+          kCrc.t[3][(w >> 32) & 0xFF] ^ kCrc.t[2][(w >> 40) & 0xFF] ^
+          kCrc.t[1][(w >> 48) & 0xFF] ^ kCrc.t[0][w >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ kCrc.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return crc;
+}
+
+#ifdef HYRD_CRC_X86
+// SSE4.2 CRC32 instruction: 8 bytes per cycle-ish, same polynomial.
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(std::uint32_t crc,
+                                                          const std::uint8_t* p,
+                                                          std::size_t n) {
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = _mm_crc32_u64(c, w);
+    p += 8;
+    n -= 8;
+  }
+  auto c32 = static_cast<std::uint32_t>(c);
+  while (n-- > 0) c32 = _mm_crc32_u8(c32, *p++);
+  return c32;
+}
+#endif
+
+using CrcFn = std::uint32_t (*)(std::uint32_t, const std::uint8_t*,
+                                std::size_t);
+
+CrcFn pick_crc32c() {
+#ifdef HYRD_CRC_X86
+  if (__builtin_cpu_supports("sse4.2")) return crc32c_hw;
+#endif
+  return crc32c_sw;
+}
+
+const CrcFn kCrcImpl = pick_crc32c();
 
 constexpr std::array<std::uint32_t, 64> kSha256K = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
@@ -37,9 +106,13 @@ constexpr std::array<std::uint32_t, 64> kSha256K = {
 }  // namespace
 
 std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) {
+  return ~kCrcImpl(~seed, data.data(), data.size());
+}
+
+std::uint32_t crc32c_reference(ByteSpan data, std::uint32_t seed) {
   std::uint32_t crc = ~seed;
   for (std::uint8_t b : data) {
-    crc = (crc >> 8) ^ kCrcTable[(crc ^ b) & 0xFFu];
+    crc = (crc >> 8) ^ kCrc.t[0][(crc ^ b) & 0xFFu];
   }
   return ~crc;
 }
@@ -69,49 +142,64 @@ Sha256::Sha256() {
             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
 }
 
-void Sha256::process_block(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
-           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<std::uint32_t>(block[i * 4 + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 = std::rotr(w[i - 15], 7) ^ std::rotr(w[i - 15], 18) ^
-                             (w[i - 15] >> 3);
-    const std::uint32_t s1 = std::rotr(w[i - 2], 17) ^ std::rotr(w[i - 2], 19) ^
-                             (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
+void Sha256::process_blocks(const std::uint8_t* block, std::size_t count) {
+  // Keep the working variables in locals across the whole run of blocks;
+  // state_ is read once and written once per call, not per block.
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (std::size_t blk = 0; blk < count; ++blk, block += 64) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+             (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+             static_cast<std::uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 = std::rotr(w[i - 15], 7) ^
+                               std::rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 = std::rotr(w[i - 2], 17) ^
+                               std::rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
 
-  auto [a, b, c, d, e, f, g, h] = state_;
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 =
-        std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kSha256K[i] + w[i];
-    const std::uint32_t s0 =
-        std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+    std::uint32_t ta = a, tb = b, tc = c, td = d;
+    std::uint32_t te = e, tf = f, tg = g, th = h;
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 =
+          std::rotr(te, 6) ^ std::rotr(te, 11) ^ std::rotr(te, 25);
+      const std::uint32_t ch = (te & tf) ^ (~te & tg);
+      const std::uint32_t temp1 = th + s1 + ch + kSha256K[i] + w[i];
+      const std::uint32_t s0 =
+          std::rotr(ta, 2) ^ std::rotr(ta, 13) ^ std::rotr(ta, 22);
+      const std::uint32_t maj = (ta & tb) ^ (ta & tc) ^ (tb & tc);
+      const std::uint32_t temp2 = s0 + maj;
+      th = tg;
+      tg = tf;
+      tf = te;
+      te = td + temp1;
+      td = tc;
+      tc = tb;
+      tb = ta;
+      ta = temp1 + temp2;
+    }
+    a += ta;
+    b += tb;
+    c += tc;
+    d += td;
+    e += te;
+    f += tf;
+    g += tg;
+    h += th;
   }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state_[0] = a;
+  state_[1] = b;
+  state_[2] = c;
+  state_[3] = d;
+  state_[4] = e;
+  state_[5] = f;
+  state_[6] = g;
+  state_[7] = h;
 }
 
 void Sha256::update(ByteSpan data) {
@@ -124,13 +212,14 @@ void Sha256::update(ByteSpan data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == 64) {
-      process_block(buffer_.data());
+      process_blocks(buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    process_block(data.data() + offset);
-    offset += 64;
+  if (offset + 64 <= data.size()) {
+    const std::size_t nblocks = (data.size() - offset) / 64;
+    process_blocks(data.data() + offset, nblocks);
+    offset += nblocks * 64;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);

@@ -15,8 +15,14 @@
 
 namespace hyrd::common {
 
-/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41), table-driven.
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41). Slicing-by-8 software
+/// path, upgraded at run time to the SSE4.2 CRC32 instruction when the
+/// host supports it. Chaining property: crc32c(a+b) == crc32c(b, crc32c(a)).
 std::uint32_t crc32c(ByteSpan data, std::uint32_t seed = 0);
+
+/// Bytewise single-table CRC-32C (the seed implementation), retained as
+/// the reference the wide-word paths are property-tested against.
+std::uint32_t crc32c_reference(ByteSpan data, std::uint32_t seed = 0);
 
 /// FNV-1a 64-bit hash.
 constexpr std::uint64_t fnv1a(std::string_view s) {
@@ -51,7 +57,9 @@ class Sha256 {
   }
 
  private:
-  void process_block(const std::uint8_t* block);
+  /// Compresses `count` consecutive 64-byte blocks, keeping the working
+  /// state in registers across the whole run.
+  void process_blocks(const std::uint8_t* block, std::size_t count);
 
   std::array<std::uint32_t, 8> state_{};
   std::array<std::uint8_t, 64> buffer_{};

@@ -36,10 +36,27 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (n == 1) {
+    // No point bouncing a single index through the queue.
+    fn(0);
+    return;
+  }
+  // One task per index is pure queue/packaged_task overhead once the body
+  // is cheap (byte-level work over many indices). Chunk into a few
+  // contiguous blocks per worker: scheduling cost becomes O(threads)
+  // while load balancing keeps 4 blocks per worker to absorb skew.
+  const std::size_t chunks = std::min(n, workers_.size() * 4);
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
   std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futs.push_back(submit([&fn, i] { fn(i); }));
+  futs.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < rem ? 1 : 0);
+    futs.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+    begin = end;
   }
   for (auto& f : futs) f.get();
 }

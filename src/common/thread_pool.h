@@ -41,6 +41,9 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Indices are dispatched in contiguous chunks (a few per worker), so
+  /// per-index scheduling overhead is amortized; fn must therefore not
+  /// assume each index runs as its own task.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

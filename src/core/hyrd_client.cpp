@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <optional>
 
 #include "common/checksum.h"
 
@@ -262,51 +263,56 @@ dist::ReadResult HyRDClient::get(const std::string& path) {
   // from the hot copy only when that is expected to beat the stripe —
   // always the case when a data-slot provider is in outage (the stripe
   // would need reconstruction), sometimes the case for latency alone.
+  // Snapshot the hot-copy record under the lock, then drop it: the latency
+  // scan and (especially) the remote get must not serialize other clients'
+  // hot-copy bookkeeping behind this read's cloud I/O.
+  std::optional<meta::FragmentLocation> hot;
   {
     std::lock_guard lock(hot_mu_);
     auto it = hot_copies_.find(path);
-    if (it != hot_copies_.end()) {
-      const std::size_t idx = session_.index_of(it->second.provider);
-      bool use_hot = idx != static_cast<std::size_t>(-1) &&
-                     session_.client(idx).provider()->online();
-      if (use_hot) {
-        // Expected stripe latency over the k fragments the read would
-        // actually fetch (online slots, data first, parity filling in for
-        // degraded slots) — compared with a full-size hot-copy read.
-        std::size_t online_slots = 0;
-        common::SimDuration stripe_expected = 0;
-        for (std::size_t i = 0;
-             i < m->locations.size() && online_slots < m->stripe_k; ++i) {
-          const std::size_t slot = session_.index_of(m->locations[i].provider);
-          if (slot == static_cast<std::size_t>(-1) ||
-              !session_.client(slot).provider()->online()) {
-            continue;
-          }
-          ++online_slots;
-          stripe_expected = std::max(
-              stripe_expected,
-              session_.client(slot).provider()->latency_model().expected(
-                  cloud::OpKind::kGet, m->shard_size));
+    if (it != hot_copies_.end()) hot = it->second;
+  }
+  if (hot.has_value()) {
+    const std::size_t idx = session_.index_of(hot->provider);
+    bool use_hot = idx != static_cast<std::size_t>(-1) &&
+                   session_.client(idx).provider()->online();
+    if (use_hot) {
+      // Expected stripe latency over the k fragments the read would
+      // actually fetch (online slots, data first, parity filling in for
+      // degraded slots) — compared with a full-size hot-copy read.
+      std::size_t online_slots = 0;
+      common::SimDuration stripe_expected = 0;
+      for (std::size_t i = 0;
+           i < m->locations.size() && online_slots < m->stripe_k; ++i) {
+        const std::size_t slot = session_.index_of(m->locations[i].provider);
+        if (slot == static_cast<std::size_t>(-1) ||
+            !session_.client(slot).provider()->online()) {
+          continue;
         }
-        const bool stripe_unreachable = online_slots < m->stripe_k;
-        const common::SimDuration hot_expected =
-            session_.client(idx).provider()->latency_model().expected(
-                cloud::OpKind::kGet, m->size);
-        use_hot = stripe_unreachable || hot_expected < stripe_expected;
+        ++online_slots;
+        stripe_expected = std::max(
+            stripe_expected,
+            session_.client(slot).provider()->latency_model().expected(
+                cloud::OpKind::kGet, m->shard_size));
       }
-      if (use_hot) {
-        auto get = session_.client(idx).get(
-            {config_.data_container, it->second.object_name});
-        if (get.ok() && common::crc32c(get.data) == m->crc) {
-          result.status = common::Status::ok();
-          result.latency = get.latency;
-          result.data = std::move(get.data);
-          note_get(result.latency, true, false);
-          return result;
-        }
-        // Hot copy unreachable or stale: fall through to the stripe.
-        result.latency += get.latency;
+      const bool stripe_unreachable = online_slots < m->stripe_k;
+      const common::SimDuration hot_expected =
+          session_.client(idx).provider()->latency_model().expected(
+              cloud::OpKind::kGet, m->size);
+      use_hot = stripe_unreachable || hot_expected < stripe_expected;
+    }
+    if (use_hot) {
+      auto get = session_.client(idx).get(
+          {config_.data_container, hot->object_name});
+      if (get.ok() && common::crc32c(get.data) == m->crc) {
+        result.status = common::Status::ok();
+        result.latency = get.latency;
+        result.data = std::move(get.data);
+        note_get(result.latency, true, false);
+        return result;
       }
+      // Hot copy unreachable or stale: fall through to the stripe.
+      result.latency += get.latency;
     }
   }
 

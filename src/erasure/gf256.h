@@ -1,13 +1,19 @@
-// GF(2^8) arithmetic over the AES polynomial x^8+x^4+x^3+x^2+1 (0x11D is the
-// common erasure-coding choice; we use 0x11D as in Jerasure/ISA-L).
+// GF(2^8) arithmetic over the polynomial x^8+x^4+x^3+x^2+1 (0x11D, the
+// common erasure-coding choice, as in Jerasure/ISA-L).
 //
-// Tables are built once at static-init time; all hot paths are table lookups
-// plus an optional region operation (dst ^= c * src over a whole buffer)
-// that the Reed–Solomon encoder uses.
+// Scalar ops are exp/log table lookups. The region kernels (dst ^= c * src
+// over a whole buffer — the Reed–Solomon encode/decode inner loop) use
+// split low/high-nibble product tables: 16 bytes per nibble half, 32 bytes
+// per coefficient, exactly the layout a PSHUFB-style shuffle consumes.
+// At run time the widest available kernel is selected once: AVX2 (32 B per
+// step), SSSE3 (16 B), or a portable std::uint64_t path (8 B). A scalar
+// reference implementation is retained for property tests.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
+#include <string_view>
 
 #include "common/bytes.h"
 
@@ -47,14 +53,36 @@ class GF256 {
   void mul_region(common::MutByteSpan dst, common::ByteSpan src,
                   std::uint8_t c) const;
 
+  /// Fused multi-source kernel: dst[i] ^= XOR_j coeffs[j] * srcs[j][i].
+  /// Processes the region in L1-sized chunks so dst is read/written once
+  /// per chunk instead of once per source — the encode path for a whole
+  /// parity row in a single pass over memory.
+  void mul_add_region_multi(common::MutByteSpan dst,
+                            std::span<const common::ByteSpan> srcs,
+                            const std::uint8_t* coeffs) const;
+
+  // Scalar reference kernels: the seed's per-byte product-table algorithm,
+  // retained so property tests can check the wide kernels byte for byte.
+  void mul_add_region_scalar(common::MutByteSpan dst, common::ByteSpan src,
+                             std::uint8_t c) const;
+  void mul_region_scalar(common::MutByteSpan dst, common::ByteSpan src,
+                         std::uint8_t c) const;
+
+  /// Name of the region kernel selected at run time ("avx2", "ssse3",
+  /// or "portable64") — for bench labels and diagnostics.
+  [[nodiscard]] static std::string_view region_kernel_name();
+
  private:
   GF256();
 
   // exp_ is doubled so mul() can skip the mod-255 reduction.
   std::array<std::uint8_t, 512> exp_{};
   std::array<std::uint16_t, 256> log_{};
-  // Per-coefficient 256-entry product tables for fast region ops.
-  std::array<std::array<std::uint8_t, 256>, 256> mul_table_{};
+  // Split-nibble product tables: nib_lo_[c][x] = c*x, nib_hi_[c][x] = c*(x<<4)
+  // for x in [0,16). 8 KiB total (vs the seed's 64 KiB full product table),
+  // L1-resident, and directly loadable as shuffle control data.
+  alignas(16) std::array<std::array<std::uint8_t, 16>, 256> nib_lo_{};
+  alignas(16) std::array<std::array<std::uint8_t, 16>, 256> nib_hi_{};
 };
 
 }  // namespace hyrd::erasure

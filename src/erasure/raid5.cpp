@@ -1,14 +1,45 @@
 #include "erasure/raid5.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace hyrd::erasure {
 
 namespace {
+
 void xor_into(common::MutByteSpan dst, common::ByteSpan src) {
   assert(dst.size() == src.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+  std::uint8_t* d = dst.data();
+  const std::uint8_t* s = src.data();
+  std::size_t n = dst.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, d + i, 8);
+    std::memcpy(&b, s + i, 8);
+    a ^= b;
+    std::memcpy(d + i, &a, 8);
+  }
+  for (; i < n; ++i) d[i] ^= s[i];
 }
+
+// XOR all shards into dst, chunked so the dst slice stays in L1 across
+// the whole accumulation instead of being streamed k times from memory.
+void xor_accumulate(common::MutByteSpan dst,
+                    std::span<const common::Bytes> shards) {
+  constexpr std::size_t kChunk = 8 * 1024;
+  const std::size_t n = dst.size();
+  for (std::size_t off = 0; off < n; off += kChunk) {
+    const std::size_t len = std::min(kChunk, n - off);
+    for (const auto& s : shards) {
+      xor_into(dst.subspan(off, len),
+               common::ByteSpan(s).subspan(off, len));
+    }
+  }
+}
+
 }  // namespace
 
 Raid5::Raid5(std::size_t k) : k_(k) { assert(k >= 1); }
@@ -19,13 +50,13 @@ common::Result<common::Bytes> Raid5::encode(
     return common::invalid_argument("RAID5 encode expects k data shards");
   }
   const std::size_t shard_size = data[0].size();
-  common::Bytes parity(shard_size, 0);
   for (const auto& d : data) {
     if (d.size() != shard_size) {
       return common::invalid_argument("data shards must be equally sized");
     }
-    xor_into(parity, d);
   }
+  common::Bytes parity(shard_size, 0);
+  xor_accumulate(parity, data);
   return parity;
 }
 

@@ -17,20 +17,35 @@ common::Result<std::vector<common::Bytes>> ReedSolomon::encode(
     return common::invalid_argument("encode expects exactly k data shards");
   }
   const std::size_t shard_size = data[0].size();
+  std::vector<common::ByteSpan> views(data.begin(), data.end());
+  std::vector<common::Bytes> parity(m_, common::Bytes(shard_size, 0));
+  std::vector<common::MutByteSpan> parity_views(parity.begin(), parity.end());
+  if (auto st = encode_into(views, parity_views); !st.is_ok()) return st;
+  return parity;
+}
+
+common::Status ReedSolomon::encode_into(
+    std::span<const common::ByteSpan> data,
+    std::span<const common::MutByteSpan> parity) const {
+  if (data.size() != k_ || parity.size() != m_) {
+    return common::invalid_argument("encode expects k data + m parity shards");
+  }
+  const std::size_t shard_size = data[0].size();
   for (const auto& d : data) {
     if (d.size() != shard_size) {
       return common::invalid_argument("data shards must be equally sized");
     }
   }
-  const auto& gf = GF256::instance();
-  std::vector<common::Bytes> parity(m_, common::Bytes(shard_size, 0));
-  for (std::size_t p = 0; p < m_; ++p) {
-    const std::uint8_t* row = generator_.row(k_ + p);
-    for (std::size_t d = 0; d < k_; ++d) {
-      gf.mul_add_region(parity[p], data[d], row[d]);
+  for (const auto& p : parity) {
+    if (p.size() != shard_size) {
+      return common::invalid_argument("parity shards must match data size");
     }
   }
-  return parity;
+  const auto& gf = GF256::instance();
+  for (std::size_t p = 0; p < m_; ++p) {
+    gf.mul_add_region_multi(parity[p], data, generator_.row(k_ + p));
+  }
+  return common::Status::ok();
 }
 
 common::Status ReedSolomon::reconstruct(
@@ -72,14 +87,16 @@ common::Status ReedSolomon::reconstruct(
     }
     const Matrix& decode = inv.value();
 
-    std::vector<common::Bytes> data(k_, common::Bytes(shard_size, 0));
+    std::vector<common::ByteSpan> srcs;
+    srcs.reserve(k_);
+    for (std::size_t s = 0; s < k_; ++s) srcs.emplace_back(*shards[rows[s]]);
+    // Only solve for the shards that are actually missing; present data
+    // shards are already correct and skipping them skips k region passes.
     for (std::size_t d = 0; d < k_; ++d) {
-      for (std::size_t s = 0; s < k_; ++s) {
-        gf.mul_add_region(data[d], *shards[rows[s]], decode.at(d, s));
-      }
-    }
-    for (std::size_t d = 0; d < k_; ++d) {
-      if (!shards[d].has_value()) shards[d] = std::move(data[d]);
+      if (shards[d].has_value()) continue;
+      common::Bytes out(shard_size, 0);
+      gf.mul_add_region_multi(out, srcs, decode.row(d));
+      shards[d] = std::move(out);
     }
   }
 
@@ -87,10 +104,10 @@ common::Status ReedSolomon::reconstruct(
   for (std::size_t p = 0; p < m_; ++p) {
     if (shards[k_ + p].has_value()) continue;
     common::Bytes out(shard_size, 0);
-    const std::uint8_t* row = generator_.row(k_ + p);
-    for (std::size_t d = 0; d < k_; ++d) {
-      gf.mul_add_region(out, *shards[d], row[d]);
-    }
+    std::vector<common::ByteSpan> srcs;
+    srcs.reserve(k_);
+    for (std::size_t d = 0; d < k_; ++d) srcs.emplace_back(*shards[d]);
+    gf.mul_add_region_multi(out, srcs, generator_.row(k_ + p));
     shards[k_ + p] = std::move(out);
   }
   return common::Status::ok();

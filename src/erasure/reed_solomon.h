@@ -29,6 +29,14 @@ class ReedSolomon {
   [[nodiscard]] common::Result<std::vector<common::Bytes>> encode(
       std::span<const common::Bytes> data) const;
 
+  /// Allocation-free encode into caller-provided parity buffers (which
+  /// must be zero-filled and sized like the data shards). The pipelined
+  /// write path uses this with reused scratch buffers, and chunk-parallel
+  /// callers may pass sub-ranges of every shard: parity is positional.
+  [[nodiscard]] common::Status encode_into(
+      std::span<const common::ByteSpan> data,
+      std::span<const common::MutByteSpan> parity) const;
+
   /// Fills in missing shards in place. `shards` holds k+m entries in code
   /// order (data first, parity after); std::nullopt marks a missing shard.
   /// Fails with kDataLoss if fewer than k shards are present.

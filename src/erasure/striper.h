@@ -42,6 +42,7 @@ class Striper {
   explicit Striper(StripeGeometry geometry);
 
   [[nodiscard]] const StripeGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] const ReedSolomon& codec() const { return codec_; }
 
   /// Splits + encodes an object. Objects smaller than k bytes still work
   /// (shards are zero padded); empty objects produce 1-byte shards so every

@@ -10,15 +10,16 @@ MultiCloudSession::MultiCloudSession(cloud::CloudRegistry& registry,
   clients_.reserve(registry.size());
   for (const auto& p : registry.all()) {
     clients_.push_back(std::make_unique<CloudClient>(p.get(), policy));
+    index_by_name_.emplace(clients_.back()->provider_name(),
+                           clients_.size() - 1);
   }
 }
 
 std::size_t MultiCloudSession::index_of(
     const std::string& provider_name) const {
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
-    if (clients_[i]->provider_name() == provider_name) return i;
-  }
-  return static_cast<std::size_t>(-1);
+  const auto it = index_by_name_.find(provider_name);
+  return it == index_by_name_.end() ? static_cast<std::size_t>(-1)
+                                    : it->second;
 }
 
 common::Status MultiCloudSession::ensure_container_everywhere(

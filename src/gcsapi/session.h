@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cloud/registry.h"
@@ -55,7 +56,14 @@ class MultiCloudSession {
   }
 
   /// Index of the client for a named provider; npos when missing.
+  /// O(1): the name → index map is built at construction (the fleet is
+  /// immutable afterwards) — erasure reads resolve every fragment slot
+  /// through this.
   [[nodiscard]] std::size_t index_of(const std::string& provider_name) const;
+
+  /// The session's worker pool. Schemes use it to overlap client-side
+  /// compute (stripe encode, fragment CRCs) with in-flight transfers.
+  [[nodiscard]] common::ThreadPool& pool() { return pool_; }
 
   /// Creates `container` on every provider (idempotent).
   common::Status ensure_container_everywhere(const std::string& container);
@@ -82,6 +90,7 @@ class MultiCloudSession {
 
  private:
   std::vector<std::unique_ptr<CloudClient>> clients_;
+  std::unordered_map<std::string, std::size_t> index_by_name_;
   common::ThreadPool pool_;
 };
 

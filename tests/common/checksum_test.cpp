@@ -37,6 +37,53 @@ TEST(Crc32c, DifferentSeedsDiffer) {
   EXPECT_NE(crc32c(data, 0), crc32c(data, 1));
 }
 
+TEST(Crc32c, Incrementing32) {
+  Bytes data(32, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(crc32c(data), 0x46DD794Eu);  // RFC 3720 vector
+}
+
+TEST(Crc32c, Decrementing32) {
+  Bytes data(32, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(31 - i);
+  }
+  EXPECT_EQ(crc32c(data), 0x113FDB5Cu);  // RFC 3720 vector
+}
+
+TEST(Crc32c, ChainingSplitsAnywhere) {
+  // crc32c(a+b) == crc32c(b, seed=crc32c(a)) for every split point —
+  // the property the pipelined writer relies on when it checksums
+  // fragments independently of the whole object.
+  const Bytes data = patterned(611, 29);
+  const std::uint32_t whole = crc32c(data);
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    const std::uint32_t head = crc32c(ByteSpan(data.data(), split));
+    const std::uint32_t chained =
+        crc32c(ByteSpan(data.data() + split, data.size() - split), head);
+    EXPECT_EQ(chained, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32c, WideMatchesReferenceAllLengths) {
+  // The slicing-by-8 / hardware path must agree with the retained
+  // bytewise reference for every length and alignment, including the
+  // sub-8-byte head and tail cases.
+  const Bytes base = patterned(1025 + 8, 41);
+  for (const std::size_t off :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+    for (std::size_t len = 0; len <= 1025; ++len) {
+      const ByteSpan span(base.data() + off, len);
+      ASSERT_EQ(crc32c(span), crc32c_reference(span))
+          << "off=" << off << " len=" << len;
+      ASSERT_EQ(crc32c(span, 0xDEADBEEF), crc32c_reference(span, 0xDEADBEEF))
+          << "seeded off=" << off << " len=" << len;
+    }
+  }
+}
+
 TEST(Fnv1a, MatchesKnownValues) {
   // Standard FNV-1a 64-bit vectors.
   EXPECT_EQ(fnv1a(std::string_view("")), 0xcbf29ce484222325ull);

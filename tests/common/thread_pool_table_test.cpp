@@ -44,6 +44,48 @@ TEST(ThreadPool, ManyTasksComplete) {
   EXPECT_EQ(count.load(), 1000);
 }
 
+TEST(ThreadPool, ChunkedParallelForCoversEveryIndexExactlyOnce) {
+  // The chunked dispatch must still visit each index exactly once even
+  // when n is much larger than the chunk count and doesn't divide evenly.
+  ThreadPool pool(4);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{15},
+                              std::size_t{16}, std::size_t{17},
+                              std::size_t{1000}, std::size_t{12345}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForStressFromManyExternalThreads) {
+  // Several caller threads hammering parallel_for on one shared pool:
+  // each call must see all of its own indices and nothing else. This is
+  // the shape of the pipelined erasure write (encode chunks + CRC tasks
+  // + parallel_put on the same session pool).
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int kRounds = 25;
+  constexpr std::size_t kIndices = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&pool, &failures] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::atomic<int>> hits(kIndices);
+        pool.parallel_for(kIndices, [&](std::size_t i) { hits[i]++; });
+        for (std::size_t i = 0; i < kIndices; ++i) {
+          if (hits[i].load() != 1) failures++;
+        }
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(ThreadPool, TasksRunConcurrently) {
   ThreadPool pool(4);
   std::atomic<int> inside{0};

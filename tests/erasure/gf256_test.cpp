@@ -131,5 +131,86 @@ TEST(GF256, MulRegionMatchesScalar) {
   }
 }
 
+// ---- Wide-word kernel vs scalar reference property tests ----
+//
+// The wide paths (uint64 / SSSE3 / AVX2, whichever the host dispatched)
+// must be bit-identical to the retained byte-at-a-time reference for
+// every length — including 0, sub-word tails, and unaligned base
+// pointers, which is where vectorized head/tail handling goes wrong.
+
+TEST(GF256, MulAddRegionWideMatchesReferenceAllSizes) {
+  constexpr std::size_t kMaxLen = 1025;
+  constexpr std::size_t kMargin = 8;
+  const common::Bytes src_base = common::patterned(kMaxLen + kMargin, 17);
+  const common::Bytes dst_base = common::patterned(kMaxLen + kMargin, 91);
+  const std::uint8_t coeffs[] = {0x02, 0x1D, 0x57, 0x8E, 0xFF};
+  for (const std::uint8_t c : coeffs) {
+    for (const std::size_t off : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{3}, std::size_t{5}}) {
+      for (std::size_t len = 0; len <= kMaxLen - off; ++len) {
+        common::Bytes got(dst_base.begin(), dst_base.end());
+        common::Bytes want = got;
+        gf().mul_add_region(
+            common::MutByteSpan(got.data() + off, len),
+            common::ByteSpan(src_base.data() + off, len), c);
+        gf().mul_add_region_scalar(
+            common::MutByteSpan(want.data() + off, len),
+            common::ByteSpan(src_base.data() + off, len), c);
+        ASSERT_EQ(got, want) << "c=" << int(c) << " off=" << off
+                             << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(GF256, MulRegionWideMatchesReferenceAllSizes) {
+  constexpr std::size_t kMaxLen = 1025;
+  const common::Bytes src_base = common::patterned(kMaxLen + 8, 23);
+  const std::uint8_t coeffs[] = {0x03, 0x8E, 0xC4};
+  for (const std::uint8_t c : coeffs) {
+    for (const std::size_t off : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{5}}) {
+      for (std::size_t len = 0; len <= kMaxLen - off; ++len) {
+        common::Bytes got(len, 0xAB);
+        common::Bytes want(len, 0xAB);
+        gf().mul_region(got, common::ByteSpan(src_base.data() + off, len), c);
+        gf().mul_region_scalar(
+            want, common::ByteSpan(src_base.data() + off, len), c);
+        ASSERT_EQ(got, want) << "c=" << int(c) << " off=" << off
+                             << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(GF256, MulAddRegionMultiMatchesSequentialApplication) {
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    for (const std::size_t len :
+         {std::size_t{0}, std::size_t{1}, std::size_t{255}, std::size_t{4096},
+          std::size_t{9000}}) {
+      std::vector<common::Bytes> shards;
+      std::vector<common::ByteSpan> srcs;
+      std::vector<std::uint8_t> coeffs;
+      for (std::size_t i = 0; i < k; ++i) {
+        shards.push_back(common::patterned(len, i + 2));
+        coeffs.push_back(static_cast<std::uint8_t>(7 * i + 3));
+      }
+      for (const auto& s : shards) srcs.emplace_back(s);
+      common::Bytes got = common::patterned(len, 77);
+      common::Bytes want = got;
+      gf().mul_add_region_multi(got, srcs, coeffs.data());
+      for (std::size_t i = 0; i < k; ++i) {
+        gf().mul_add_region(want, srcs[i], coeffs[i]);
+      }
+      ASSERT_EQ(got, want) << "k=" << k << " len=" << len;
+    }
+  }
+}
+
+TEST(GF256, RegionKernelNameIsReported) {
+  // Smoke check for the dispatcher: some kernel must have been chosen.
+  EXPECT_FALSE(GF256::region_kernel_name().empty());
+}
+
 }  // namespace
 }  // namespace hyrd::erasure
