@@ -30,15 +30,19 @@ double measure(const std::string& name, const bench::ClientFactory& factory,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t trials = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                      : 1500;
-  std::printf(
-      "=== Availability: analytic vs Monte Carlo (%zu trials/point) ===\n\n",
-      trials);
+  bench::JsonSink json(argc, argv);
+  std::size_t trials = 1500;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') trials = std::strtoull(argv[i], nullptr, 10);
+  }
+  if (!json.quiet()) {
+    std::printf(
+        "=== Availability: analytic vs Monte Carlo (%zu trials/point) ===\n\n",
+        trials);
+  }
 
   const double sweep[] = {0.90, 0.95, 0.99, 0.999};
 
-  std::printf("Analytic read availability (independent provider failures):\n");
   common::Table t({"Provider avail.", "Single", "DuraCloud 1of2",
                    "RACS 3of4", "HyRD small 1of2", "HyRD large 2of3",
                    "HyRD overall*"});
@@ -50,13 +54,20 @@ int main(int argc, char** argv) {
                common::Table::num(a.hyrd_small, 5),
                common::Table::num(a.hyrd_large, 5),
                common::Table::num(a.hyrd_overall(0.8), 5)});
+    const std::string key = "analytic/p" + common::Table::num(p, 3);
+    json.add(key + "/single", a.single);
+    json.add(key + "/duracloud", a.duracloud);
+    json.add(key + "/racs", a.racs);
+    json.add(key + "/hyrd_overall", a.hyrd_overall(0.8));
   }
-  t.print();
-  std::printf("  (* 80%% of accesses to small files, per the paper's "
-              "workload characterization)\n\n");
+  if (!json.quiet()) {
+    std::printf(
+        "Analytic read availability (independent provider failures):\n");
+    t.print();
+    std::printf("  (* 80%% of accesses to small files, per the paper's "
+                "workload characterization)\n\n");
 
-  std::printf("At the 99.9%% SLA point, in nines:\n");
-  {
+    std::printf("At the 99.9%% SLA point, in nines:\n");
     const auto a = core::analytic_availability(0.999);
     common::Table n({"Scheme", "Availability", "Nines"});
     n.add_row({"Single cloud", common::Table::num(a.single, 6),
@@ -68,10 +79,10 @@ int main(int argc, char** argv) {
     n.add_row({"HyRD (overall)", common::Table::num(a.hyrd_overall(0.8), 6),
                common::Table::num(core::nines(a.hyrd_overall(0.8)), 1)});
     n.print();
-  }
 
-  std::printf("\nMonte Carlo over the real client stack (p = 0.90, both a "
-              "small and a large file must read back):\n");
+    std::printf("\nMonte Carlo over the real client stack (p = 0.90, both a "
+                "small and a large file must read back):\n");
+  }
   common::Table mc({"Scheme", "Measured", "Analytic reference"});
   const double p = 0.90;
   const auto a = core::analytic_availability(p);
@@ -85,19 +96,24 @@ int main(int argc, char** argv) {
     if (name == "DuraCloud") reference = a.duracloud;
     if (name == "RACS") reference = a.racs;  // both files on the 3-of-4 stripe
     if (name == "HyRD") reference = a.hyrd_small * a.hyrd_large;
-    std::printf("  measured %-10s ...\n", name.c_str());
+    if (!json.quiet()) std::printf("  measured %-10s ...\n", name.c_str());
+    json.add("monte_carlo/" + name + "/measured", measured);
+    json.add("monte_carlo/" + name + "/reference", reference);
     mc.add_row({name, common::Table::num(measured, 4),
                 common::Table::num(reference, 4) +
                     (name == "HyRD" ? " (indep. lower bound)" : "")});
   }
-  mc.print();
-
-  std::printf(
-      "\nPaper-shape check: every Cloud-of-Clouds scheme beats the single "
-      "cloud; HyRD's mixed redundancy keeps >= RAID5-level availability "
-      "while replicating the hot (small) data: %s\n",
-      core::analytic_availability(0.999).hyrd_overall(0.8) > 0.999
-          ? "yes"
-          : "NO (regression)");
+  const bool shape_ok =
+      core::analytic_availability(0.999).hyrd_overall(0.8) > 0.999;
+  json.add("check/hyrd_beats_sla", shape_ok ? 1.0 : 0.0);
+  json.flush("bench_availability");
+  if (!json.quiet()) {
+    mc.print();
+    std::printf(
+        "\nPaper-shape check: every Cloud-of-Clouds scheme beats the single "
+        "cloud; HyRD's mixed redundancy keeps >= RAID5-level availability "
+        "while replicating the hot (small) data: %s\n",
+        shape_ok ? "yes" : "NO (regression)");
+  }
   return 0;
 }

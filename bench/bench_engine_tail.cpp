@@ -1,0 +1,205 @@
+// Engine tail-latency study: what the completion-ordered engine buys each
+// Cloud-of-Clouds scheme. The legacy data path aggregates a parallel round
+// as max-over-arrivals; the engine completes reads at an order statistic
+// instead — the k-th fastest fragment (first-k erasure reads) or the
+// earlier of primary/backup (hedged replica reads). This bench quantifies
+// the difference per scheme in three fleet states:
+//
+//   healthy   all providers at their profile latency
+//   brownout  one provider 25x slow but still answering (a tail event the
+//             availability model cannot see — no request ever *fails*)
+//   outage    one provider offline (the paper's Fig. 6 degraded state)
+//
+// Usage: bench_engine_tail [reads_per_point] [--json | --json=FILE]
+//
+// Paper-shape checks: the engine never adds latency on a healthy fleet,
+// strictly beats the max baseline under brownout for every scheme, and
+// preserves the paper's scheme ordering (HyRD fastest) in the paper's two
+// states, normal and outage.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/duracloud_client.h"
+#include "core/hyrd_client.h"
+#include "core/racs_client.h"
+
+using namespace hyrd;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 611;
+constexpr std::uint64_t kSmallSize = 256ull << 10;  // replicated in HyRD
+constexpr std::uint64_t kLargeSize = 2ull << 20;    // erasure-coded in HyRD
+// The paper's workload characterization: most accesses hit small files.
+constexpr double kSmallReadFraction = 0.8;
+
+/// One scheme in one engine mode, on its own same-seed fleet.
+struct Instance {
+  std::unique_ptr<cloud::CloudRegistry> registry;
+  std::unique_ptr<gcs::MultiCloudSession> session;
+  std::unique_ptr<core::StorageClient> client;
+};
+
+Instance make_instance(const std::string& scheme, bool engine) {
+  Instance in;
+  in.registry = std::make_unique<cloud::CloudRegistry>();
+  cloud::install_standard_four(*in.registry, kSeed);
+  in.session = std::make_unique<gcs::MultiCloudSession>(*in.registry);
+  if (scheme == "HyRD") {
+    core::HyRDConfig config;
+    if (engine) {
+      config.erasure_read_strategy = dist::ErasureReadStrategy::kFastestK;
+    } else {
+      config.hedge.enabled = false;  // legacy max-over-arrivals semantics
+    }
+    in.client = std::make_unique<core::HyRDClient>(*in.session, config);
+  } else if (scheme == "DuraCloud") {
+    auto client = std::make_unique<core::DuraCloudClient>(*in.session);
+    if (!engine) client->set_hedge({.enabled = false});
+    in.client = std::move(client);
+  } else {  // RACS
+    auto client = std::make_unique<core::RACSClient>(*in.session);
+    if (engine) client->set_read_strategy(dist::ErasureReadStrategy::kFastestK);
+    in.client = std::move(client);
+  }
+  return in;
+}
+
+void preload(Instance& in) {
+  in.client->put("/s", common::patterned(kSmallSize, 3));
+  in.client->put("/l", common::patterned(kLargeSize, 7));
+}
+
+/// Mean mixed-read latency (ms) over `reads` draws, 80% small / 20% large.
+double mean_read_ms(Instance& in, std::size_t reads) {
+  common::RunningStat ms;
+  for (std::size_t i = 0; i < reads; ++i) {
+    const bool small =
+        static_cast<double>(i % 10) < kSmallReadFraction * 10.0;
+    auto r = in.client->get(small ? "/s" : "/l");
+    if (r.status.is_ok()) ms.add(common::to_ms(r.latency));
+  }
+  return ms.mean();
+}
+
+// Brownout victim: Aliyun, the fleet's fastest provider — the preferred
+// replica target and a data-fragment holder in every scheme, so slowing
+// it is the worst case for a max-aggregated read. Outage victim: Windows
+// Azure, the paper's Fig. 6 protocol.
+constexpr const char* kBrownoutVictim = "Aliyun";
+constexpr const char* kOutageVictim = "WindowsAzure";
+
+void apply_state(Instance& in, const std::string& state) {
+  in.registry->find(kBrownoutVictim)
+      ->set_latency_scale(state == "brownout" ? 25.0 : 1.0);
+  in.registry->find(kOutageVictim)->set_online(state != "outage");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t reads = 60;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') reads = std::strtoull(argv[i], nullptr, 10);
+  }
+  bench::JsonSink json(argc, argv);
+
+  const std::vector<std::string> schemes = {"HyRD", "DuraCloud", "RACS"};
+  const std::vector<std::string> states = {"healthy", "brownout", "outage"};
+
+  if (!json.quiet()) {
+    std::printf("=== Engine tail latency: max baseline vs completion-ordered "
+                "engine (%zu mixed reads/point; brownout=%s 25x, outage=%s "
+                "offline) ===\n\n",
+                reads, kBrownoutVictim, kOutageVictim);
+  }
+
+  // grid[scheme][state] = {baseline_ms, engine_ms}
+  std::vector<std::vector<std::pair<double, double>>> grid(
+      schemes.size(), std::vector<std::pair<double, double>>(states.size()));
+
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    // Twin fleets from the same seed: the engine knob is the only
+    // difference between the two observations of a state.
+    Instance base = make_instance(schemes[s], /*engine=*/false);
+    Instance engine = make_instance(schemes[s], /*engine=*/true);
+    preload(base);
+    preload(engine);
+    for (std::size_t st = 0; st < states.size(); ++st) {
+      apply_state(base, states[st]);
+      apply_state(engine, states[st]);
+      grid[s][st] = {mean_read_ms(base, reads), mean_read_ms(engine, reads)};
+      json.add("read_ms/" + schemes[s] + "/" + states[st] + "/baseline",
+               grid[s][st].first);
+      json.add("read_ms/" + schemes[s] + "/" + states[st] + "/engine",
+               grid[s][st].second);
+    }
+  }
+
+  if (!json.quiet()) {
+    for (std::size_t st = 0; st < states.size(); ++st) {
+      std::printf("%s:\n", states[st].c_str());
+      common::Table t({"Scheme", "Max baseline (ms)", "Engine (ms)", "Saved"});
+      for (std::size_t s = 0; s < schemes.size(); ++s) {
+        const auto [b, e] = grid[s][st];
+        t.add_row({schemes[s], common::Table::num(b, 1),
+                   common::Table::num(e, 1),
+                   common::Table::num(100.0 * (1.0 - e / b), 1) + "%"});
+      }
+      t.print();
+      std::printf("\n");
+    }
+  }
+
+  // Paper-shape checks.
+  bool healthy_never_worse = true;
+  bool brownout_strictly_better = true;
+  bool ordering_holds = true;
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    // Sampling noise allowance on the healthy fleet: first-k/hedging may
+    // only shave, but the twin fleets' draws are not perfectly paired.
+    if (grid[s][0].second > grid[s][0].first * 1.02) {
+      healthy_never_worse = false;
+    }
+    if (grid[s][1].second >= grid[s][1].first) brownout_strictly_better = false;
+  }
+  // The paper's scheme ordering must survive the engine in the paper's two
+  // states (Fig. 6): HyRD fastest in both, and HyRD < DuraCloud < RACS
+  // under the Azure outage (RACS pays per-request degraded reconstruction;
+  // DuraCloud just reads the surviving replica). Brownout is this bench's
+  // extension and is deliberately excluded from the ordering gate: a
+  // hedged replica read waits delay_factor times the primary's expected
+  // latency before firing, while RACS's first-k fan-out dodges the
+  // browned-out fragment immediately — under a pure tail event the
+  // speculative fan-out can legitimately win.
+  for (std::size_t st : {0u, 2u}) {
+    if (grid[0][st].second >= grid[1][st].second ||
+        grid[0][st].second >= grid[2][st].second) {
+      ordering_holds = false;
+    }
+  }
+  if (grid[1][2].second >= grid[2][2].second) ordering_holds = false;
+  json.add("check/healthy_never_worse", healthy_never_worse ? 1.0 : 0.0);
+  json.add("check/brownout_strictly_better",
+           brownout_strictly_better ? 1.0 : 0.0);
+  json.add("check/paper_scheme_ordering", ordering_holds ? 1.0 : 0.0);
+  json.flush("bench_engine_tail");
+
+  if (!json.quiet()) {
+    std::printf("Paper-shape checks:\n");
+    std::printf("  engine never worse on a healthy fleet:          %s\n",
+                healthy_never_worse ? "yes" : "NO (regression)");
+    std::printf("  engine strictly faster under brownout (all):    %s\n",
+                brownout_strictly_better ? "yes" : "NO (regression)");
+    std::printf("  paper ordering (HyRD<DuraCloud<RACS in outage): %s\n",
+                ordering_holds ? "yes" : "NO (regression)");
+  }
+  return (healthy_never_worse && brownout_strictly_better && ordering_holds)
+             ? 0
+             : 1;
+}

@@ -15,7 +15,8 @@
 
 using namespace hyrd;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonSink json(argc, argv);
   cloud::CloudRegistry registry;
   cloud::install_standard_four(registry, 705);  // exp start: Jul 5, 2014
   gcs::MultiCloudSession session(registry);
@@ -26,8 +27,10 @@ int main() {
       {"256KB", 256ull << 10}, {"1MB", 1ull << 20}, {"4MB", 4ull << 20}};
   constexpr int kRepetitions = 3;
 
-  std::printf("=== Figure 5: single-cloud latency vs request size "
-              "(mean of %d runs +- dev, seconds) ===\n\n", kRepetitions);
+  if (!json.quiet()) {
+    std::printf("=== Figure 5: single-cloud latency vs request size "
+                "(mean of %d runs +- dev, seconds) ===\n\n", kRepetitions);
+  }
 
   struct Cell {
     common::RunningStat read_ms;
@@ -70,9 +73,20 @@ int main() {
     t.print();
   };
 
-  print_table("(a) Read latency (s)", true);
-  std::printf("\n");
-  print_table("(b) Write latency (s)", false);
+  if (!json.quiet()) {
+    print_table("(a) Read latency (s)", true);
+    std::printf("\n");
+    print_table("(b) Write latency (s)", false);
+  }
+  for (std::size_t p = 0; p < session.client_count(); ++p) {
+    const std::string provider = session.client(p).provider_name();
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      json.add("read_ms/" + provider + "/" + sizes[s].first,
+               grid[p][s].read_ms.mean());
+      json.add("write_ms/" + provider + "/" + sizes[s].first,
+               grid[p][s].write_ms.mean());
+    }
+  }
 
   // Paper-shape checks.
   const std::size_t aliyun = session.index_of("Aliyun");
@@ -85,9 +99,11 @@ int main() {
       }
     }
   }
-  std::printf("\nPaper-shape checks:\n");
-  std::printf("  Aliyun lowest read latency at every size: %s\n",
-              aliyun_fastest ? "yes" : "NO (regression)");
+  if (!json.quiet()) {
+    std::printf("\nPaper-shape checks:\n");
+    std::printf("  Aliyun lowest read latency at every size: %s\n",
+                aliyun_fastest ? "yes" : "NO (regression)");
+  }
 
   // Disproportional growth 1MB -> 4MB: latency ratio must exceed the 4x
   // size ratio once the congestion knee kicks in past 1 MB.
@@ -97,10 +113,15 @@ int main() {
     const double r1m = grid[p][4].read_ms.mean();
     worst_ratio = std::max(worst_ratio, r4m / r1m);
   }
-  std::printf(
-      "  1MB->4MB latency grows disproportionally (max ratio %.1fx > 4x "
-      "size ratio): %s\n",
-      worst_ratio, worst_ratio > 4.0 ? "yes" : "NO (regression)");
-  std::printf("  => HyRD sets the large-file threshold at 1MB\n");
+  if (!json.quiet()) {
+    std::printf(
+        "  1MB->4MB latency grows disproportionally (max ratio %.1fx > 4x "
+        "size ratio): %s\n",
+        worst_ratio, worst_ratio > 4.0 ? "yes" : "NO (regression)");
+    std::printf("  => HyRD sets the large-file threshold at 1MB\n");
+  }
+  json.add("check/aliyun_fastest_every_size", aliyun_fastest ? 1.0 : 0.0);
+  json.add("check/knee_ratio_1mb_to_4mb", worst_ratio);
+  json.flush("bench_fig5_latency");
   return 0;
 }

@@ -2,9 +2,11 @@
 // scheme (so bills and counters never mix) and a uniform client factory.
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cloud/profiles.h"
@@ -73,6 +75,64 @@ inline std::vector<std::pair<std::string, ClientFactory>> all_schemes() {
        }},
   };
 }
+
+/// Machine-readable output for the hand-rolled reproduction benches,
+/// mirroring bench_erasure_micro's google-benchmark flags: `--json`
+/// replaces the console output with one flat JSON object on stdout (CI
+/// parses it); `--json=FILE` writes the object to FILE and keeps the
+/// human-readable tables. Values are added flat, keyed however the bench
+/// likes (e.g. "read_ms/HyRD/brownout").
+class JsonSink {
+ public:
+  JsonSink(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view a = argv[i];
+      if (a == "--json") {
+        enabled_ = true;
+        path_.clear();
+      } else if (a.substr(0, 7) == "--json=") {
+        enabled_ = true;
+        path_ = a.substr(7);
+      }
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// True when the console tables should be suppressed (stdout is JSON).
+  [[nodiscard]] bool quiet() const { return enabled_ && path_.empty(); }
+
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    entries_.push_back("\"" + key + "\": " + buf);
+  }
+  void add(const std::string& key, const std::string& value) {
+    entries_.push_back("\"" + key + "\": \"" + value + "\"");
+  }
+
+  /// Emits `{"bench": <name>, ...entries}`; a no-op when not enabled.
+  void flush(const std::string& bench_name) const {
+    if (!enabled_) return;
+    std::string out = "{\n  \"bench\": \"" + bench_name + "\"";
+    for (const auto& e : entries_) out += ",\n  " + e;
+    out += "\n}\n";
+    if (path_.empty()) {
+      std::fputs(out.c_str(), stdout);
+      return;
+    }
+    if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
+      std::fputs(out.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  bool enabled_ = false;
+  std::string path_;
+  std::vector<std::string> entries_;
+};
 
 /// The three Cloud-of-Clouds schemes only (Fig. 6's main contenders).
 inline std::vector<std::pair<std::string, ClientFactory>> coc_schemes() {

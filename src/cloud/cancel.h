@@ -1,0 +1,42 @@
+// Cooperative cancellation for in-flight provider operations.
+//
+// The async batch engine (gcsapi/async_batch.h) completes a parallel round
+// as soon as enough members have landed; the stragglers it no longer needs
+// are *cancelled*, not abandoned. Cancellation is cooperative and flows
+// through a thread-local flag: the engine installs a CancelScope around the
+// client call it runs on a pool thread, and SimProvider consults
+// CancelScope::cancelled() at its data-plane entry points (and again after
+// the test op hook). A cancelled op returns StatusCode::kCancelled without
+// touching the store, the billing meter, or the latency RNG — exactly like
+// an HTTP request torn down before the provider commits it.
+//
+// Test stall hooks that park a request inside the provider should poll
+// CancelScope::cancelled() in their wait loop so a cancelled straggler
+// unblocks promptly instead of wedging a pool thread.
+#pragma once
+
+#include <atomic>
+
+namespace hyrd::cloud {
+
+class CancelScope {
+ public:
+  explicit CancelScope(const std::atomic<bool>* flag) : prev_(current_) {
+    current_ = flag;
+  }
+  ~CancelScope() { current_ = prev_; }
+
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+  /// True when the operation running on this thread has been cancelled.
+  [[nodiscard]] static bool cancelled() {
+    return current_ != nullptr && current_->load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::atomic<bool>* prev_;
+  inline static thread_local const std::atomic<bool>* current_ = nullptr;
+};
+
+}  // namespace hyrd::cloud

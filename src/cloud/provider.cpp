@@ -26,7 +26,13 @@ common::SimDuration SimProvider::charge(OpKind op, std::uint64_t bytes) {
       break;
     case OpKind::kRemove: ++counters_.removes; break;
   }
-  return latency_.sample(op, bytes, rng_);
+  auto sampled = latency_.sample(op, bytes, rng_);
+  double scale = latency_scale_.load();
+  if (scale != 1.0) {
+    sampled = static_cast<common::SimDuration>(
+        static_cast<double>(sampled) * scale);
+  }
+  return sampled;
 }
 
 OpResult SimProvider::unavailable_result() {
@@ -42,6 +48,17 @@ OpResult SimProvider::unavailable_result() {
   return r;
 }
 
+OpResult SimProvider::cancelled_result() {
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.cancelled;
+  }
+  OpResult r;
+  r.status = common::cancelled(config_.name + ": request torn down by client");
+  r.latency = 0;  // the client stopped waiting; nothing accrues
+  return r;
+}
+
 OpResult SimProvider::create(const std::string& container) {
   if (!online()) return unavailable_result();
   OpResult r;
@@ -52,7 +69,9 @@ OpResult SimProvider::create(const std::string& container) {
 
 OpResult SimProvider::put(const ObjectKey& key, common::ByteSpan data) {
   if (!online()) return unavailable_result();
+  if (CancelScope::cancelled()) return cancelled_result();
   run_op_hook(OpKind::kPut, key);
+  if (CancelScope::cancelled()) return cancelled_result();
   OpResult r;
   r.status = store_.put(key.container, key.name, data);
   if (r.status.is_ok()) {
@@ -70,7 +89,15 @@ GetResult SimProvider::get(const ObjectKey& key) {
     static_cast<OpResult&>(r) = unavailable_result();
     return r;
   }
+  if (CancelScope::cancelled()) {
+    static_cast<OpResult&>(r) = cancelled_result();
+    return r;
+  }
   run_op_hook(OpKind::kGet, key);
+  if (CancelScope::cancelled()) {
+    static_cast<OpResult&>(r) = cancelled_result();
+    return r;
+  }
   auto res = store_.get(key.container, key.name);
   if (res.is_ok()) {
     r.data = std::move(res).value();
@@ -86,7 +113,9 @@ GetResult SimProvider::get(const ObjectKey& key) {
 
 OpResult SimProvider::remove(const ObjectKey& key) {
   if (!online()) return unavailable_result();
+  if (CancelScope::cancelled()) return cancelled_result();
   run_op_hook(OpKind::kRemove, key);
+  if (CancelScope::cancelled()) return cancelled_result();
   OpResult r;
   r.status = store_.remove(key.container, key.name);
   r.latency = charge(OpKind::kRemove, 0);
@@ -117,7 +146,15 @@ GetResult SimProvider::get_range(const ObjectKey& key, std::uint64_t offset,
     static_cast<OpResult&>(r) = unavailable_result();
     return r;
   }
+  if (CancelScope::cancelled()) {
+    static_cast<OpResult&>(r) = cancelled_result();
+    return r;
+  }
   run_op_hook(OpKind::kGet, key);
+  if (CancelScope::cancelled()) {
+    static_cast<OpResult&>(r) = cancelled_result();
+    return r;
+  }
   auto res = store_.get_range(key.container, key.name, offset, length);
   if (res.is_ok()) {
     r.data = std::move(res).value();
@@ -134,7 +171,9 @@ GetResult SimProvider::get_range(const ObjectKey& key, std::uint64_t offset,
 OpResult SimProvider::put_range(const ObjectKey& key, std::uint64_t offset,
                                 common::ByteSpan data) {
   if (!online()) return unavailable_result();
+  if (CancelScope::cancelled()) return cancelled_result();
   run_op_hook(OpKind::kPut, key);
+  if (CancelScope::cancelled()) return cancelled_result();
   OpResult r;
   r.status = store_.put_range(key.container, key.name, offset, data);
   if (r.status.is_ok()) {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "cloud/billing.h"
+#include "cloud/cancel.h"
 #include "cloud/latency_model.h"
 #include "cloud/memory_store.h"
 #include "cloud/object_store.h"
@@ -41,6 +42,7 @@ struct OpCounters {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t rejected_unavailable = 0;
+  std::uint64_t cancelled = 0;  // abandoned by the client before commit
 
   [[nodiscard]] std::uint64_t total_ops() const {
     return lists + gets + creates + puts + removes;
@@ -72,6 +74,14 @@ class SimProvider final : public ObjectStore {
   /// When true, going offline also wipes stored state (permanent provider
   /// failure rather than transient outage).
   void fail_permanently();
+
+  /// Brownout emulation: multiplies every sampled latency. 1.0 = healthy;
+  /// e.g. 8.0 models a provider that is reachable but badly degraded (the
+  /// tail the hedged/first-k read paths exist to cut). Expected-latency
+  /// queries are unaffected — a client plans against the advertised model
+  /// and only the observed samples degrade, like a real brownout.
+  void set_latency_scale(double scale) { latency_scale_.store(scale); }
+  [[nodiscard]] double latency_scale() const { return latency_scale_.load(); }
 
   // --- Accounting ---
   [[nodiscard]] std::uint64_t stored_bytes() const {
@@ -108,6 +118,12 @@ class SimProvider final : public ObjectStore {
   common::SimDuration charge(OpKind op, std::uint64_t bytes);
   OpResult unavailable_result();
 
+  /// Result for an op abandoned by the client (see cloud/cancel.h): no
+  /// store mutation, no billing, no latency draw — only the `cancelled`
+  /// counter moves, so cancelled stragglers are visible in audits without
+  /// perturbing cost accounting or the deterministic latency stream.
+  OpResult cancelled_result();
+
   ProviderConfig config_;
   MemoryStore store_;
   LatencyModel latency_;
@@ -116,6 +132,7 @@ class SimProvider final : public ObjectStore {
   OpCounters counters_;
   OpHook op_hook_;  // set before concurrent use; never mutated mid-test
   std::atomic<bool> online_{true};
+  std::atomic<double> latency_scale_{1.0};
   mutable std::mutex mu_;  // guards rng_, billing_, counters_
 };
 

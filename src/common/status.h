@@ -23,6 +23,7 @@ enum class StatusCode {
   kDataLoss,        // too many fragments missing to reconstruct
   kFailedPrecondition,
   kInternal,
+  kCancelled,       // op abandoned by the client (straggler past early ack)
 };
 
 /// Human-readable code name (stable; used in logs and test assertions).
@@ -36,6 +37,7 @@ constexpr std::string_view status_code_name(StatusCode c) {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -91,6 +93,9 @@ inline Status failed_precondition(std::string msg) {
 }
 inline Status internal_error(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status cancelled(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
 }
 
 /// Result<T>: either a value or a non-OK Status.

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "dist/erasure_scheme.h"
+#include "dist/replication.h"
 #include "erasure/striper.h"
 
 namespace hyrd::core {
@@ -45,6 +47,28 @@ struct HyRDConfig {
   const char* data_container = "hyrd-data";
   const char* meta_container = "hyrd-meta";
   const char* probe_container = "hyrd-probe";
+
+  // --- Completion-ordered I/O engine knobs (gcsapi/async_batch.h) ---
+  // Defaults reproduce the synchronous wait-for-all semantics exactly;
+  // the aggressive settings trade extra requests / background completion
+  // for tail latency, as quantified in EXPERIMENTS.md.
+
+  /// Ack policy for replicated and erasure writes/removes. kAll completes
+  /// at the slowest target; early-ack policies report at the first durable
+  /// replica (or stripe) while the rest land in the background of the same
+  /// call, reconciled through the UpdateLog.
+  gcs::AckPolicy write_ack = gcs::AckPolicy::kAll;
+
+  /// Erasure read strategy: kPreferredK bills exactly k GETs per normal
+  /// read (the paper's cost model); kFastestK requests all reachable
+  /// fragments and completes at the k-th fastest usable one.
+  dist::ErasureReadStrategy erasure_read_strategy =
+      dist::ErasureReadStrategy::kPreferredK;
+
+  /// Hedged-replica-read policy (conservative by default: hedges fire
+  /// only under genuine brownouts or real stalls, never under baseline
+  /// jitter, so normal-path request counts are unchanged).
+  dist::HedgePolicy hedge{};
 };
 
 }  // namespace hyrd::core

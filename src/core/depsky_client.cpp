@@ -5,6 +5,7 @@
 
 #include "common/checksum.h"
 #include "dist/scheme.h"
+#include "gcsapi/async_batch.h"
 
 namespace hyrd::core {
 
@@ -22,44 +23,32 @@ DepSkyClient::DepSkyClient(gcs::MultiCloudSession& session,
   (void)session_.ensure_container_everywhere(container_);
 }
 
-common::Result<common::SimDuration> DepSkyClient::quorum_latency(
-    std::span<const cloud::OpResult> results) const {
-  std::vector<common::SimDuration> acks;
-  for (const auto& r : results) {
-    if (r.ok()) acks.push_back(r.latency);
-  }
-  if (acks.size() < quorum_) {
-    return common::unavailable("quorum unreachable (" +
-                               std::to_string(acks.size()) + "/" +
-                               std::to_string(quorum_) + " acks)");
-  }
-  std::nth_element(acks.begin(),
-                   acks.begin() + static_cast<std::ptrdiff_t>(quorum_ - 1),
-                   acks.end());
-  return acks[quorum_ - 1];
-}
-
 dist::WriteResult DepSkyClient::write_object(const std::string& path,
                                              common::ByteSpan data) {
   dist::WriteResult result;
   const auto prev = store_.lookup(path);
 
-  std::vector<gcs::BatchPut> batch;
+  // DepSky's quorum write is the engine's kQuorum ack policy verbatim: a
+  // write completes at the quorum_-th fastest acknowledgment, and every
+  // put still runs to completion so failures are observed and logged.
+  gcs::AsyncBatch batch(session_);
   std::vector<cloud::ObjectKey> keys;
   for (std::size_t i = 0; i < all_targets_.size(); ++i) {
     keys.push_back({container_, dist::fragment_object_name(path, 'q', i)});
-    batch.push_back({all_targets_[i], keys.back(), data});
+    batch.submit(gcs::CloudOp::put(all_targets_[i], keys.back(), data));
   }
-  auto puts = session_.parallel_put(batch, nullptr);
+  gcs::BatchStats stats;
+  auto puts = batch.await_ack(gcs::AckPolicy::kQuorum, &stats, quorum_);
 
-  auto latency = quorum_latency(puts);
-  if (!latency.is_ok()) {
-    result.status = latency.status();
+  if (stats.succeeded < quorum_) {
+    result.status = common::unavailable(
+        "quorum unreachable (" + std::to_string(stats.succeeded) + "/" +
+        std::to_string(quorum_) + " acks)");
     // The client still waited for the failures to time out.
-    for (const auto& p : puts) result.latency = std::max(result.latency, p.latency);
+    result.latency = stats.max_latency;
     return result;
   }
-  result.latency = latency.value();
+  result.latency = stats.latency;
 
   meta::FileMeta m;
   m.path = path;
@@ -131,30 +120,34 @@ dist::WriteResult DepSkyClient::update(const std::string& path,
   if (offset == 0 && data.size() == m->size) {
     result = write_object(path, data);
   } else {
-    // Quorum block write.
-    std::vector<gcs::BatchRangePut> batch;
+    // Quorum block write, same engine path as write_object.
+    gcs::AsyncBatch batch(session_);
+    std::vector<const meta::FragmentLocation*> locs;
     for (std::size_t i = 0; i < m->locations.size(); ++i) {
       const std::size_t idx = session_.index_of(m->locations[i].provider);
       if (idx == static_cast<std::size_t>(-1)) continue;
-      batch.push_back(
-          {idx, {container_, m->locations[i].object_name}, offset, data});
+      batch.submit(gcs::CloudOp::put_range(
+          idx, {container_, m->locations[i].object_name}, offset, data));
+      locs.push_back(&m->locations[i]);
     }
-    auto puts = session_.parallel_put_range(batch, nullptr);
-    auto latency = quorum_latency(puts);
-    if (!latency.is_ok()) {
-      result.status = latency.status();
+    gcs::BatchStats stats;
+    auto puts = batch.await_ack(gcs::AckPolicy::kQuorum, &stats, quorum_);
+    if (stats.succeeded < quorum_) {
+      result.status = common::unavailable(
+          "quorum unreachable (" + std::to_string(stats.succeeded) + "/" +
+          std::to_string(quorum_) + " acks)");
       note_update(result.latency, false);
       return result;
     }
-    result.latency = latency.value();
+    result.latency = stats.latency;
     result.status = common::Status::ok();
     result.meta = *m;
     result.meta.version = m->version + 1;
     result.meta.crc = 0;
     for (std::size_t i = 0; i < puts.size(); ++i) {
       if (!puts[i].ok()) {
-        log_.append(m->locations[i].provider, container_, path,
-                    m->locations[i].object_name, meta::LogAction::kPut);
+        log_.append(locs[i]->provider, container_, path, locs[i]->object_name,
+                    meta::LogAction::kPut);
       }
     }
     store_.upsert(result.meta);

@@ -36,11 +36,6 @@ class DepSkyClient final : public StorageClientBase {
   common::SimDuration on_provider_restored(const std::string& provider) override;
 
  private:
-  /// Quorum completion time: the q-th smallest latency among successful
-  /// acknowledgments. Fails when fewer than q clouds acknowledged.
-  common::Result<common::SimDuration> quorum_latency(
-      std::span<const cloud::OpResult> results) const;
-
   dist::WriteResult write_object(const std::string& path,
                                  common::ByteSpan data);
   common::SimDuration persist_metadata(const std::string& dir);

@@ -35,6 +35,11 @@ class DuraCloudClient final : public StorageClientBase {
     return targets_;
   }
 
+  /// Engine knobs (see gcsapi/async_batch.h); defaults match the legacy
+  /// synchronous semantics.
+  void set_hedge(dist::HedgePolicy p) { replication_.set_hedge(p); }
+  void set_write_ack(gcs::AckPolicy ack) { replication_.set_write_ack(ack); }
+
  private:
   dist::WriteResult write_object(const std::string& path,
                                  common::ByteSpan data);

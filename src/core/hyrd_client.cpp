@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/checksum.h"
+#include "gcsapi/async_batch.h"
 
 namespace hyrd::core {
 
@@ -17,6 +18,16 @@ HyRDClient::HyRDClient(gcs::MultiCloudSession& session, HyRDConfig config)
       meta_replication_(config.meta_container),
       erasure_(config.data_container, config.geometry),
       recovery_(session, store_, log_, data_replication_, erasure_) {
+  // Wire the engine knobs through to the schemes. Defaults reproduce the
+  // synchronous wait-for-all semantics; aggressive settings enable
+  // first-k erasure reads, hedged replica reads, and early-ack writes.
+  data_replication_.set_write_ack(config_.write_ack);
+  data_replication_.set_hedge(config_.hedge);
+  meta_replication_.set_write_ack(config_.write_ack);
+  meta_replication_.set_hedge(config_.hedge);
+  erasure_.set_write_ack(config_.write_ack);
+  erasure_.set_read_strategy(config_.erasure_read_strategy);
+
   (void)session_.ensure_container_everywhere(config_.data_container);
   (void)session_.ensure_container_everywhere(config_.meta_container);
 
@@ -67,23 +78,29 @@ common::SimDuration HyRDClient::persist_metadata(const std::string& dir) {
   const std::string object = meta_block_object_name(dir);
   monitor_.record_write(DataClass::kMetadata, block.size());
 
-  std::vector<gcs::BatchPut> batch;
-  batch.reserve(replica_targets_.size());
+  // Metadata replicas honor the configured ack policy; every put still
+  // runs to completion here, so a failure behind an early ack is logged
+  // exactly as it would be under wait-for-all.
+  gcs::AsyncBatch batch(session_);
   for (std::size_t target : replica_targets_) {
-    batch.push_back({target,
-                     {config_.meta_container, object},
-                     common::ByteSpan(block)});
+    batch.submit(gcs::CloudOp::put(target, {config_.meta_container, object},
+                                   common::ByteSpan(block)));
   }
-  common::SimDuration latency = 0;
-  auto results = session_.parallel_put(batch, &latency);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    if (!results[i].ok()) {
-      log_.append(session_.client(replica_targets_[i]).provider_name(),
-                  config_.meta_container, meta_block_path(dir), object,
-                  meta::LogAction::kPut);
+  gcs::BatchStats stats;
+  auto completions =
+      config_.write_ack == gcs::AckPolicy::kAll
+          ? batch.await_all(&stats)
+          : batch.await_ack(config_.write_ack, &stats,
+                            replica_targets_.size() / 2 + 1);
+  for (const auto& c : completions) {
+    if (!c.ok()) {
+      log_.append(
+          session_.client(replica_targets_[c.op_index]).provider_name(),
+          config_.meta_container, meta_block_path(dir), object,
+          meta::LogAction::kPut);
     }
   }
-  return latency;
+  return stats.latency;
 }
 
 void HyRDClient::log_unreachable_fragments(

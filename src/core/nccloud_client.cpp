@@ -36,15 +36,14 @@ dist::WriteResult NCCloudClient::write_object(const std::string& path,
   }
 
   const std::size_t cpn = code_.chunks_per_node();
-  std::vector<gcs::BatchPut> batch;
+  gcs::AsyncBatch batch(session_);
   for (std::size_t c = 0; c < code_.total_chunks(); ++c) {
-    batch.push_back({c / cpn,
-                     {container_, chunk_name(path, c)},
-                     common::ByteSpan(enc.chunks[c])});
+    batch.submit(gcs::CloudOp::put(c / cpn, {container_, chunk_name(path, c)},
+                                   common::ByteSpan(enc.chunks[c])));
   }
-  common::SimDuration batch_latency = 0;
-  auto puts = session_.parallel_put(batch, &batch_latency);
-  result.latency = batch_latency;
+  gcs::BatchStats stats;
+  auto puts = batch.await_all(&stats);
+  result.latency = stats.latency;
 
   // A node "landed" when all its chunks did; need >= k nodes for the
   // object to be decodable.
@@ -94,19 +93,20 @@ common::SimDuration NCCloudClient::persist_metadata(const std::string& dir) {
   // them replicated on every cloud.
   const common::Bytes block = store_.serialize_directory(dir);
   const std::string object = meta_block_object_name(dir);
-  std::vector<gcs::BatchPut> batch;
+  gcs::AsyncBatch batch(session_);
   for (std::size_t i = 0; i < session_.client_count(); ++i) {
-    batch.push_back({i, {container_, object}, common::ByteSpan(block)});
+    batch.submit(
+        gcs::CloudOp::put(i, {container_, object}, common::ByteSpan(block)));
   }
-  common::SimDuration latency = 0;
-  auto results = session_.parallel_put(batch, &latency);
+  gcs::BatchStats stats;
+  auto results = batch.await_all(&stats);
   for (std::size_t i = 0; i < results.size(); ++i) {
     if (!results[i].ok()) {
       log_.append(session_.client(i).provider_name(), container_,
                   meta_block_path(dir), object, meta::LogAction::kPut);
     }
   }
-  return latency;
+  return stats.latency;
 }
 
 dist::WriteResult NCCloudClient::put(const std::string& path,

@@ -36,6 +36,16 @@ class RACSClient final : public StorageClientBase {
     return erasure_.geometry();
   }
 
+  /// Engine knobs (see gcsapi/async_batch.h); defaults match the legacy
+  /// synchronous semantics.
+  void set_read_strategy(dist::ErasureReadStrategy s) {
+    erasure_.set_read_strategy(s);
+  }
+  void set_write_ack(gcs::AckPolicy ack) {
+    erasure_.set_write_ack(ack);
+    replication_.set_write_ack(ack);
+  }
+
  private:
   /// Slot assignment for one object: rotation start = hash(path) mod n.
   [[nodiscard]] std::vector<std::size_t> slots_for(const std::string& path) const;

@@ -21,6 +21,10 @@ class SingleCloudClient final : public StorageClientBase {
   }
   [[nodiscard]] const std::string& provider() const { return provider_; }
 
+  /// Engine knobs (see gcsapi/async_batch.h). With a single replica the
+  /// hedge can never fire, but the knob keeps fleet setup uniform.
+  void set_hedge(dist::HedgePolicy p) { replication_.set_hedge(p); }
+
   dist::WriteResult put(const std::string& path,
                         common::ByteSpan data) override;
   dist::ReadResult get(const std::string& path) override;

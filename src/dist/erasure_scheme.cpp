@@ -116,16 +116,16 @@ WriteResult ErasureScheme::write(gcs::MultiCloudSession& session,
     keys.push_back({container_, fragment_object_name(path, 's', i)});
   }
 
-  // Phase 1: upload data fragments while parity encodes.
-  std::vector<gcs::BatchPut> data_batch;
-  data_batch.reserve(geom.k);
+  // One batch for the whole stripe: the k data fragments (available
+  // immediately) dispatch while parity encodes; parity fragments join the
+  // same batch once the encode lands. All ops carry offset 0, so the batch
+  // is one concurrent round in virtual time — splitting the real
+  // submission into two waves only overlaps client CPU with I/O.
+  gcs::AsyncBatch batch(session);
   for (std::size_t i = 0; i < geom.k; ++i) {
-    data_batch.push_back({shard_clients[i], keys[i], data_views[i]});
+    batch.submit(gcs::CloudOp::put(shard_clients[i], keys[i], data_views[i]));
   }
-  common::SimDuration data_latency = 0;
-  auto data_results = session.parallel_put(data_batch, &data_latency);
 
-  // Phase 2: join the encode, checksum parity, upload parity fragments.
   for (auto& f : encode_futs) f.get();
   for (std::size_t p = 0; p < geom.m; ++p) {
     crc_futs[geom.k + p] = pool.submit([view = common::ByteSpan(
@@ -134,19 +134,22 @@ WriteResult ErasureScheme::write(gcs::MultiCloudSession& session,
       return common::crc32c(view);
     });
   }
-  std::vector<gcs::BatchPut> parity_batch;
-  parity_batch.reserve(geom.m);
   for (std::size_t p = 0; p < geom.m; ++p) {
-    parity_batch.push_back({shard_clients[geom.k + p], keys[geom.k + p],
-                            common::ByteSpan(parity_views[p].data(),
-                                             parity_views[p].size())});
+    batch.submit(gcs::CloudOp::put(
+        shard_clients[geom.k + p], keys[geom.k + p],
+        common::ByteSpan(parity_views[p].data(), parity_views[p].size())));
   }
-  common::SimDuration parity_latency = 0;
-  auto parity_results = session.parallel_put(parity_batch, &parity_latency);
 
-  // Virtual time: all k+m puts form one concurrent round (latency = max);
-  // splitting into two real batches only overlaps client CPU with I/O.
-  result.latency = std::max(data_latency, parity_latency);
+  // kAll acks at the slowest fragment (legacy max). Early-ack policies ack
+  // at the first durable *stripe* — the k-th fragment success — while the
+  // remaining fragments still run to completion below (durability and
+  // unreachable-logging are never traded away).
+  gcs::BatchStats stats;
+  auto put_completions =
+      write_ack_ == gcs::AckPolicy::kAll
+          ? batch.await_all(&stats)
+          : batch.await_ack(gcs::AckPolicy::kQuorum, &stats, geom.k);
+  result.latency = stats.latency;
 
   std::size_t landed = 0;
   meta::FileMeta m;
@@ -162,8 +165,7 @@ WriteResult ErasureScheme::write(gcs::MultiCloudSession& session,
     m.fragment_crcs.push_back(crc_futs[i].get());
   }
   for (std::size_t i = 0; i < total; ++i) {
-    const cloud::OpResult& put_result =
-        i < geom.k ? data_results[i] : parity_results[i - geom.k];
+    const cloud::OpResult& put_result = put_completions[i].result;
     const std::string& provider =
         session.client(shard_clients[i]).provider_name();
     if (put_result.ok()) {
@@ -201,88 +203,130 @@ ReadResult ErasureScheme::read(gcs::MultiCloudSession& session,
     }
   }
 
-  // Phase 1: fetch k fragments in parallel. Providers known to be in
-  // outage are skipped up front (a client learns this from its first
-  // refused connection and the Cost & Performance Evaluator tracks it),
-  // so a known outage costs one parallel round, not two; data slots are
-  // preferred so the fast concatenation path applies when possible.
-  std::vector<gcs::BatchGet> batch;
-  std::vector<std::size_t> batch_slots;
-  batch.reserve(geom.k);
-  for (std::size_t i = 0; i < geom.total() && batch.size() < geom.k; ++i) {
-    if (outage_aware_ && !session.client(clients[i]).provider()->online()) {
-      result.degraded = true;
-      continue;
-    }
-    batch.push_back({clients[i], {container_, meta.locations[i].object_name}});
-    batch_slots.push_back(i);
-  }
-  common::SimDuration phase_latency = 0;
-  auto gets = session.parallel_get(batch, &phase_latency);
-  result.latency += phase_latency;
+  // All requests of a read — the preferred round, a phase-2 repair round,
+  // or the full first-k fan-out — share one AsyncBatch, so virtual time is
+  // one coherent order statistic over fragment arrivals.
+  gcs::AsyncBatch batch(session);
+  std::vector<std::size_t> op_slot;  // op_index -> fragment slot
+  const auto submit_slot = [&](std::size_t slot, common::SimDuration start) {
+    batch.submit(gcs::CloudOp::get(
+        clients[slot], {container_, meta.locations[slot].object_name}, start));
+    op_slot.push_back(slot);
+  };
 
   std::vector<std::optional<common::Bytes>> shards(geom.total());
-  bool all_fetched_ok = !gets.empty();
-  for (std::size_t j = 0; j < gets.size(); ++j) {
-    if (gets[j].ok() && fragment_intact(meta, batch_slots[j], gets[j].data)) {
-      shards[batch_slots[j]] = std::move(gets[j].data);
-    } else {
-      // Unreachable — or silently corrupted: a failed integrity check
-      // turns the fragment into an erasure and reconstruction takes over.
-      all_fetched_ok = false;
-      result.degraded = true;
-    }
-  }
-  const bool have_all_data = [&] {
-    for (std::size_t i = 0; i < geom.k; ++i) {
-      if (!shards[i].has_value()) return false;
-    }
-    return true;
-  }();
 
-  if (all_fetched_ok && have_all_data) {
-    // Fast path: concatenate and truncate to logical size.
-    common::Bytes object;
-    object.reserve(meta.size);
-    for (std::size_t i = 0; i < geom.k && object.size() < meta.size; ++i) {
-      const std::size_t remaining =
-          static_cast<std::size_t>(meta.size) - object.size();
-      const std::size_t take = std::min(shards[i]->size(), remaining);
-      object.insert(object.end(), shards[i]->begin(),
-                    shards[i]->begin() + static_cast<std::ptrdiff_t>(take));
+  if (read_strategy_ == ErasureReadStrategy::kFastestK) {
+    // First-k-of-n: request every reachable fragment and complete at the
+    // k-th fastest usable response; the in-flight tail is cancelled and
+    // the shaved wait reported as saved virtual time. A corrupt or failed
+    // response simply doesn't count toward k.
+    for (std::size_t i = 0; i < geom.total(); ++i) {
+      if (outage_aware_ && !session.client(clients[i]).provider()->online()) {
+        result.degraded = true;
+        continue;
+      }
+      submit_slot(i, 0);
     }
-    if (meta.crc != 0 && common::crc32c(object) != meta.crc) {
-      result.status = common::data_loss("object CRC mismatch");
+    const auto usable = [&](const gcs::CloudCompletion& c) {
+      return c.ok() && fragment_intact(meta, op_slot[c.op_index], c.result.data);
+    };
+    gcs::BatchStats stats;
+    auto completions = batch.await_first(geom.k, &stats, usable);
+    result.latency += stats.latency;
+    result.saved = stats.saved();
+    result.cancelled_stragglers = stats.cancelled;
+    for (auto& c : completions) {
+      const std::size_t slot = op_slot[c.op_index];
+      if (c.ok() && fragment_intact(meta, slot, c.result.data)) {
+        shards[slot] = std::move(c.result.data);
+      } else if (!c.cancelled) {
+        // A real failure (outage surprise or corruption), not a straggler
+        // we tore down ourselves.
+        result.degraded = true;
+      }
+    }
+  } else {
+    // Phase 1: fetch k fragments in parallel. Providers known to be in
+    // outage are skipped up front (a client learns this from its first
+    // refused connection and the Cost & Performance Evaluator tracks it),
+    // so a known outage costs one parallel round, not two; data slots are
+    // preferred so the fast concatenation path applies when possible.
+    for (std::size_t i = 0; i < geom.total() && op_slot.size() < geom.k; ++i) {
+      if (outage_aware_ && !session.client(clients[i]).provider()->online()) {
+        result.degraded = true;
+        continue;
+      }
+      submit_slot(i, 0);
+    }
+    const std::size_t phase1_ops = op_slot.size();
+    gcs::BatchStats stats;
+    auto phase1 = batch.await_all(&stats);
+    result.latency += stats.latency;
+
+    bool all_fetched_ok = !phase1.empty();
+    for (auto& c : phase1) {
+      const std::size_t slot = op_slot[c.op_index];
+      if (c.ok() && fragment_intact(meta, slot, c.result.data)) {
+        shards[slot] = std::move(c.result.data);
+      } else {
+        // Unreachable — or silently corrupted: a failed integrity check
+        // turns the fragment into an erasure and reconstruction takes over.
+        all_fetched_ok = false;
+        result.degraded = true;
+      }
+    }
+    const bool have_all_data = [&] {
+      for (std::size_t i = 0; i < geom.k; ++i) {
+        if (!shards[i].has_value()) return false;
+      }
+      return true;
+    }();
+
+    if (all_fetched_ok && have_all_data) {
+      // Fast path: concatenate and truncate to logical size.
+      common::Bytes object;
+      object.reserve(meta.size);
+      for (std::size_t i = 0; i < geom.k && object.size() < meta.size; ++i) {
+        const std::size_t remaining =
+            static_cast<std::size_t>(meta.size) - object.size();
+        const std::size_t take = std::min(shards[i]->size(), remaining);
+        object.insert(object.end(), shards[i]->begin(),
+                      shards[i]->begin() + static_cast<std::ptrdiff_t>(take));
+      }
+      if (meta.crc != 0 && common::crc32c(object) != meta.crc) {
+        result.status = common::data_loss("object CRC mismatch");
+        return result;
+      }
+      result.status = common::Status::ok();
+      result.data = std::move(object);
       return result;
     }
-    result.status = common::Status::ok();
-    result.data = std::move(object);
-    return result;
-  }
 
-  // Phase 2 (only on mid-flight surprises): fetch fragments not already
-  // held, from slots not tried in phase 1.
-  std::size_t present = 0;
-  for (const auto& s : shards) present += s.has_value() ? 1 : 0;
-  if (present < geom.k) {
-    std::vector<gcs::BatchGet> batch2;
-    std::vector<std::size_t> batch2_slots;
-    for (std::size_t i = 0; i < geom.total(); ++i) {
-      if (shards[i].has_value()) continue;
-      if (std::find(batch_slots.begin(), batch_slots.end(), i) !=
-          batch_slots.end()) {
-        continue;  // already failed in phase 1
+    // Phase 2 (only on mid-flight surprises): fetch fragments not already
+    // held, from slots not tried in phase 1. Submitting them into the same
+    // batch at start_offset = phase-1 completion makes max-over-arrivals
+    // reproduce the legacy two-round sum exactly.
+    std::size_t present = 0;
+    for (const auto& s : shards) present += s.has_value() ? 1 : 0;
+    if (present < geom.k) {
+      const common::SimDuration phase2_start = result.latency;
+      for (std::size_t i = 0; i < geom.total(); ++i) {
+        if (shards[i].has_value()) continue;
+        if (std::find(op_slot.begin(), op_slot.begin() + static_cast<std::ptrdiff_t>(phase1_ops),
+                      i) != op_slot.begin() + static_cast<std::ptrdiff_t>(phase1_ops)) {
+          continue;  // already failed in phase 1
+        }
+        submit_slot(i, phase2_start);
       }
-      batch2.push_back(
-          {clients[i], {container_, meta.locations[i].object_name}});
-      batch2_slots.push_back(i);
-    }
-    auto gets2 = session.parallel_get(batch2, &phase_latency);
-    result.latency += phase_latency;
-    for (std::size_t j = 0; j < gets2.size(); ++j) {
-      if (gets2[j].ok() &&
-          fragment_intact(meta, batch2_slots[j], gets2[j].data)) {
-        shards[batch2_slots[j]] = std::move(gets2[j].data);
+      auto all_ops = batch.await_all(&stats);
+      result.latency = stats.latency;
+      for (auto& c : all_ops) {
+        if (c.op_index < phase1_ops) continue;  // consumed above
+        const std::size_t slot = op_slot[c.op_index];
+        if (c.ok() && fragment_intact(meta, slot, c.result.data)) {
+          shards[slot] = std::move(c.result.data);
+        }
       }
     }
   }
@@ -428,23 +472,7 @@ WriteResult ErasureScheme::update_range(gcs::MultiCloudSession& session,
 
 RemoveResult ErasureScheme::remove(gcs::MultiCloudSession& session,
                                    const meta::FileMeta& meta) const {
-  RemoveResult result;
-  common::SimDuration max_latency = 0;
-  for (const auto& loc : meta.locations) {
-    const std::size_t idx = session.index_of(loc.provider);
-    if (idx == static_cast<std::size_t>(-1)) {
-      result.unreachable_providers.push_back(loc.provider);
-      continue;
-    }
-    auto r = session.client(idx).remove({container_, loc.object_name});
-    max_latency = std::max(max_latency, r.latency);
-    if (!r.ok() && r.status.code() == common::StatusCode::kUnavailable) {
-      result.unreachable_providers.push_back(loc.provider);
-    }
-  }
-  result.latency = max_latency;
-  result.status = common::Status::ok();
-  return result;
+  return remove_fragments(session, container_, meta, write_ack_);
 }
 
 common::Result<std::vector<std::pair<std::string, common::Bytes>>>
@@ -457,7 +485,6 @@ ErasureScheme::rebuild_fragments_for(gcs::MultiCloudSession& session,
 
   // Fetch every fragment not on `provider`.
   std::vector<std::optional<common::Bytes>> shards(geom.total());
-  std::vector<gcs::BatchGet> batch;
   std::vector<std::size_t> batch_slots;
   std::vector<std::size_t> target_slots;
   for (std::size_t i = 0; i < geom.total(); ++i) {
@@ -466,20 +493,34 @@ ErasureScheme::rebuild_fragments_for(gcs::MultiCloudSession& session,
       continue;
     }
     if (clients[i] == static_cast<std::size_t>(-1)) continue;
-    batch.push_back({clients[i], {container_, meta.locations[i].object_name}});
     batch_slots.push_back(i);
   }
   if (target_slots.empty()) {
     return std::vector<std::pair<std::string, common::Bytes>>{};
   }
 
-  common::SimDuration phase_latency = 0;
-  auto gets = session.parallel_get(batch, &phase_latency);
-  if (latency != nullptr) *latency += phase_latency;
-  for (std::size_t j = 0; j < gets.size(); ++j) {
+  gcs::AsyncBatch batch(session);
+  for (std::size_t slot : batch_slots) {
+    batch.submit(gcs::CloudOp::get(
+        clients[slot], {container_, meta.locations[slot].object_name}));
+  }
+
+  // Reconstruction needs any k intact survivors; under kFastestK the
+  // rebuild completes at the k-th and cancels the rest.
+  const auto usable = [&](const gcs::CloudCompletion& c) {
+    return c.ok() &&
+           fragment_intact(meta, batch_slots[c.op_index], c.result.data);
+  };
+  gcs::BatchStats stats;
+  auto gets = read_strategy_ == ErasureReadStrategy::kFastestK
+                  ? batch.await_first(geom.k, &stats, usable)
+                  : batch.await_all(&stats);
+  if (latency != nullptr) *latency += stats.latency;
+  for (auto& c : gets) {
     // Corrupt survivors must not poison the rebuilt fragments.
-    if (gets[j].ok() && fragment_intact(meta, batch_slots[j], gets[j].data)) {
-      shards[batch_slots[j]] = std::move(gets[j].data);
+    const std::size_t slot = batch_slots[c.op_index];
+    if (c.ok() && fragment_intact(meta, slot, c.result.data)) {
+      shards[slot] = std::move(c.result.data);
     }
   }
 

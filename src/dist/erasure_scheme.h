@@ -16,6 +16,16 @@
 
 namespace hyrd::dist {
 
+/// How a stripe read picks its k fragments.
+///
+/// kPreferredK (default) issues exactly k requests to the preferred (data)
+/// slots and pays a second round only on surprises — the paper's cost
+/// model: a normal read bills exactly k GETs. kFastestK requests all
+/// reachable fragments and completes at the k-th fastest usable response,
+/// cancelling the stragglers — latency becomes the k-th order statistic of
+/// n instead of the max of k, at the price of up to m extra GET requests.
+enum class ErasureReadStrategy { kPreferredK, kFastestK };
+
 class ErasureScheme {
  public:
   /// `outage_aware`: when true, reads consult provider availability and
@@ -33,6 +43,19 @@ class ErasureScheme {
   [[nodiscard]] const erasure::StripeGeometry& geometry() const {
     return striper_.geometry();
   }
+
+  void set_read_strategy(ErasureReadStrategy s) { read_strategy_ = s; }
+  [[nodiscard]] ErasureReadStrategy read_strategy() const {
+    return read_strategy_;
+  }
+
+  /// Write/remove ack policy. kAll (default) keeps the legacy contract:
+  /// latency = slowest fragment. Early-ack policies report at the first
+  /// durable *stripe* (the k-th fragment success) while the remaining
+  /// fragments land in the background of the same call; failures are
+  /// still observed and reported via `unreachable`.
+  void set_write_ack(gcs::AckPolicy ack) { write_ack_ = ack; }
+  [[nodiscard]] gcs::AckPolicy write_ack() const { return write_ack_; }
 
   /// Stripes `data` into k+m fragments and puts fragment i on
   /// shard_clients[i], all in parallel. Requires exactly k+m targets.
@@ -75,6 +98,8 @@ class ErasureScheme {
   std::string container_;
   erasure::Striper striper_;
   bool outage_aware_;
+  ErasureReadStrategy read_strategy_ = ErasureReadStrategy::kPreferredK;
+  gcs::AckPolicy write_ack_ = gcs::AckPolicy::kAll;
 };
 
 }  // namespace hyrd::dist

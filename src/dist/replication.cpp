@@ -6,6 +6,13 @@
 
 namespace hyrd::dist {
 
+namespace {
+
+/// Majority of the intended replica set (DepSky-style quorum rank).
+std::size_t majority(std::size_t n) { return n / 2 + 1; }
+
+}  // namespace
+
 WriteResult ReplicationScheme::write(
     gcs::MultiCloudSession& session, const std::string& path,
     common::ByteSpan data, const std::vector<std::size_t>& replica_clients,
@@ -16,29 +23,44 @@ WriteResult ReplicationScheme::write(
     return result;
   }
 
-  std::vector<gcs::BatchPut> batch;
   std::vector<cloud::ObjectKey> keys;
-  batch.reserve(replica_clients.size());
   keys.reserve(replica_clients.size());
   for (std::size_t i = 0; i < replica_clients.size(); ++i) {
     keys.push_back({container_, fragment_object_name(path, 'r', i)});
-    batch.push_back({replica_clients[i], keys.back(), data});
   }
 
   std::vector<cloud::OpResult> results;
+  results.reserve(replica_clients.size());
   if (mode_ == ReplicaWriteMode::kParallel) {
-    common::SimDuration batch_latency = 0;
-    results = session.parallel_put(batch, &batch_latency);
-    result.latency = batch_latency;
-  } else {
-    // Sequential synchronization: each copy confirmed in turn; latency is
-    // the sum. Unreachable targets fail fast and are skipped.
-    results.reserve(batch.size());
-    for (const auto& op : batch) {
-      auto r = session.client(op.client_index).put(op.key, op.data);
-      result.latency += r.latency;
-      results.push_back(std::move(r));
+    gcs::AsyncBatch batch(session);
+    for (std::size_t i = 0; i < replica_clients.size(); ++i) {
+      batch.submit(gcs::CloudOp::put(replica_clients[i], keys[i], data));
     }
+    gcs::BatchStats stats;
+    auto completions =
+        write_ack_ == gcs::AckPolicy::kAll
+            ? batch.await_all(&stats)
+            : batch.await_ack(write_ack_, &stats,
+                              majority(replica_clients.size()));
+    result.latency = stats.latency;
+    for (auto& c : completions) {
+      results.push_back(static_cast<cloud::OpResult&&>(std::move(c.result)));
+    }
+  } else {
+    // Sequential synchronization: each copy is confirmed in turn, so the
+    // next put is submitted at the previous put's virtual completion and
+    // the final arrival is the legacy sum of latencies. Unreachable
+    // targets fail fast and are skipped.
+    gcs::AsyncBatch batch(session);
+    common::SimDuration offset = 0;
+    for (std::size_t i = 0; i < replica_clients.size(); ++i) {
+      batch.submit(
+          gcs::CloudOp::put(replica_clients[i], keys[i], data, offset));
+      auto c = batch.next();
+      offset = c->arrival;
+      results.push_back(static_cast<cloud::OpResult&&>(std::move(c->result)));
+    }
+    result.latency = offset;
   }
 
   std::size_t landed = 0;
@@ -94,39 +116,147 @@ ReadResult ReplicationScheme::read(gcs::MultiCloudSession& session,
   const auto order =
       order_by_expected_read_latency(session, clients, meta.size);
 
-  bool first_attempt = !result.degraded;
-  for (std::size_t client_idx : order) {
-    // Find the location entry for this client's provider.
+  const auto loc_for_client =
+      [&](std::size_t client_idx) -> const meta::FragmentLocation* {
     const auto& provider = session.client(client_idx).provider_name();
-    const meta::FragmentLocation* loc = nullptr;
     for (const auto& l : meta.locations) {
-      if (l.provider == provider) {
-        loc = &l;
-        break;
-      }
+      if (l.provider == provider) return &l;
     }
-    if (loc == nullptr) continue;
+    return nullptr;
+  };
 
-    auto get = session.client(client_idx).get({container_, loc->object_name});
-    result.latency += get.latency;
-    if (get.ok()) {
-      // crc == 0 marks "digest unknown" (after a partial range update).
-      if (meta.crc != 0 && common::crc32c(get.data) != meta.crc) {
-        // Stale or corrupt replica (e.g. provider returned from outage
-        // before consistency update); try the next one.
-        result.degraded = true;
-        first_attempt = false;
+  gcs::AsyncBatch batch(session);
+  std::vector<bool> op_is_hedge;
+  std::size_t cursor = 0;  // next candidate in `order`
+  const auto submit_next = [&](common::SimDuration start,
+                               bool is_hedge) -> bool {
+    while (cursor < order.size()) {
+      const std::size_t client_idx = order[cursor];
+      ++cursor;
+      const auto* loc = loc_for_client(client_idx);
+      if (loc == nullptr) continue;
+      batch.submit(gcs::CloudOp::get(client_idx,
+                                     {container_, loc->object_name}, start));
+      op_is_hedge.push_back(is_hedge);
+      return true;
+    }
+    return false;
+  };
+
+  bool first_attempt = !result.degraded;
+  if (!submit_next(0, false)) {
+    result.status = common::unavailable("no replica readable for " + meta.path);
+    return result;
+  }
+
+  // A hedge fires at delay_factor × the primary's *expected* latency: the
+  // client plans against the advertised model, not the (unknowable ahead
+  // of time) sampled response.
+  const bool may_hedge = hedge_.enabled && order.size() > 1;
+  const common::SimDuration hedge_delay =
+      may_hedge ? static_cast<common::SimDuration>(
+                      hedge_.delay_factor *
+                      static_cast<double>(
+                          session.client(order[0])
+                              .provider()
+                              ->latency_model()
+                              .expected(cloud::OpKind::kGet, meta.size)))
+                : 0;
+
+  bool hedge_attempted = false;
+  bool have_usable = false;
+  common::Bytes best_data;
+  common::SimDuration best_arrival = 0;
+  common::SimDuration worst_arrival = 0;  // max non-cancelled arrival seen
+
+  for (;;) {
+    std::optional<gcs::CloudCompletion> c;
+    if (may_hedge && !hedge_attempted) {
+      c = batch.next_for(hedge_.real_stall_timeout_ms);
+      if (!c.has_value()) {
+        if (batch.pending() == 0) break;  // all delivered
+        // No response in real time: the primary is wedged, not merely
+        // virtually slow. Fire the hedge now; it is charged as submitted
+        // at the virtual delay threshold.
+        hedge_attempted = true;
+        submit_next(hedge_delay, true);
         continue;
       }
-      result.status = common::Status::ok();
-      result.data = std::move(get.data);
-      result.degraded = result.degraded || !first_attempt;
-      return result;
+    } else {
+      c = batch.next();
+      if (!c.has_value()) break;
     }
-    first_attempt = false;
+
+    if (c->cancelled) {
+      ++result.cancelled_stragglers;
+      continue;
+    }
+    worst_arrival = std::max(worst_arrival, c->arrival);
+    const bool is_hedge = op_is_hedge[c->op_index];
+
+    bool usable = c->ok();
+    if (usable && meta.crc != 0 && common::crc32c(c->result.data) != meta.crc) {
+      // Stale or corrupt replica (e.g. provider returned from outage
+      // before consistency update); treat as a failure and move on.
+      usable = false;
+    }
+
+    if (usable) {
+      if (!have_usable || c->arrival < best_arrival) {
+        best_arrival = c->arrival;
+        best_data = std::move(c->result.data);
+      }
+      have_usable = true;
+      // Virtually slow primary (brownout): the hedge would have fired at
+      // hedge_delay, and whichever response arrives first in virtual time
+      // wins. Submit it and keep collecting.
+      if (may_hedge && !hedge_attempted && !is_hedge &&
+          c->arrival > hedge_delay) {
+        hedge_attempted = true;
+        if (submit_next(hedge_delay, true)) continue;
+      }
+      break;  // a usable response in hand and no reason to wait for more
+    }
+
+    // Failure. Legacy failover: try the next replica in latency order,
+    // submitted at this failure's virtual arrival so the chain sums.
     result.degraded = true;
+    if (!is_hedge) first_attempt = false;
+    if (!have_usable && batch.pending() == 0) {
+      submit_next(c->arrival, false);
+    }
   }
-  result.status = common::unavailable("no replica readable for " + meta.path);
+
+  if (!have_usable) {
+    result.status =
+        common::unavailable("no replica readable for " + meta.path);
+    result.latency = worst_arrival;
+    return result;
+  }
+
+  // Tear down whatever is still in flight (e.g. the wedged primary after
+  // a hedge win) and account for responses that raced past the teardown.
+  batch.cancel_remaining();
+  while (auto d = batch.next()) {
+    if (d->cancelled) {
+      ++result.cancelled_stragglers;
+      continue;
+    }
+    worst_arrival = std::max(worst_arrival, d->arrival);
+    if (d->ok() &&
+        !(meta.crc != 0 && common::crc32c(d->result.data) != meta.crc) &&
+        d->arrival < best_arrival) {
+      best_arrival = d->arrival;
+      best_data = std::move(d->result.data);
+    }
+  }
+
+  result.status = common::Status::ok();
+  result.data = std::move(best_data);
+  result.latency = best_arrival;
+  result.saved =
+      worst_arrival > best_arrival ? worst_arrival - best_arrival : 0;
+  result.degraded = result.degraded || !first_attempt;
   return result;
 }
 
@@ -140,28 +270,44 @@ WriteResult ReplicationScheme::update_range(
     return result;
   }
 
-  std::vector<gcs::BatchRangePut> batch;
+  std::vector<std::size_t> targets;
   std::vector<const meta::FragmentLocation*> locs;
   for (const auto& loc : meta.locations) {
     const std::size_t idx = session.index_of(loc.provider);
     if (idx == static_cast<std::size_t>(-1)) continue;
-    batch.push_back({idx, {container_, loc.object_name}, offset, data});
+    targets.push_back(idx);
     locs.push_back(&loc);
   }
 
   std::vector<cloud::OpResult> results;
+  results.reserve(targets.size());
   if (mode_ == ReplicaWriteMode::kParallel) {
-    common::SimDuration batch_latency = 0;
-    results = session.parallel_put_range(batch, &batch_latency);
-    result.latency = batch_latency;
-  } else {
-    results.reserve(batch.size());
-    for (const auto& op : batch) {
-      auto r = session.client(op.client_index)
-                   .put_range(op.key, op.offset, op.data);
-      result.latency += r.latency;
-      results.push_back(std::move(r));
+    gcs::AsyncBatch batch(session);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      batch.submit(gcs::CloudOp::put_range(
+          targets[i], {container_, locs[i]->object_name}, offset, data));
     }
+    gcs::BatchStats stats;
+    auto completions =
+        write_ack_ == gcs::AckPolicy::kAll
+            ? batch.await_all(&stats)
+            : batch.await_ack(write_ack_, &stats, majority(targets.size()));
+    result.latency = stats.latency;
+    for (auto& c : completions) {
+      results.push_back(static_cast<cloud::OpResult&&>(std::move(c.result)));
+    }
+  } else {
+    gcs::AsyncBatch batch(session);
+    common::SimDuration chain = 0;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      batch.submit(gcs::CloudOp::put_range(
+          targets[i], {container_, locs[i]->object_name}, offset, data,
+          chain));
+      auto c = batch.next();
+      chain = c->arrival;
+      results.push_back(static_cast<cloud::OpResult&&>(std::move(c->result)));
+    }
+    result.latency = chain;
   }
 
   std::size_t landed = 0;
@@ -185,25 +331,7 @@ WriteResult ReplicationScheme::update_range(
 
 RemoveResult ReplicationScheme::remove(gcs::MultiCloudSession& session,
                                        const meta::FileMeta& meta) const {
-  RemoveResult result;
-  // Removes are issued to all replicas; virtual latency is the max, i.e.
-  // the parallel-fan-out completion time.
-  common::SimDuration max_latency = 0;
-  for (const auto& loc : meta.locations) {
-    const std::size_t idx = session.index_of(loc.provider);
-    if (idx == static_cast<std::size_t>(-1)) {
-      result.unreachable_providers.push_back(loc.provider);
-      continue;
-    }
-    auto r = session.client(idx).remove({container_, loc.object_name});
-    max_latency = std::max(max_latency, r.latency);
-    if (!r.ok() && r.status.code() == common::StatusCode::kUnavailable) {
-      result.unreachable_providers.push_back(loc.provider);
-    }
-  }
-  result.latency = max_latency;
-  result.status = common::Status::ok();
-  return result;
+  return remove_fragments(session, container_, meta, write_ack_);
 }
 
 }  // namespace hyrd::dist

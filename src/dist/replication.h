@@ -18,6 +18,25 @@ namespace hyrd::dist {
 /// copy's write is skipped, "no double writes or updates are performed").
 enum class ReplicaWriteMode { kParallel, kSequential };
 
+/// Hedged-read policy. A replicated read goes to the expected-fastest
+/// online replica first; a hedge fires a second request when the primary
+/// is slow by either clock:
+///  * virtual  — the primary's response costs more than `delay_factor` ×
+///    its expected latency (a brownout: reachable but degraded), or
+///  * real     — no response within `real_stall_timeout_ms` of wall time
+///    (a wedged request that virtual accounting alone can never observe).
+/// The hedge is charged as fired at the virtual delay threshold, and the
+/// read completes at the earliest usable arrival. The defaults are
+/// deliberately conservative: under the baseline jitter model (lognormal
+/// sigma 0.08) a 3x-expected response never occurs, so hedges fire only
+/// under genuine brownouts or stalls and the normal-path economics (one
+/// GET per read) are unchanged.
+struct HedgePolicy {
+  bool enabled = true;
+  double delay_factor = 3.0;
+  int real_stall_timeout_ms = 200;
+};
+
 class ReplicationScheme {
  public:
   explicit ReplicationScheme(std::string container,
@@ -26,6 +45,17 @@ class ReplicationScheme {
 
   [[nodiscard]] const std::string& container() const { return container_; }
   [[nodiscard]] ReplicaWriteMode write_mode() const { return mode_; }
+
+  void set_hedge(HedgePolicy policy) { hedge_ = policy; }
+  [[nodiscard]] const HedgePolicy& hedge() const { return hedge_; }
+
+  /// Write/remove ack policy (parallel mode only; sequential writes are a
+  /// confirmation chain and always ack at the end). kAll keeps the legacy
+  /// contract: latency = slowest replica. kFirstSuccess acks at the first
+  /// durable copy while the rest land in the background of the same call;
+  /// kQuorum at the majority. Failures are still observed and reported.
+  void set_write_ack(gcs::AckPolicy ack) { write_ack_ = ack; }
+  [[nodiscard]] gcs::AckPolicy write_ack() const { return write_ack_; }
 
   /// Writes one replica to each client in `replica_clients` concurrently.
   /// Succeeds if at least one replica lands (the paper's availability model:
@@ -38,7 +68,9 @@ class ReplicationScheme {
                     std::vector<std::string>* unreachable = nullptr) const;
 
   /// Reads from the expected-fastest replica, failing over in latency
-  /// order. `degraded` is set when the first choice was unavailable.
+  /// order; a hedged backup fires per the HedgePolicy when the primary is
+  /// slow or stalled. `degraded` is set when the first choice was
+  /// unavailable (a hedge win alone is not degradation).
   ReadResult read(gcs::MultiCloudSession& session,
                   const meta::FileMeta& meta) const;
 
@@ -58,6 +90,8 @@ class ReplicationScheme {
  private:
   std::string container_;
   ReplicaWriteMode mode_;
+  HedgePolicy hedge_;
+  gcs::AckPolicy write_ack_ = gcs::AckPolicy::kAll;
 };
 
 }  // namespace hyrd::dist

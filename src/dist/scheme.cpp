@@ -34,4 +34,48 @@ std::vector<std::size_t> order_by_expected_read_latency(
   return out;
 }
 
+RemoveResult remove_fragments(gcs::MultiCloudSession& session,
+                              const std::string& container,
+                              const meta::FileMeta& meta,
+                              gcs::AckPolicy ack) {
+  RemoveResult result;
+  gcs::AsyncBatch batch(session);
+  std::vector<const std::string*> providers;  // op_index -> provider name
+  for (const auto& loc : meta.locations) {
+    const std::size_t idx = session.index_of(loc.provider);
+    if (idx == static_cast<std::size_t>(-1)) {
+      result.unreachable_providers.push_back(loc.provider);
+      continue;
+    }
+    batch.submit(gcs::CloudOp::remove(idx, {container, loc.object_name}));
+    providers.push_back(&loc.provider);
+  }
+
+  gcs::BatchStats stats;
+  if (ack == gcs::AckPolicy::kAll) {
+    auto completions = batch.await_all(&stats);
+    for (const auto& c : completions) {
+      if (!c.ok() &&
+          c.result.status.code() == common::StatusCode::kUnavailable) {
+        result.unreachable_providers.push_back(*providers[c.op_index]);
+      }
+    }
+  } else {
+    const std::size_t need =
+        ack == gcs::AckPolicy::kFirstSuccess ? 1 : providers.size() / 2 + 1;
+    auto completions = batch.await_first(need, &stats);
+    for (const auto& c : completions) {
+      // Anything short of a confirmed remove must be replayed on resync.
+      // kNotFound means the fragment is already gone — nothing to replay.
+      if (!c.ok() &&
+          c.result.status.code() != common::StatusCode::kNotFound) {
+        result.unreachable_providers.push_back(*providers[c.op_index]);
+      }
+    }
+  }
+  result.latency = stats.latency;
+  result.status = common::Status::ok();
+  return result;
+}
+
 }  // namespace hyrd::dist

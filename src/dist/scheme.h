@@ -13,6 +13,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "gcsapi/async_batch.h"
 #include "gcsapi/session.h"
 #include "metadata/file_meta.h"
 
@@ -31,6 +32,12 @@ struct ReadResult {
   common::SimDuration latency = 0;
   common::Bytes data;
   bool degraded = false;  // true if reconstruction / failover was needed
+
+  // Early-completion accounting (first-k / hedged paths; zero otherwise):
+  // virtual time saved versus waiting for the slowest request, and how
+  // many stragglers were torn down instead of awaited.
+  common::SimDuration saved = 0;
+  std::size_t cancelled_stragglers = 0;
 };
 
 /// Result of a remove; lists providers that could not be reached so the
@@ -51,5 +58,24 @@ std::string fragment_object_name(const std::string& path, char suffix,
 std::vector<std::size_t> order_by_expected_read_latency(
     const gcs::MultiCloudSession& session,
     const std::vector<std::size_t>& clients, std::uint64_t size);
+
+/// Shared remove core for both schemes: issues one remove per fragment
+/// location concurrently through the async engine.
+///
+///   kAll          wait for every remove; latency = max; only kUnavailable
+///                 failures are reported unreachable (the legacy contract).
+///   kFirstSuccess ack at the first confirmed remove, cancel the rest.
+///   kQuorum       ack at the majority of reachable targets.
+///
+/// Under early ack, *every* location whose remove did not confirm success —
+/// failed, cancelled mid-flight, or never dispatched — is reported in
+/// unreachable_providers so the caller's UpdateLog replays it after the
+/// outage (removes are idempotent; a kNotFound on resync is fine). Without
+/// this, a fragment whose remove was torn down after the ack would survive
+/// as an orphan forever.
+RemoveResult remove_fragments(gcs::MultiCloudSession& session,
+                              const std::string& container,
+                              const meta::FileMeta& meta,
+                              gcs::AckPolicy ack = gcs::AckPolicy::kAll);
 
 }  // namespace hyrd::dist

@@ -54,7 +54,9 @@ common::Result<common::Bytes> Striper::decode(const StripeSet& set) const {
     object.insert(object.end(), set.shards[i].begin(),
                   set.shards[i].begin() + static_cast<std::ptrdiff_t>(take));
   }
-  if (common::crc32c(object) != set.object_crc) {
+  // 0 is the "digest unknown" sentinel (e.g. after an in-place RMW update,
+  // which invalidates the whole-object CRC without recomputing it).
+  if (set.object_crc != 0 && common::crc32c(object) != set.object_crc) {
     return common::data_loss("object CRC mismatch after reassembly");
   }
   return object;

@@ -1,0 +1,194 @@
+// AsyncBatch: the completion-ordered async engine under the GCS-API layer.
+//
+// The legacy `parallel_*` primitives are blocking fan-outs whose virtual
+// latency is the max over every member — correct for "wait for all", but a
+// redundancy scheme rarely needs all: RS(k,m) reads need the fastest k
+// shards, a replicated read needs one good replica, and an early-ack write
+// needs the first (or quorum-th) durable copy. AsyncBatch submits each op to
+// the session pool individually and lets the caller aggregate by *order
+// statistic* instead of max:
+//
+//   arrival(op) = op.start_offset + result.latency      (virtual time)
+//
+//   await_all    latency = max arrival over non-cancelled ops (legacy
+//                semantics; the `parallel_*` adapters are built on this)
+//   await_first  completes once `need` usable ops landed, cancels the
+//                stragglers, latency = need-th smallest usable arrival
+//   await_ack    write-side: every op still runs to real completion
+//                (durability + failure logging preserved); only the *ack*
+//                latency is the order statistic chosen by AckPolicy
+//
+// `start_offset` is the op's virtual submit time relative to the batch
+// epoch. Late submissions model sequential failover and phase-2 repair
+// rounds: submitting a retry at offset = (failed op's arrival) makes
+// max-over-arrivals reproduce the legacy sum-of-latencies chain exactly.
+//
+// Cancellation is cooperative (see cloud/cancel.h): each op owns a flag the
+// pool task installs as a CancelScope; SimProvider aborts at its next check
+// and the op resolves with StatusCode::kCancelled, zero latency, and no
+// billing. Ops cancelled before dispatch never reach the provider at all.
+// The destructor cancels and then joins every outstanding task, so a batch
+// never leaks pool work or lets a task outlive the buffers its ops span.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "cloud/object_store.h"
+#include "common/bytes.h"
+#include "common/clock.h"
+
+#include <atomic>
+#include <condition_variable>
+
+namespace hyrd::gcs {
+
+class MultiCloudSession;
+
+/// When a multi-target write reports completion to its caller.
+enum class AckPolicy {
+  kAll,           // ack at the slowest target (legacy max; default)
+  kFirstSuccess,  // ack at the first durable copy; rest land in background
+  kQuorum,        // ack at the quorum-th durable copy (DepSky-style)
+};
+
+/// One operation in a batch. Build with the static factories.
+struct CloudOp {
+  enum class Kind { kPut, kGet, kGetRange, kPutRange, kRemove };
+
+  Kind kind = Kind::kGet;
+  std::size_t client_index = 0;
+  cloud::ObjectKey key;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  common::ByteSpan data{};  // must outlive the batch (puts only)
+  common::SimDuration start_offset = 0;
+
+  static CloudOp put(std::size_t client, cloud::ObjectKey key,
+                     common::ByteSpan data, common::SimDuration start = 0) {
+    return {Kind::kPut, client, std::move(key), 0, 0, data, start};
+  }
+  static CloudOp get(std::size_t client, cloud::ObjectKey key,
+                     common::SimDuration start = 0) {
+    return {Kind::kGet, client, std::move(key), 0, 0, {}, start};
+  }
+  static CloudOp get_range(std::size_t client, cloud::ObjectKey key,
+                           std::uint64_t offset, std::uint64_t length,
+                           common::SimDuration start = 0) {
+    return {Kind::kGetRange, client, std::move(key), offset, length, {}, start};
+  }
+  static CloudOp put_range(std::size_t client, cloud::ObjectKey key,
+                           std::uint64_t offset, common::ByteSpan data,
+                           common::SimDuration start = 0) {
+    return {Kind::kPutRange, client, std::move(key), offset, 0, data, start};
+  }
+  static CloudOp remove(std::size_t client, cloud::ObjectKey key,
+                        common::SimDuration start = 0) {
+    return {Kind::kRemove, client, std::move(key), 0, 0, {}, start};
+  }
+};
+
+/// A resolved op. `result` is the full GetResult; for non-GET kinds the
+/// data member is empty and callers slice the OpResult base.
+struct CloudCompletion {
+  std::size_t op_index = 0;
+  cloud::GetResult result;
+  common::SimDuration arrival = 0;  // start_offset + result.latency
+  bool cancelled = false;           // torn down (pre- or mid-dispatch)
+
+  [[nodiscard]] bool ok() const { return !cancelled && result.status.is_ok(); }
+};
+
+/// Aggregate accounting for one await_* call.
+struct BatchStats {
+  common::SimDuration latency = 0;      // what the caller is charged
+  common::SimDuration max_latency = 0;  // what await_all would have charged
+  std::size_t completed = 0;            // ops that resolved (incl. failures)
+  std::size_t succeeded = 0;
+  std::size_t cancelled = 0;
+
+  /// Virtual time early completion shaved off versus waiting for the tail.
+  /// Lower bound: cancelled stragglers never report an arrival at all.
+  [[nodiscard]] common::SimDuration saved() const {
+    return max_latency > latency ? max_latency - latency : 0;
+  }
+};
+
+class AsyncBatch {
+ public:
+  explicit AsyncBatch(MultiCloudSession& session) : session_(session) {}
+  ~AsyncBatch();  // cancels stragglers and joins every task
+
+  AsyncBatch(const AsyncBatch&) = delete;
+  AsyncBatch& operator=(const AsyncBatch&) = delete;
+
+  /// Schedules `op` on the session pool; returns its op_index. Late
+  /// submission (after earlier ops resolved, or after cancel_remaining)
+  /// is allowed — new ops are not affected by prior cancellations.
+  std::size_t submit(CloudOp op);
+
+  [[nodiscard]] std::size_t submitted() const;
+  [[nodiscard]] std::size_t pending() const;  // submitted - resolved
+
+  /// Next not-yet-delivered completion in real resolution order; blocks
+  /// until one resolves. nullopt when every submitted op was delivered.
+  std::optional<CloudCompletion> next();
+
+  /// As next(), but gives up after `timeout_ms` of real (wall-clock) time
+  /// — the scheme layer's "is this request *really* stalled?" probe.
+  std::optional<CloudCompletion> next_for(int timeout_ms);
+
+  /// Flags every unresolved op cancelled. Undispatched ops resolve
+  /// immediately; in-flight ops resolve at the provider's next check.
+  void cancel_remaining();
+
+  using UsableFn = std::function<bool(const CloudCompletion&)>;
+
+  /// Waits for all ops. Latency = max arrival over non-cancelled ops
+  /// (failures included — identical to the legacy parallel_* contract).
+  /// Returns completions indexed by op_index.
+  std::vector<CloudCompletion> await_all(BatchStats* stats = nullptr);
+
+  /// Waits until `need` completions satisfying `usable` (default: ok())
+  /// have resolved — or everything resolved — then cancels and drains the
+  /// stragglers. Latency = need-th smallest usable arrival; falls back to
+  /// await_all's max when fewer than `need` usable ops exist.
+  std::vector<CloudCompletion> await_first(std::size_t need,
+                                           BatchStats* stats = nullptr,
+                                           UsableFn usable = {});
+
+  /// Write-side aggregation: every op runs to real completion (durability
+  /// and failure logging are never sacrificed); only the *ack* latency is
+  /// the policy's order statistic over successful arrivals. kQuorum uses
+  /// `quorum` as the rank; kAll is await_all.
+  std::vector<CloudCompletion> await_ack(AckPolicy policy,
+                                         BatchStats* stats = nullptr,
+                                         std::size_t quorum = 0);
+
+ private:
+  struct OpRec {
+    CloudOp op;
+    std::atomic<bool> cancel{false};
+    bool resolved = false;
+    bool delivered = false;
+    CloudCompletion completion;
+  };
+
+  void run_op(std::size_t index);
+  void wait_all_resolved(std::unique_lock<std::mutex>& lock);
+  std::vector<CloudCompletion> snapshot_locked();
+  void fill_stats_locked(BatchStats* stats, common::SimDuration latency) const;
+
+  MultiCloudSession& session_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<OpRec> ops_;  // deque: stable addresses across submit()
+  std::deque<std::size_t> ready_;  // resolved, not yet delivered via next()
+  std::size_t resolved_count_ = 0;
+};
+
+}  // namespace hyrd::gcs

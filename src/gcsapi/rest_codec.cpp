@@ -226,6 +226,7 @@ int status_to_http(const common::Status& status) {
     case common::StatusCode::kDataLoss: return 500;
     case common::StatusCode::kFailedPrecondition: return 412;
     case common::StatusCode::kInternal: return 500;
+    case common::StatusCode::kCancelled: return 499;  // client closed request
   }
   return 500;
 }
@@ -238,6 +239,7 @@ common::Status http_to_status(int code, const std::string& message) {
     case 400: return common::invalid_argument(message);
     case 409: return common::already_exists(message);
     case 412: return common::failed_precondition(message);
+    case 499: return common::cancelled(message);
     default: return common::internal_error(message);
   }
 }

@@ -1,9 +1,11 @@
 // MultiCloudSession: the fan-out half of the GCS-API middleware.
 //
-// Owns one CloudClient per provider and a thread pool; exposes the
-// parallel primitives the redundancy schemes are built on. Virtual-time
-// semantics: a parallel batch completes when its slowest member does
-// (latency = max), a sequential chain sums.
+// Owns one CloudClient per provider and a thread pool. The parallel_*
+// primitives below are thin adapters over the completion-ordered engine
+// (gcsapi/async_batch.h) with the original wait-for-all contract: a batch
+// completes when its slowest member does (latency = max), a sequential
+// chain sums. Schemes that want first-k / hedged / early-ack aggregation
+// build an AsyncBatch directly.
 #pragma once
 
 #include <functional>

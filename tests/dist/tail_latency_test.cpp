@@ -1,0 +1,233 @@
+// Tail-latency behaviour of the completion-ordered engine at the scheme
+// layer: first-k erasure reads under a provider brownout, hedged replica
+// reads against browned-out and really-wedged primaries, and the
+// accounting invariants of cancelled stragglers. (Satellite of the
+// async-engine PR; the engine-level order-statistic contracts live in
+// tests/gcsapi/async_batch_test.cpp.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "cloud/cancel.h"
+#include "cloud/profiles.h"
+#include "dist/erasure_scheme.h"
+#include "dist/replication.h"
+
+namespace hyrd::dist {
+namespace {
+
+/// Two independent fleets from the same seed: every provider draws the
+/// same latency stream, so a strategy knob is the only difference between
+/// the "baseline" and "aggressive" observations.
+struct TwinFleets {
+  cloud::CloudRegistry reg_a;
+  cloud::CloudRegistry reg_b;
+  std::unique_ptr<gcs::MultiCloudSession> sess_a;
+  std::unique_ptr<gcs::MultiCloudSession> sess_b;
+
+  explicit TwinFleets(std::uint64_t seed) {
+    cloud::install_standard_four(reg_a, seed);
+    cloud::install_standard_four(reg_b, seed);
+    sess_a = std::make_unique<gcs::MultiCloudSession>(reg_a);
+    sess_b = std::make_unique<gcs::MultiCloudSession>(reg_b);
+    sess_a->ensure_container_everywhere("data");
+    sess_b->ensure_container_everywhere("data");
+  }
+};
+
+TEST(TailLatency, FastestKErasureReadCutsBrownoutTail) {
+  // One provider holding a preferred data fragment browns out (reachable,
+  // 25x slower). The legacy kPreferredK read waits for it; kFastestK
+  // completes at the 3rd fastest of all four fragments and strictly beats
+  // the max aggregation, returning byte-identical data.
+  TwinFleets twins(501);
+  const auto data = common::patterned(256 * 1024, 9);
+  ErasureScheme preferred("data", {.k = 3, .m = 1});
+  ErasureScheme fastest("data", {.k = 3, .m = 1});
+  fastest.set_read_strategy(ErasureReadStrategy::kFastestK);
+
+  auto wa = preferred.write(*twins.sess_a, "/f", data, {0, 1, 2, 3});
+  auto wb = fastest.write(*twins.sess_b, "/f", data, {0, 1, 2, 3});
+  ASSERT_TRUE(wa.status.is_ok());
+  ASSERT_TRUE(wb.status.is_ok());
+
+  // Slot 0 is a data fragment both strategies want.
+  const std::string victim = twins.sess_a->client(0).provider_name();
+  twins.reg_a.find(victim)->set_latency_scale(25.0);
+  twins.reg_b.find(victim)->set_latency_scale(25.0);
+
+  auto ra = preferred.read(*twins.sess_a, wa.meta);
+  auto rb = fastest.read(*twins.sess_b, wb.meta);
+  ASSERT_TRUE(ra.status.is_ok());
+  ASSERT_TRUE(rb.status.is_ok());
+  EXPECT_EQ(ra.data, data);
+  EXPECT_EQ(rb.data, data);
+
+  // The brownout is a tail event, not an outage: nobody is degraded, but
+  // only the first-k read dodges the slow fragment.
+  EXPECT_FALSE(ra.degraded);
+  EXPECT_FALSE(rb.degraded);
+  EXPECT_LT(rb.latency, ra.latency);
+  EXPECT_GT(rb.saved, 0);
+}
+
+TEST(TailLatency, FastestKMatchesPreferredKOnHealthyFleet) {
+  // Without a tail event the two strategies must agree on bytes, and
+  // first-k may only ever shave latency, never add it.
+  TwinFleets twins(503);
+  const auto data = common::patterned(96 * 1024, 4);
+  ErasureScheme preferred("data", {.k = 3, .m = 1});
+  ErasureScheme fastest("data", {.k = 3, .m = 1});
+  fastest.set_read_strategy(ErasureReadStrategy::kFastestK);
+
+  auto wa = preferred.write(*twins.sess_a, "/f", data, {0, 1, 2, 3});
+  auto wb = fastest.write(*twins.sess_b, "/f", data, {0, 1, 2, 3});
+  ASSERT_TRUE(wa.status.is_ok());
+  ASSERT_TRUE(wb.status.is_ok());
+
+  auto ra = preferred.read(*twins.sess_a, wa.meta);
+  auto rb = fastest.read(*twins.sess_b, wb.meta);
+  ASSERT_TRUE(ra.status.is_ok());
+  ASSERT_TRUE(rb.status.is_ok());
+  EXPECT_EQ(ra.data, data);
+  EXPECT_EQ(rb.data, data);
+  EXPECT_LE(rb.latency, ra.latency);
+}
+
+class HedgedReadTest : public ::testing::Test {
+ protected:
+  /// Replica pair with a deterministic primary: whichever of the two has
+  /// the lower advertised GET latency is the one the read tries first.
+  static constexpr std::uint64_t kSize = 64 * 1024;
+
+  std::size_t primary_of(gcs::MultiCloudSession& session,
+                         std::size_t a, std::size_t b) {
+    const auto expected = [&](std::size_t i) {
+      return session.client(i).provider()->latency_model().expected(
+          cloud::OpKind::kGet, kSize);
+    };
+    return expected(a) <= expected(b) ? a : b;
+  }
+};
+
+TEST_F(HedgedReadTest, HedgeBeatsBrownedOutPrimary) {
+  // The primary browns out (25x slower but still answering). With hedging
+  // off the read pays the full browned-out response; with the default
+  // policy a backup read fires at 3x the primary's expected latency and
+  // wins. Same seed on both fleets: the brownout is the only variable.
+  TwinFleets twins(521);
+  const auto data = common::patterned(kSize, 11);
+  ReplicationScheme unhedged("data");
+  ReplicationScheme hedged("data");
+  unhedged.set_hedge({.enabled = false});
+
+  auto wa = unhedged.write(*twins.sess_a, "/f", data, {0, 1});
+  auto wb = hedged.write(*twins.sess_b, "/f", data, {0, 1});
+  ASSERT_TRUE(wa.status.is_ok());
+  ASSERT_TRUE(wb.status.is_ok());
+
+  const std::size_t primary = primary_of(*twins.sess_a, 0, 1);
+  const std::string victim = twins.sess_a->client(primary).provider_name();
+  twins.reg_a.find(victim)->set_latency_scale(25.0);
+  twins.reg_b.find(victim)->set_latency_scale(25.0);
+
+  auto ra = unhedged.read(*twins.sess_a, wa.meta);
+  auto rb = hedged.read(*twins.sess_b, wb.meta);
+  ASSERT_TRUE(ra.status.is_ok());
+  ASSERT_TRUE(rb.status.is_ok());
+  EXPECT_EQ(ra.data, data);
+  EXPECT_EQ(rb.data, data);
+  EXPECT_LT(rb.latency, ra.latency);
+  EXPECT_GT(rb.saved, 0);
+  // A hedge win is a performance event, not an availability event.
+  EXPECT_FALSE(rb.degraded);
+}
+
+TEST_F(HedgedReadTest, HedgeFiresOnRealWedgeAndCancelsPrimary) {
+  // The primary accepts the request and then never answers — invisible to
+  // virtual accounting. The real-clock stall probe fires the hedge, the
+  // backup serves the read, and the wedged request is torn down without
+  // perturbing the primary's served-op counters or billing.
+  cloud::CloudRegistry reg;
+  cloud::install_standard_four(reg, 541);
+  gcs::MultiCloudSession session(reg);
+  session.ensure_container_everywhere("data");
+
+  ReplicationScheme scheme("data");
+  scheme.set_hedge({.enabled = true, .delay_factor = 3.0,
+                    .real_stall_timeout_ms = 25});
+  const auto data = common::patterned(kSize, 13);
+  auto w = scheme.write(session, "/f", data, {0, 1});
+  ASSERT_TRUE(w.status.is_ok());
+
+  const std::size_t primary = primary_of(session, 0, 1);
+  auto* wedged = session.client(primary).provider();
+  wedged->reset_counters();
+  const double billed_before = wedged->billing().open_month_transfer_cost();
+  wedged->set_op_hook([](cloud::OpKind, const cloud::ObjectKey&) {
+    while (!cloud::CancelScope::cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  auto r = scheme.read(session, w.meta);
+  wedged->set_op_hook(nullptr);
+
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+  EXPECT_GT(r.latency, 0);
+  EXPECT_EQ(r.cancelled_stragglers, 1u);
+  // A wedge-and-hedge is not a failover: the primary never *failed*.
+  EXPECT_FALSE(r.degraded);
+
+  const auto counters = wedged->counters();
+  EXPECT_EQ(counters.cancelled, 1u);
+  EXPECT_EQ(counters.gets, 0u);
+  EXPECT_EQ(counters.bytes_read, 0u);
+  EXPECT_EQ(wedged->billing().open_month_transfer_cost(), billed_before);
+}
+
+TEST_F(HedgedReadTest, RepeatedWedgesLeaveCleanState) {
+  // Stragglers must not accumulate anywhere: every read tears its own
+  // wedged request down, so N hedged reads leave exactly N cancellations
+  // and the session pool fully drained (this test also runs under
+  // HYRD_SANITIZE=thread in CI, where a leaked task or a data race on the
+  // stats would be fatal).
+  cloud::CloudRegistry reg;
+  cloud::install_standard_four(reg, 547);
+  gcs::MultiCloudSession session(reg);
+  session.ensure_container_everywhere("data");
+
+  ReplicationScheme scheme("data");
+  scheme.set_hedge({.enabled = true, .delay_factor = 3.0,
+                    .real_stall_timeout_ms = 10});
+  const auto data = common::patterned(8 * 1024, 17);
+  auto w = scheme.write(session, "/f", data, {0, 1});
+  ASSERT_TRUE(w.status.is_ok());
+
+  const std::size_t primary = primary_of(session, 0, 1);
+  auto* wedged = session.client(primary).provider();
+  wedged->reset_counters();
+  wedged->set_op_hook([](cloud::OpKind, const cloud::ObjectKey&) {
+    while (!cloud::CancelScope::cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr int kReads = 3;
+  for (int i = 0; i < kReads; ++i) {
+    auto r = scheme.read(session, w.meta);
+    ASSERT_TRUE(r.status.is_ok());
+    EXPECT_EQ(r.data, data);
+    EXPECT_EQ(r.cancelled_stragglers, 1u);
+  }
+  wedged->set_op_hook(nullptr);
+  EXPECT_EQ(wedged->counters().cancelled, static_cast<std::uint64_t>(kReads));
+  EXPECT_EQ(wedged->counters().gets, 0u);
+}
+
+}  // namespace
+}  // namespace hyrd::dist
