@@ -205,9 +205,9 @@ void BM_StriperDegradedDecode(benchmark::State& state) {
   const auto set = striper.encode(object);
   for (auto _ : state) {
     std::vector<std::optional<common::Bytes>> shards(4);
-    shards[1] = set.shards[1];
-    shards[2] = set.shards[2];
-    shards[3] = set.shards[3];  // data shard 0 missing, use parity
+    shards[1] = set.shards[1].to_bytes();
+    shards[2] = set.shards[2].to_bytes();
+    shards[3] = set.shards[3].to_bytes();  // data shard 0 missing, use parity
     auto decoded = striper.decode_degraded(set.geometry, set.object_size,
                                            set.object_crc, std::move(shards));
     benchmark::DoNotOptimize(decoded);

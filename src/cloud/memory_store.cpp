@@ -1,10 +1,15 @@
 #include "cloud/memory_store.h"
 
+#include <cstring>
+
+#include "common/copy_meter.h"
+
 namespace hyrd::cloud {
 
 common::Status MemoryStore::create(const std::string& container) {
-  std::lock_guard lock(mu_);
-  auto [it, inserted] = containers_.try_emplace(container);
+  Shard& shard = shard_for(container);
+  std::lock_guard lock(shard.mu);
+  auto [it, inserted] = shard.containers.try_emplace(container);
   (void)it;
   if (!inserted) {
     return common::already_exists("container exists: " + container);
@@ -14,95 +19,108 @@ common::Status MemoryStore::create(const std::string& container) {
 
 common::Status MemoryStore::put(const std::string& container,
                                 const std::string& name,
-                                common::ByteSpan data) {
-  std::lock_guard lock(mu_);
-  auto it = containers_.find(container);
-  if (it == containers_.end()) {
+                                common::Buffer data) {
+  // own() outside the lock: a no-op refbump for owning buffers, a deep
+  // copy (the only one this path can make) for borrowed spans.
+  common::Buffer owned = std::move(data).own();
+  Shard& shard = shard_for(container);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.containers.find(container);
+  if (it == shard.containers.end()) {
     return common::not_found("no such container: " + container);
   }
   auto& obj = it->second[name];
-  stored_bytes_ -= obj.size();
-  obj.assign(data.begin(), data.end());
-  stored_bytes_ += obj.size();
+  stored_bytes_.fetch_sub(obj.size(), std::memory_order_relaxed);
+  obj = std::move(owned);
+  stored_bytes_.fetch_add(obj.size(), std::memory_order_relaxed);
   return common::Status::ok();
 }
 
-common::Result<common::Bytes> MemoryStore::get(const std::string& container,
-                                               const std::string& name) const {
-  std::lock_guard lock(mu_);
-  auto it = containers_.find(container);
-  if (it == containers_.end()) {
+common::Result<common::Buffer> MemoryStore::get(const std::string& container,
+                                                const std::string& name) const {
+  const Shard& shard = shard_for(container);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.containers.find(container);
+  if (it == shard.containers.end()) {
     return common::not_found("no such container: " + container);
   }
   auto obj = it->second.find(name);
   if (obj == it->second.end()) {
     return common::not_found("no such object: " + container + "/" + name);
   }
-  return obj->second;
+  return obj->second;  // refbump, no byte moves
 }
 
-common::Result<common::Bytes> MemoryStore::get_range(
+common::Result<common::Buffer> MemoryStore::get_range(
     const std::string& container, const std::string& name,
     std::uint64_t offset, std::uint64_t length) const {
-  std::lock_guard lock(mu_);
-  auto it = containers_.find(container);
-  if (it == containers_.end()) {
+  const Shard& shard = shard_for(container);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.containers.find(container);
+  if (it == shard.containers.end()) {
     return common::not_found("no such container: " + container);
   }
   auto obj = it->second.find(name);
   if (obj == it->second.end()) {
     return common::not_found("no such object: " + container + "/" + name);
   }
-  if (offset + length > obj->second.size()) {
+  if (!common::range_within(offset, length, obj->second.size())) {
     return common::invalid_argument("range beyond object end");
   }
-  return common::Bytes(
-      obj->second.begin() + static_cast<std::ptrdiff_t>(offset),
-      obj->second.begin() + static_cast<std::ptrdiff_t>(offset + length));
+  return obj->second.slice(static_cast<std::size_t>(offset),
+                           static_cast<std::size_t>(length));
 }
 
 common::Status MemoryStore::put_range(const std::string& container,
                                       const std::string& name,
                                       std::uint64_t offset,
                                       common::ByteSpan data) {
-  std::lock_guard lock(mu_);
-  auto it = containers_.find(container);
-  if (it == containers_.end()) {
+  Shard& shard = shard_for(container);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.containers.find(container);
+  if (it == shard.containers.end()) {
     return common::not_found("no such container: " + container);
   }
   auto obj = it->second.find(name);
   if (obj == it->second.end()) {
     return common::not_found("no such object: " + container + "/" + name);
   }
-  if (offset + data.size() > obj->second.size()) {
+  if (!common::range_within(offset, data.size(), obj->second.size())) {
     return common::invalid_argument("range write beyond object end");
   }
-  std::copy(data.begin(), data.end(),
-            obj->second.begin() + static_cast<std::ptrdiff_t>(offset));
+  // Copy-on-write: into_bytes() steals the block in O(1) when this store
+  // holds the only reference; otherwise it forks a private copy and live
+  // readers (or arena-sibling fragments) keep their snapshot.
+  common::Bytes block = std::move(obj->second).into_bytes();
+  common::count_copied_bytes(data.size());
+  std::memcpy(block.data() + offset, data.data(), data.size());
+  obj->second = common::Buffer::from(std::move(block));
   return common::Status::ok();
 }
 
 common::Status MemoryStore::remove(const std::string& container,
                                    const std::string& name) {
-  std::lock_guard lock(mu_);
-  auto it = containers_.find(container);
-  if (it == containers_.end()) {
+  Shard& shard = shard_for(container);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.containers.find(container);
+  if (it == shard.containers.end()) {
     return common::not_found("no such container: " + container);
   }
   auto obj = it->second.find(name);
   if (obj == it->second.end()) {
     return common::not_found("no such object: " + container + "/" + name);
   }
-  stored_bytes_ -= obj->second.size();
+  stored_bytes_.fetch_sub(obj->second.size(), std::memory_order_relaxed);
   it->second.erase(obj);
   return common::Status::ok();
 }
 
 common::Result<std::vector<std::string>> MemoryStore::list(
     const std::string& container) const {
-  std::lock_guard lock(mu_);
-  auto it = containers_.find(container);
-  if (it == containers_.end()) {
+  const Shard& shard = shard_for(container);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.containers.find(container);
+  if (it == shard.containers.end()) {
     return common::not_found("no such container: " + container);
   }
   std::vector<std::string> names;
@@ -112,36 +130,44 @@ common::Result<std::vector<std::string>> MemoryStore::list(
 }
 
 bool MemoryStore::container_exists(const std::string& container) const {
-  std::lock_guard lock(mu_);
-  return containers_.contains(container);
-}
-
-std::uint64_t MemoryStore::stored_bytes() const {
-  std::lock_guard lock(mu_);
-  return stored_bytes_;
+  const Shard& shard = shard_for(container);
+  std::lock_guard lock(shard.mu);
+  return shard.containers.contains(container);
 }
 
 std::uint64_t MemoryStore::object_count() const {
-  std::lock_guard lock(mu_);
   std::uint64_t n = 0;
-  for (const auto& [c, objs] : containers_) n += objs.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& [c, objs] : shard.containers) n += objs.size();
+  }
   return n;
 }
 
 std::optional<std::uint64_t> MemoryStore::object_size(
     const std::string& container, const std::string& name) const {
-  std::lock_guard lock(mu_);
-  auto it = containers_.find(container);
-  if (it == containers_.end()) return std::nullopt;
+  const Shard& shard = shard_for(container);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.containers.find(container);
+  if (it == shard.containers.end()) return std::nullopt;
   auto obj = it->second.find(name);
   if (obj == it->second.end()) return std::nullopt;
   return obj->second.size();
 }
 
 void MemoryStore::wipe() {
-  std::lock_guard lock(mu_);
-  containers_.clear();
-  stored_bytes_ = 0;
+  // Shard by shard: wipe is not atomic with respect to concurrent writers
+  // (neither was the single-lock version from any caller's perspective —
+  // a racing put can always land "after" the wipe).
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& [c, objs] : shard.containers) {
+      for (const auto& [name, data] : objs) {
+        stored_bytes_.fetch_sub(data.size(), std::memory_order_relaxed);
+      }
+    }
+    shard.containers.clear();
+  }
 }
 
 }  // namespace hyrd::cloud

@@ -7,8 +7,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/status.h"
@@ -60,7 +62,9 @@ struct OpResult {
 };
 
 struct GetResult : OpResult {
-  common::Bytes data;
+  /// A ref-counted slice of the stored block — reads are refcount bumps,
+  /// not copies (see common/buffer.h and DESIGN.md §9).
+  common::Buffer data;
 };
 
 struct ListResult : OpResult {
@@ -69,12 +73,18 @@ struct ListResult : OpResult {
 
 /// Abstract object store; implemented by SimProvider (and by the in-memory
 /// backing store it wraps).
+///
+/// Writes take a `Buffer`: an owning buffer is kept by refbump (zero-copy);
+/// a borrow()ed one is deep-copied by the store before it returns. The
+/// ByteSpan overloads are thin adapters for legacy call sites — derived
+/// classes that override the virtuals should `using ObjectStore::put;`
+/// (and put_range) so the adapters stay visible.
 class ObjectStore {
  public:
   virtual ~ObjectStore() = default;
 
   virtual OpResult create(const std::string& container) = 0;
-  virtual OpResult put(const ObjectKey& key, common::ByteSpan data) = 0;
+  virtual OpResult put(const ObjectKey& key, common::Buffer data) = 0;
   virtual GetResult get(const ObjectKey& key) = 0;
   virtual OpResult remove(const ObjectKey& key) = 0;
   virtual ListResult list(const std::string& container) = 0;
@@ -86,7 +96,16 @@ class ObjectStore {
   virtual GetResult get_range(const ObjectKey& key, std::uint64_t offset,
                               std::uint64_t length) = 0;
   virtual OpResult put_range(const ObjectKey& key, std::uint64_t offset,
-                             common::ByteSpan data) = 0;
+                             common::Buffer data) = 0;
+
+  // Legacy span entry points (no copy here; the sink owns what it keeps).
+  OpResult put(const ObjectKey& key, common::ByteSpan data) {
+    return put(key, common::Buffer::borrow(data));
+  }
+  OpResult put_range(const ObjectKey& key, std::uint64_t offset,
+                     common::ByteSpan data) {
+    return put_range(key, offset, common::Buffer::borrow(data));
+  }
 };
 
 }  // namespace hyrd::cloud

@@ -67,16 +67,17 @@ OpResult SimProvider::create(const std::string& container) {
   return r;
 }
 
-OpResult SimProvider::put(const ObjectKey& key, common::ByteSpan data) {
+OpResult SimProvider::put(const ObjectKey& key, common::Buffer data) {
   if (!online()) return unavailable_result();
   if (CancelScope::cancelled()) return cancelled_result();
   run_op_hook(OpKind::kPut, key);
   if (CancelScope::cancelled()) return cancelled_result();
   OpResult r;
-  r.status = store_.put(key.container, key.name, data);
+  const std::uint64_t size = data.size();
+  r.status = store_.put(key.container, key.name, std::move(data));
   if (r.status.is_ok()) {
-    r.bytes_transferred = data.size();
-    r.latency = charge(OpKind::kPut, data.size());
+    r.bytes_transferred = size;
+    r.latency = charge(OpKind::kPut, size);
   } else {
     r.latency = charge(OpKind::kPut, 0);
   }
@@ -169,7 +170,7 @@ GetResult SimProvider::get_range(const ObjectKey& key, std::uint64_t offset,
 }
 
 OpResult SimProvider::put_range(const ObjectKey& key, std::uint64_t offset,
-                                common::ByteSpan data) {
+                                common::Buffer data) {
   if (!online()) return unavailable_result();
   if (CancelScope::cancelled()) return cancelled_result();
   run_op_hook(OpKind::kPut, key);

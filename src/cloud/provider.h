@@ -58,14 +58,16 @@ class SimProvider final : public ObjectStore {
 
   // --- The five GCS-API functions (paper §III-D) ---
   OpResult create(const std::string& container) override;
-  OpResult put(const ObjectKey& key, common::ByteSpan data) override;
+  OpResult put(const ObjectKey& key, common::Buffer data) override;
   GetResult get(const ObjectKey& key) override;
   OpResult remove(const ObjectKey& key) override;
   ListResult list(const std::string& container) override;
   GetResult get_range(const ObjectKey& key, std::uint64_t offset,
                       std::uint64_t length) override;
   OpResult put_range(const ObjectKey& key, std::uint64_t offset,
-                     common::ByteSpan data) override;
+                     common::Buffer data) override;
+  using ObjectStore::put;        // keep the ByteSpan adapters visible
+  using ObjectStore::put_range;
 
   // --- Availability control (outage emulation) ---
   void set_online(bool online) { online_.store(online); }

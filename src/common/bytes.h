@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/copy_meter.h"
+
 namespace hyrd::common {
 
 using Bytes = std::vector<std::uint8_t>;
@@ -60,6 +62,7 @@ inline std::string to_hex(ByteSpan b, std::size_t max_bytes = 32) {
 inline Bytes concat(std::span<const Bytes> parts) {
   std::size_t total = 0;
   for (const auto& p : parts) total += p.size();
+  count_copied_bytes(total);
   Bytes out;
   out.reserve(total);
   for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());

@@ -1,0 +1,39 @@
+// Process-wide accounting of physical payload copies.
+//
+// The zero-copy data plane (common/buffer.h) is only honest if we can
+// measure it: every site that physically memcpys payload bytes — deep
+// Buffer copies, copy-on-write forks, stripe tail padding, degraded-read
+// gathers — reports the byte count here. Benches diff the counter around a
+// workload to report "bytes memcpy'd per op" (see bench_client_micro's
+// --json databus mode and EXPERIMENTS.md E2).
+//
+// The counter is a relaxed atomic: it is a statistic, not a
+// synchronization point, and the hot path must not pay for ordering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hyrd::common {
+
+namespace internal {
+inline std::atomic<std::uint64_t> g_bytes_copied{0};
+}  // namespace internal
+
+/// Records `n` physically copied payload bytes.
+inline void count_copied_bytes(std::uint64_t n) {
+  internal::g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Total payload bytes physically copied since process start (or the last
+/// reset). Monotone except for reset_copied_bytes().
+inline std::uint64_t copied_bytes() {
+  return internal::g_bytes_copied.load(std::memory_order_relaxed);
+}
+
+/// Zeroes the counter (benches only; races with in-flight ops are benign).
+inline void reset_copied_bytes() {
+  internal::g_bytes_copied.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hyrd::common

@@ -24,7 +24,7 @@ DepSkyClient::DepSkyClient(gcs::MultiCloudSession& session,
 }
 
 dist::WriteResult DepSkyClient::write_object(const std::string& path,
-                                             common::ByteSpan data) {
+                                             common::Buffer data) {
   dist::WriteResult result;
   const auto prev = store_.lookup(path);
 
@@ -71,14 +71,14 @@ dist::WriteResult DepSkyClient::write_object(const std::string& path,
 }
 
 common::SimDuration DepSkyClient::persist_metadata(const std::string& dir) {
-  const common::Bytes block = store_.serialize_directory(dir);
-  auto r = write_object(meta_block_path(dir), block);
+  auto r = write_object(meta_block_path(dir),
+                        common::Buffer::from(store_.serialize_directory(dir)));
   return r.latency;
 }
 
-dist::WriteResult DepSkyClient::put(const std::string& path,
-                                    common::ByteSpan data) {
-  dist::WriteResult result = write_object(path, data);
+dist::WriteResult DepSkyClient::do_put(const std::string& path,
+                                       common::Buffer data) {
+  dist::WriteResult result = write_object(path, std::move(data));
   if (!result.status.is_ok()) {
     note_put(result.latency, false);
     return result;
@@ -111,14 +111,14 @@ dist::WriteResult DepSkyClient::update(const std::string& path,
     note_update(0, false);
     return result;
   }
-  if (offset + data.size() > m->size) {
+  if (!common::range_within(offset, data.size(), m->size)) {
     result.status = common::invalid_argument("update must not grow the file");
     note_update(0, false);
     return result;
   }
 
   if (offset == 0 && data.size() == m->size) {
-    result = write_object(path, data);
+    result = write_object(path, common::Buffer::borrow(data));
   } else {
     // Quorum block write, same engine path as write_object.
     gcs::AsyncBatch batch(session_);

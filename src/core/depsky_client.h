@@ -27,8 +27,8 @@ class DepSkyClient final : public StorageClientBase {
   [[nodiscard]] std::string name() const override { return "DepSky"; }
   [[nodiscard]] std::size_t quorum() const { return quorum_; }
 
-  dist::WriteResult put(const std::string& path,
-                        common::ByteSpan data) override;
+  dist::WriteResult do_put(const std::string& path,
+                           common::Buffer data) override;
   dist::ReadResult get(const std::string& path) override;
   dist::WriteResult update(const std::string& path, std::uint64_t offset,
                            common::ByteSpan data) override;
@@ -37,7 +37,7 @@ class DepSkyClient final : public StorageClientBase {
 
  private:
   dist::WriteResult write_object(const std::string& path,
-                                 common::ByteSpan data);
+                                 common::Buffer data);
   common::SimDuration persist_metadata(const std::string& dir);
 
   std::string container_;

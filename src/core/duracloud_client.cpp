@@ -25,11 +25,12 @@ DuraCloudClient::DuraCloudClient(gcs::MultiCloudSession& session,
 }
 
 dist::WriteResult DuraCloudClient::write_object(const std::string& path,
-                                                common::ByteSpan data) {
+                                                common::Buffer data) {
   const auto prev = store_.lookup(path);
   std::vector<std::string> unreachable;
   dist::WriteResult result =
-      replication_.write(session_, path, data, targets_, &unreachable);
+      replication_.write(session_, path, std::move(data), targets_,
+                         &unreachable);
   if (!result.status.is_ok()) return result;
   result.meta.version = prev.has_value() ? prev->version + 1 : 1;
   store_.upsert(result.meta);
@@ -45,14 +46,14 @@ dist::WriteResult DuraCloudClient::write_object(const std::string& path,
 }
 
 common::SimDuration DuraCloudClient::persist_metadata(const std::string& dir) {
-  const common::Bytes block = store_.serialize_directory(dir);
-  auto r = write_object(meta_block_path(dir), block);
+  auto r = write_object(meta_block_path(dir),
+                        common::Buffer::from(store_.serialize_directory(dir)));
   return r.latency;
 }
 
-dist::WriteResult DuraCloudClient::put(const std::string& path,
-                                       common::ByteSpan data) {
-  dist::WriteResult result = write_object(path, data);
+dist::WriteResult DuraCloudClient::do_put(const std::string& path,
+                                          common::Buffer data) {
+  dist::WriteResult result = write_object(path, std::move(data));
   if (!result.status.is_ok()) {
     note_put(result.latency, false);
     return result;
@@ -85,14 +86,14 @@ dist::WriteResult DuraCloudClient::update(const std::string& path,
     note_update(0, false);
     return result;
   }
-  if (offset + data.size() > m->size) {
+  if (!common::range_within(offset, data.size(), m->size)) {
     result.status = common::invalid_argument("update must not grow the file");
     note_update(0, false);
     return result;
   }
 
   if (offset == 0 && data.size() == m->size) {
-    result = write_object(path, data);
+    result = write_object(path, common::Buffer::borrow(data));
   } else {
     std::vector<std::string> unreachable;
     result = replication_.update_range(session_, *m, offset, data,

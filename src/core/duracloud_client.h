@@ -23,8 +23,8 @@ class DuraCloudClient final : public StorageClientBase {
 
   [[nodiscard]] std::string name() const override { return "DuraCloud"; }
 
-  dist::WriteResult put(const std::string& path,
-                        common::ByteSpan data) override;
+  dist::WriteResult do_put(const std::string& path,
+                           common::Buffer data) override;
   dist::ReadResult get(const std::string& path) override;
   dist::WriteResult update(const std::string& path, std::uint64_t offset,
                            common::ByteSpan data) override;
@@ -42,7 +42,7 @@ class DuraCloudClient final : public StorageClientBase {
 
  private:
   dist::WriteResult write_object(const std::string& path,
-                                 common::ByteSpan data);
+                                 common::Buffer data);
   common::SimDuration persist_metadata(const std::string& dir);
 
   std::string container_;

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/checksum.h"
+#include "common/copy_meter.h"
 #include "gcsapi/async_batch.h"
 
 namespace hyrd::core {
@@ -163,7 +164,8 @@ common::SimDuration HyRDClient::release_previous(const std::string& path,
 }
 
 dist::WriteResult HyRDClient::put_dedup(const std::string& path,
-                                        common::ByteSpan data, DataClass cls) {
+                                        const common::Buffer& data,
+                                        DataClass cls) {
   const auto digest = common::Sha256::digest(data);
   const auto prev = store_.lookup(path);
   dist::WriteResult result;
@@ -206,8 +208,8 @@ dist::WriteResult HyRDClient::put_dedup(const std::string& path,
   return result;
 }
 
-dist::WriteResult HyRDClient::put(const std::string& path,
-                                  common::ByteSpan data) {
+dist::WriteResult HyRDClient::do_put(const std::string& path,
+                                     common::Buffer data) {
   const DataClass cls = monitor_.classify_file(data.size());
   monitor_.record_write(cls, data.size());
   if (config_.dedup_enabled) {
@@ -220,10 +222,11 @@ dist::WriteResult HyRDClient::put(const std::string& path,
   std::vector<std::string> unreachable;
   dist::WriteResult result;
   if (cls == DataClass::kSmallFile) {
-    result = data_replication_.write(session_, path, data, replica_targets_,
-                                     &unreachable);
+    result = data_replication_.write(session_, path, std::move(data),
+                                     replica_targets_, &unreachable);
   } else {
-    result = erasure_.write(session_, path, data, shard_slots_, &unreachable);
+    result = erasure_.write(session_, path, std::move(data), shard_slots_,
+                            &unreachable);
   }
   if (!result.status.is_ok()) {
     note_put(result.latency, false);
@@ -367,7 +370,7 @@ dist::WriteResult HyRDClient::update(const std::string& path,
     note_update(0, false);
     return result;
   }
-  if (offset + data.size() > m->size) {
+  if (!common::range_within(offset, data.size(), m->size)) {
     result.status = common::invalid_argument("update must not grow the file");
     note_update(0, false);
     return result;
@@ -387,11 +390,12 @@ dist::WriteResult HyRDClient::update(const std::string& path,
       note_update(result.latency, false);
       return result;
     }
-    std::memcpy(whole.data.data() + offset, data.data(), data.size());
-    monitor_.record_write(monitor_.classify_file(whole.data.size()),
-                          data.size());
-    result = put_dedup(path, whole.data,
-                       monitor_.classify_file(whole.data.size()));
+    common::Bytes patched = std::move(whole.data).into_bytes();
+    common::count_copied_bytes(data.size());
+    std::memcpy(patched.data() + offset, data.data(), data.size());
+    monitor_.record_write(monitor_.classify_file(patched.size()), data.size());
+    const common::Buffer next = common::Buffer::from(std::move(patched));
+    result = put_dedup(path, next, monitor_.classify_file(next.size()));
     result.latency += whole.latency;
     note_update(result.latency, result.status.is_ok());
     return result;

@@ -35,8 +35,8 @@ class HyRDClient final : public StorageClientBase {
 
   [[nodiscard]] std::string name() const override { return "HyRD"; }
 
-  dist::WriteResult put(const std::string& path,
-                        common::ByteSpan data) override;
+  dist::WriteResult do_put(const std::string& path,
+                           common::Buffer data) override;
   dist::ReadResult get(const std::string& path) override;
   dist::WriteResult update(const std::string& path, std::uint64_t offset,
                            common::ByteSpan data) override;
@@ -75,7 +75,8 @@ class HyRDClient final : public StorageClientBase {
 
   /// Dedup-aware put: aliases duplicate content, writes unique content
   /// under content-addressed fragment names.
-  dist::WriteResult put_dedup(const std::string& path, common::ByteSpan data,
+  dist::WriteResult put_dedup(const std::string& path,
+                              const common::Buffer& data,
                               DataClass cls);
 
   /// Releases `path`'s previous incarnation: unlinks it from the dedup

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/checksum.h"
+#include "common/copy_meter.h"
 #include "dist/scheme.h"
 
 namespace hyrd::core {
@@ -25,7 +26,7 @@ std::string NCCloudClient::chunk_name(const std::string& path,
 }
 
 dist::WriteResult NCCloudClient::write_object(const std::string& path,
-                                              common::ByteSpan data) {
+                                              common::Buffer data) {
   dist::WriteResult result;
   const auto prev = store_.lookup(path);
 
@@ -109,9 +110,9 @@ common::SimDuration NCCloudClient::persist_metadata(const std::string& dir) {
   return stats.latency;
 }
 
-dist::WriteResult NCCloudClient::put(const std::string& path,
-                                     common::ByteSpan data) {
-  dist::WriteResult result = write_object(path, data);
+dist::WriteResult NCCloudClient::do_put(const std::string& path,
+                                        common::Buffer data) {
+  dist::WriteResult result = write_object(path, std::move(data));
   if (!result.status.is_ok()) {
     note_put(result.latency, false);
     return result;
@@ -186,7 +187,7 @@ dist::ReadResult NCCloudClient::get(const std::string& path) {
           ok = false;
           break;
         }
-        chunks.push_back(std::move(gets[j].data));
+        chunks.push_back(std::move(gets[j].data).into_bytes());
       }
       if (!ok) {
         result.degraded = true;
@@ -198,7 +199,7 @@ dist::ReadResult NCCloudClient::get(const std::string& path) {
         continue;
       }
       result.status = common::Status::ok();
-      result.data = std::move(decoded).value();
+      result.data = common::Buffer::from(std::move(decoded).value());
       note_get(result.latency, true, result.degraded);
       return result;
     }
@@ -218,7 +219,7 @@ dist::WriteResult NCCloudClient::update(const std::string& path,
     note_update(0, false);
     return result;
   }
-  if (offset + data.size() > m->size) {
+  if (!common::range_within(offset, data.size(), m->size)) {
     result.status = common::invalid_argument("update must not grow the file");
     note_update(0, false);
     return result;
@@ -233,8 +234,10 @@ dist::WriteResult NCCloudClient::update(const std::string& path,
     note_update(result.latency, false);
     return result;
   }
-  std::memcpy(whole.data.data() + offset, data.data(), data.size());
-  result = write_object(path, whole.data);
+  common::Bytes patched = std::move(whole.data).into_bytes();
+  common::count_copied_bytes(data.size());
+  std::memcpy(patched.data() + offset, data.data(), data.size());
+  result = write_object(path, common::Buffer::from(std::move(patched)));
   result.latency += whole.latency;
   if (!result.status.is_ok()) {
     note_update(result.latency, false);
@@ -341,7 +344,7 @@ common::SimDuration NCCloudClient::on_provider_restored(
         ok = false;
         break;
       }
-      survivor_chunks.push_back(std::move(g.data));
+      survivor_chunks.push_back(std::move(g.data).into_bytes());
     }
     if (!ok) continue;
 

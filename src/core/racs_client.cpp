@@ -32,7 +32,7 @@ std::vector<std::size_t> RACSClient::slots_for(const std::string& path) const {
 }
 
 dist::WriteResult RACSClient::write_object(const std::string& path,
-                                           common::ByteSpan data) {
+                                           common::Buffer data) {
   const auto prev = store_.lookup(path);
   std::vector<std::string> unreachable;
   // Reuse the previous placement on overwrite so fragments stay put.
@@ -46,7 +46,7 @@ dist::WriteResult RACSClient::write_object(const std::string& path,
   }
 
   dist::WriteResult result =
-      erasure_.write(session_, path, data, slots, &unreachable);
+      erasure_.write(session_, path, std::move(data), slots, &unreachable);
   if (!result.status.is_ok()) return result;
 
   result.meta.version = prev.has_value() ? prev->version + 1 : 1;
@@ -66,14 +66,14 @@ common::SimDuration RACSClient::persist_metadata(const std::string& dir) {
   // RACS has no small-file special case: the directory block is striped
   // like any other object, through the synthetic-file path so recovery
   // can rebuild its fragments.
-  const common::Bytes block = store_.serialize_directory(dir);
-  auto r = write_object(meta_block_path(dir), block);
+  auto r = write_object(meta_block_path(dir),
+                        common::Buffer::from(store_.serialize_directory(dir)));
   return r.latency;
 }
 
-dist::WriteResult RACSClient::put(const std::string& path,
-                                  common::ByteSpan data) {
-  dist::WriteResult result = write_object(path, data);
+dist::WriteResult RACSClient::do_put(const std::string& path,
+                                     common::Buffer data) {
+  dist::WriteResult result = write_object(path, std::move(data));
   if (!result.status.is_ok()) {
     note_put(result.latency, false);
     return result;

@@ -24,8 +24,8 @@ class RACSClient final : public StorageClientBase {
 
   [[nodiscard]] std::string name() const override { return "RACS"; }
 
-  dist::WriteResult put(const std::string& path,
-                        common::ByteSpan data) override;
+  dist::WriteResult do_put(const std::string& path,
+                           common::Buffer data) override;
   dist::ReadResult get(const std::string& path) override;
   dist::WriteResult update(const std::string& path, std::uint64_t offset,
                            common::ByteSpan data) override;
@@ -52,7 +52,7 @@ class RACSClient final : public StorageClientBase {
 
   /// Stripes one object (data or metadata block), maintaining meta/log.
   dist::WriteResult write_object(const std::string& path,
-                                 common::ByteSpan data);
+                                 common::Buffer data);
 
   common::SimDuration persist_metadata(const std::string& dir);
 

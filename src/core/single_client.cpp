@@ -21,10 +21,10 @@ SingleCloudClient::SingleCloudClient(gcs::MultiCloudSession& session,
 }
 
 dist::WriteResult SingleCloudClient::write_object(const std::string& path,
-                                                  common::ByteSpan data) {
+                                                  common::Buffer data) {
   const auto prev = store_.lookup(path);
   dist::WriteResult result =
-      replication_.write(session_, path, data, target_, nullptr);
+      replication_.write(session_, path, std::move(data), target_, nullptr);
   if (!result.status.is_ok()) return result;
   result.meta.version = prev.has_value() ? prev->version + 1 : 1;
   store_.upsert(result.meta);
@@ -33,14 +33,14 @@ dist::WriteResult SingleCloudClient::write_object(const std::string& path,
 
 common::SimDuration SingleCloudClient::persist_metadata(
     const std::string& dir) {
-  const common::Bytes block = store_.serialize_directory(dir);
-  auto r = write_object(meta_block_path(dir), block);
+  auto r = write_object(meta_block_path(dir),
+                        common::Buffer::from(store_.serialize_directory(dir)));
   return r.latency;
 }
 
-dist::WriteResult SingleCloudClient::put(const std::string& path,
-                                         common::ByteSpan data) {
-  dist::WriteResult result = write_object(path, data);
+dist::WriteResult SingleCloudClient::do_put(const std::string& path,
+                                            common::Buffer data) {
+  dist::WriteResult result = write_object(path, std::move(data));
   if (!result.status.is_ok()) {
     note_put(result.latency, false);
     return result;
@@ -73,14 +73,14 @@ dist::WriteResult SingleCloudClient::update(const std::string& path,
     note_update(0, false);
     return result;
   }
-  if (offset + data.size() > m->size) {
+  if (!common::range_within(offset, data.size(), m->size)) {
     result.status = common::invalid_argument("update must not grow the file");
     note_update(0, false);
     return result;
   }
 
   if (offset == 0 && data.size() == m->size) {
-    result = write_object(path, data);
+    result = write_object(path, common::Buffer::borrow(data));
   } else {
     result = replication_.update_range(session_, *m, offset, data, nullptr);
     if (result.status.is_ok()) store_.upsert(result.meta);

@@ -25,8 +25,8 @@ class SingleCloudClient final : public StorageClientBase {
   /// hedge can never fire, but the knob keeps fleet setup uniform.
   void set_hedge(dist::HedgePolicy p) { replication_.set_hedge(p); }
 
-  dist::WriteResult put(const std::string& path,
-                        common::ByteSpan data) override;
+  dist::WriteResult do_put(const std::string& path,
+                           common::Buffer data) override;
   dist::ReadResult get(const std::string& path) override;
   dist::WriteResult update(const std::string& path, std::uint64_t offset,
                            common::ByteSpan data) override;
@@ -35,7 +35,7 @@ class SingleCloudClient final : public StorageClientBase {
 
  private:
   dist::WriteResult write_object(const std::string& path,
-                                 common::ByteSpan data);
+                                 common::Buffer data);
   common::SimDuration persist_metadata(const std::string& dir);
 
   std::string provider_;

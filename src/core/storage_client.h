@@ -42,9 +42,16 @@ class StorageClient {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Writes (or overwrites) the file at `path`.
-  virtual dist::WriteResult put(const std::string& path,
-                                common::ByteSpan data) = 0;
+  /// Writes (or overwrites) the file at `path`. The Buffer overload is the
+  /// zero-copy entry point: the payload travels by reference all the way to
+  /// the stores (schemes slice it, they never duplicate it). The ByteSpan
+  /// overload borrows the caller's memory for the (synchronous) call.
+  dist::WriteResult put(const std::string& path, common::Buffer data) {
+    return do_put(path, std::move(data));
+  }
+  dist::WriteResult put(const std::string& path, common::ByteSpan data) {
+    return do_put(path, common::Buffer::borrow(data));
+  }
 
   /// Reads the whole file.
   virtual dist::ReadResult get(const std::string& path) = 0;
@@ -75,6 +82,9 @@ class StorageClient {
   void reset_stats();
 
  protected:
+  virtual dist::WriteResult do_put(const std::string& path,
+                                   common::Buffer data) = 0;
+
   void note_put(common::SimDuration latency, bool ok);
   void note_get(common::SimDuration latency, bool ok, bool degraded);
   void note_update(common::SimDuration latency, bool ok);

@@ -6,6 +6,7 @@
 #include <future>
 
 #include "common/checksum.h"
+#include "common/copy_meter.h"
 #include "erasure/raid5.h"
 #include "erasure/reed_solomon.h"
 
@@ -37,7 +38,7 @@ bool fragment_intact(const meta::FileMeta& meta, std::size_t slot,
 }  // namespace
 
 WriteResult ErasureScheme::write(gcs::MultiCloudSession& session,
-                                 const std::string& path, common::ByteSpan data,
+                                 const std::string& path, common::Buffer data,
                                  const std::vector<std::size_t>& shard_clients,
                                  std::vector<std::string>* unreachable) const {
   WriteResult result;
@@ -51,33 +52,45 @@ WriteResult ErasureScheme::write(gcs::MultiCloudSession& session,
   const std::size_t total = geom.total();
   const std::size_t shard_size = striper_.shard_size_for(data.size());
 
-  // Per-thread scratch: the padded tail shard and the parity buffers are
-  // the only copies this path makes, and their capacity is reused across
-  // calls so steady-state large writes allocate nothing per stripe.
-  thread_local std::vector<common::Bytes> scratch;
-  if (scratch.size() < total) scratch.resize(total);
-
-  // Data fragments are views straight into `data` wherever a full shard
-  // fits; only a shard that crosses or sits past EOF is zero-padded into
-  // scratch.
+  // Fragment plan: every full data shard is an O(1) slice of `data` (the
+  // store keeps it by refbump — no memcpy anywhere on its way down); only
+  // a shard that crosses or sits past EOF needs padding. The padded tail
+  // and the m parity shards live in one side arena, sliced per fragment.
+  std::vector<common::Buffer> fragments(total);
   std::vector<common::ByteSpan> data_views(geom.k);
+  std::vector<std::size_t> pad_slots;
   for (std::size_t i = 0; i < geom.k; ++i) {
     const std::size_t offset = i * shard_size;
     const std::size_t avail = offset < data.size() ? data.size() - offset : 0;
     if (avail >= shard_size) {
-      data_views[i] = data.subspan(offset, shard_size);
+      fragments[i] = data.slice(offset, shard_size);
+      data_views[i] = fragments[i];
     } else {
-      common::Bytes& buf = scratch[i];
-      buf.assign(shard_size, 0);
-      if (avail > 0) std::memcpy(buf.data(), data.data() + offset, avail);
-      data_views[i] = buf;
+      pad_slots.push_back(i);
     }
   }
+
+  common::MutableBuffer arena((pad_slots.size() + geom.m) * shard_size);
+  for (std::size_t j = 0; j < pad_slots.size(); ++j) {
+    const std::size_t offset = pad_slots[j] * shard_size;
+    const std::size_t avail = offset < data.size() ? data.size() - offset : 0;
+    if (avail > 0) {
+      arena.write(j * shard_size, data.span().subspan(offset, avail));
+    }
+  }
+  // Parity regions: writable spans taken before freeze(). The encode below
+  // fills them before any parity slice is submitted, and no other view
+  // covers them, so the late writes are invisible to concurrent readers of
+  // the tail fragments (disjoint regions of the same block).
   std::vector<common::MutByteSpan> parity_views(geom.m);
   for (std::size_t p = 0; p < geom.m; ++p) {
-    common::Bytes& buf = scratch[geom.k + p];
-    buf.assign(shard_size, 0);
-    parity_views[p] = buf;
+    parity_views[p] =
+        arena.span((pad_slots.size() + p) * shard_size, shard_size);
+  }
+  common::Buffer side = std::move(arena).freeze();
+  for (std::size_t j = 0; j < pad_slots.size(); ++j) {
+    fragments[pad_slots[j]] = side.slice(j * shard_size, shard_size);
+    data_views[pad_slots[j]] = fragments[pad_slots[j]];
   }
 
   // Pipeline: parity encode and checksums run on the session pool while
@@ -103,7 +116,7 @@ WriteResult ErasureScheme::write(gcs::MultiCloudSession& session,
     }));
   }
   auto object_crc_fut =
-      pool.submit([data] { return common::crc32c(data); });
+      pool.submit([view = data.span()] { return common::crc32c(view); });
   std::vector<std::future<std::uint32_t>> crc_futs(total);
   for (std::size_t i = 0; i < geom.k; ++i) {
     crc_futs[i] = pool.submit(
@@ -123,21 +136,19 @@ WriteResult ErasureScheme::write(gcs::MultiCloudSession& session,
   // submission into two waves only overlaps client CPU with I/O.
   gcs::AsyncBatch batch(session);
   for (std::size_t i = 0; i < geom.k; ++i) {
-    batch.submit(gcs::CloudOp::put(shard_clients[i], keys[i], data_views[i]));
+    batch.submit(gcs::CloudOp::put(shard_clients[i], keys[i], fragments[i]));
   }
 
   for (auto& f : encode_futs) f.get();
   for (std::size_t p = 0; p < geom.m; ++p) {
-    crc_futs[geom.k + p] = pool.submit([view = common::ByteSpan(
-                                            parity_views[p].data(),
-                                            parity_views[p].size())] {
-      return common::crc32c(view);
-    });
+    fragments[geom.k + p] =
+        side.slice((pad_slots.size() + p) * shard_size, shard_size);
+    crc_futs[geom.k + p] = pool.submit(
+        [view = fragments[geom.k + p].span()] { return common::crc32c(view); });
   }
   for (std::size_t p = 0; p < geom.m; ++p) {
-    batch.submit(gcs::CloudOp::put(
-        shard_clients[geom.k + p], keys[geom.k + p],
-        common::ByteSpan(parity_views[p].data(), parity_views[p].size())));
+    batch.submit(gcs::CloudOp::put(shard_clients[geom.k + p], keys[geom.k + p],
+                                   fragments[geom.k + p]));
   }
 
   // kAll acks at the slowest fragment (legacy max). Early-ack policies ack
@@ -214,7 +225,7 @@ ReadResult ErasureScheme::read(gcs::MultiCloudSession& session,
     op_slot.push_back(slot);
   };
 
-  std::vector<std::optional<common::Bytes>> shards(geom.total());
+  std::vector<std::optional<common::Buffer>> shards(geom.total());
 
   if (read_strategy_ == ErasureReadStrategy::kFastestK) {
     // First-k-of-n: request every reachable fragment and complete at the
@@ -284,22 +295,15 @@ ReadResult ErasureScheme::read(gcs::MultiCloudSession& session,
     }();
 
     if (all_fetched_ok && have_all_data) {
-      // Fast path: concatenate and truncate to logical size.
-      common::Bytes object;
-      object.reserve(meta.size);
-      for (std::size_t i = 0; i < geom.k && object.size() < meta.size; ++i) {
-        const std::size_t remaining =
-            static_cast<std::size_t>(meta.size) - object.size();
-        const std::size_t take = std::min(shards[i]->size(), remaining);
-        object.insert(object.end(), shards[i]->begin(),
-                      shards[i]->begin() + static_cast<std::ptrdiff_t>(take));
-      }
-      if (meta.crc != 0 && common::crc32c(object) != meta.crc) {
-        result.status = common::data_loss("object CRC mismatch");
+      // Fast path: fragments that came back as adjacent slices of the
+      // writer's arena reassemble in O(1); anything else gathers once.
+      auto object = striper_.assemble(meta.size, meta.crc, std::move(shards));
+      if (!object.is_ok()) {
+        result.status = object.status();
         return result;
       }
       result.status = common::Status::ok();
-      result.data = std::move(object);
+      result.data = std::move(object).value();
       return result;
     }
 
@@ -331,8 +335,7 @@ ReadResult ErasureScheme::read(gcs::MultiCloudSession& session,
     }
   }
 
-  auto object = striper_.decode_degraded(geom, meta.size, meta.crc,
-                                         std::move(shards));
+  auto object = striper_.assemble(meta.size, meta.crc, std::move(shards));
   if (!object.is_ok()) {
     result.status = object.status();
     return result;
@@ -350,7 +353,7 @@ WriteResult ErasureScheme::update_range(gcs::MultiCloudSession& session,
                                         std::vector<std::string>* unreachable) const {
   WriteResult result;
   const auto& geom = striper_.geometry();
-  if (offset + new_bytes.size() > meta.size) {
+  if (!common::range_within(offset, new_bytes.size(), meta.size)) {
     result.status = common::invalid_argument("update range exceeds file size");
     return result;
   }
@@ -370,9 +373,12 @@ WriteResult ErasureScheme::update_range(gcs::MultiCloudSession& session,
       result.latency = whole.latency;
       return result;
     }
-    std::memcpy(whole.data.data() + offset, new_bytes.data(), new_bytes.size());
+    common::Bytes patched = std::move(whole.data).into_bytes();
+    common::count_copied_bytes(new_bytes.size());
+    std::memcpy(patched.data() + offset, new_bytes.data(), new_bytes.size());
     std::vector<std::size_t> clients = slot_clients(session, meta);
-    result = write(session, meta.path, whole.data, clients, unreachable);
+    result = write(session, meta.path, common::Buffer::from(std::move(patched)),
+                   clients, unreachable);
     result.latency += whole.latency;
     result.meta.version = meta.version + 1;
     return result;
@@ -412,9 +418,12 @@ WriteResult ErasureScheme::update_range(gcs::MultiCloudSession& session,
         result.latency += whole.latency;
         return result;
       }
-      std::memcpy(whole.data.data() + offset, new_bytes.data(),
-                  new_bytes.size());
-      result = write(session, meta.path, whole.data, clients, unreachable);
+      common::Bytes patched = std::move(whole.data).into_bytes();
+      common::count_copied_bytes(new_bytes.size());
+      std::memcpy(patched.data() + offset, new_bytes.data(), new_bytes.size());
+      result = write(session, meta.path,
+                     common::Buffer::from(std::move(patched)), clients,
+                     unreachable);
       result.latency += whole.latency;
       result.meta.version = meta.version + 1;
       if (rmw_used != nullptr) *rmw_used = false;
@@ -423,14 +432,14 @@ WriteResult ErasureScheme::update_range(gcs::MultiCloudSession& session,
   }
 
   // The code is linear bytewise, so parity deltas apply per block.
-  const common::Bytes& old_block = gets[0].data;
+  const common::Buffer& old_block = gets[0].data;
   erasure::ReedSolomon rs(geom.k, geom.m);
   auto deltas = rs.parity_delta(first_shard, old_block, new_bytes);
   assert(deltas.is_ok());
   std::vector<common::Bytes> new_parity_blocks;
   new_parity_blocks.reserve(geom.m);
   for (std::size_t p = 0; p < geom.m; ++p) {
-    common::Bytes block = std::move(gets[1 + p].data);
+    common::Bytes block = std::move(gets[1 + p].data).into_bytes();
     const auto& d = deltas.value()[p];
     for (std::size_t i = 0; i < block.size(); ++i) block[i] ^= d[i];
     new_parity_blocks.push_back(std::move(block));
@@ -475,7 +484,7 @@ RemoveResult ErasureScheme::remove(gcs::MultiCloudSession& session,
   return remove_fragments(session, container_, meta, write_ack_);
 }
 
-common::Result<std::vector<std::pair<std::string, common::Bytes>>>
+common::Result<std::vector<std::pair<std::string, common::Buffer>>>
 ErasureScheme::rebuild_fragments_for(gcs::MultiCloudSession& session,
                                      const meta::FileMeta& meta,
                                      const std::string& provider,
@@ -496,7 +505,7 @@ ErasureScheme::rebuild_fragments_for(gcs::MultiCloudSession& session,
     batch_slots.push_back(i);
   }
   if (target_slots.empty()) {
-    return std::vector<std::pair<std::string, common::Bytes>>{};
+    return std::vector<std::pair<std::string, common::Buffer>>{};
   }
 
   gcs::AsyncBatch batch(session);
@@ -520,17 +529,18 @@ ErasureScheme::rebuild_fragments_for(gcs::MultiCloudSession& session,
     // Corrupt survivors must not poison the rebuilt fragments.
     const std::size_t slot = batch_slots[c.op_index];
     if (c.ok() && fragment_intact(meta, slot, c.result.data)) {
-      shards[slot] = std::move(c.result.data);
+      shards[slot] = std::move(c.result.data).into_bytes();
     }
   }
 
   erasure::ReedSolomon rs(geom.k, geom.m);
   if (auto st = rs.reconstruct(shards); !st.is_ok()) return st;
 
-  std::vector<std::pair<std::string, common::Bytes>> out;
+  std::vector<std::pair<std::string, common::Buffer>> out;
   out.reserve(target_slots.size());
   for (std::size_t slot : target_slots) {
-    out.emplace_back(meta.locations[slot].object_name, std::move(*shards[slot]));
+    out.emplace_back(meta.locations[slot].object_name,
+                     common::Buffer::from(std::move(*shards[slot])));
   }
   return out;
 }

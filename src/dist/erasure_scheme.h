@@ -61,10 +61,24 @@ class ErasureScheme {
   /// shard_clients[i], all in parallel. Requires exactly k+m targets.
   /// Succeeds if at least k fragments land (the stripe is then decodable);
   /// unreachable providers are reported for update logging.
+  ///
+  /// Zero-copy: full data shards are O(1) slices of `data`; only the
+  /// padded tail shard and the parity shards live in a single side arena
+  /// sliced per fragment.
+  WriteResult write(gcs::MultiCloudSession& session, const std::string& path,
+                    common::Buffer data,
+                    const std::vector<std::size_t>& shard_clients,
+                    std::vector<std::string>* unreachable = nullptr) const;
+
+  /// Legacy span adapter (no copy: the write is synchronous, so a borrowed
+  /// view is safe for its duration).
   WriteResult write(gcs::MultiCloudSession& session, const std::string& path,
                     common::ByteSpan data,
                     const std::vector<std::size_t>& shard_clients,
-                    std::vector<std::string>* unreachable = nullptr) const;
+                    std::vector<std::string>* unreachable = nullptr) const {
+    return write(session, path, common::Buffer::borrow(data), shard_clients,
+                 unreachable);
+  }
 
   /// Normal path: parallel-fetch the k data fragments and reassemble.
   /// Degraded path (some fragment unreachable): fetch survivors including
@@ -87,8 +101,8 @@ class ErasureScheme {
 
   /// Rebuilds the fragments of `meta` that live on `provider` from the
   /// surviving fragments (degraded fetch + re-encode). Returns pairs of
-  /// (object_name, fragment bytes) ready to be pushed back.
-  common::Result<std::vector<std::pair<std::string, common::Bytes>>>
+  /// (object_name, fragment buffer) ready to be pushed back.
+  common::Result<std::vector<std::pair<std::string, common::Buffer>>>
   rebuild_fragments_for(gcs::MultiCloudSession& session,
                         const meta::FileMeta& meta,
                         const std::string& provider,

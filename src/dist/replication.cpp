@@ -15,7 +15,7 @@ std::size_t majority(std::size_t n) { return n / 2 + 1; }
 
 WriteResult ReplicationScheme::write(
     gcs::MultiCloudSession& session, const std::string& path,
-    common::ByteSpan data, const std::vector<std::size_t>& replica_clients,
+    common::Buffer data, const std::vector<std::size_t>& replica_clients,
     std::vector<std::string>* unreachable) const {
   WriteResult result;
   if (replica_clients.empty()) {
@@ -165,7 +165,7 @@ ReadResult ReplicationScheme::read(gcs::MultiCloudSession& session,
 
   bool hedge_attempted = false;
   bool have_usable = false;
-  common::Bytes best_data;
+  common::Buffer best_data;
   common::SimDuration best_arrival = 0;
   common::SimDuration worst_arrival = 0;  // max non-cancelled arrival seen
 
@@ -265,7 +265,7 @@ WriteResult ReplicationScheme::update_range(
     std::uint64_t offset, common::ByteSpan data,
     std::vector<std::string>* unreachable) const {
   WriteResult result;
-  if (offset + data.size() > meta.size) {
+  if (!common::range_within(offset, data.size(), meta.size)) {
     result.status = common::invalid_argument("update range exceeds file size");
     return result;
   }

@@ -62,10 +62,22 @@ class ReplicationScheme {
   /// writes during an outage proceed and the offline copy is logged); the
   /// result lists which providers were written in meta.locations and which
   /// were unreachable via `unreachable` (if non-null).
+  /// Zero-copy N-way fan-out: one owning Buffer is submitted to every
+  /// replica target by refbump; no per-replica payload copies are made.
+  WriteResult write(gcs::MultiCloudSession& session, const std::string& path,
+                    common::Buffer data,
+                    const std::vector<std::size_t>& replica_clients,
+                    std::vector<std::string>* unreachable = nullptr) const;
+
+  /// Legacy span adapter (no copy: the write is synchronous, so a borrowed
+  /// view is safe for its duration).
   WriteResult write(gcs::MultiCloudSession& session, const std::string& path,
                     common::ByteSpan data,
                     const std::vector<std::size_t>& replica_clients,
-                    std::vector<std::string>* unreachable = nullptr) const;
+                    std::vector<std::string>* unreachable = nullptr) const {
+    return write(session, path, common::Buffer::borrow(data), replica_clients,
+                 unreachable);
+  }
 
   /// Reads from the expected-fastest replica, failing over in latency
   /// order; a hedged backup fires per the HedgePolicy when the primary is

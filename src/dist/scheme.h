@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/status.h"
@@ -30,7 +31,7 @@ struct WriteResult {
 struct ReadResult {
   common::Status status;
   common::SimDuration latency = 0;
-  common::Bytes data;
+  common::Buffer data;  // ref-counted view; see common/buffer.h
   bool degraded = false;  // true if reconstruction / failover was needed
 
   // Early-completion accounting (first-k / hedged paths; zero otherwise):

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/copy_meter.h"
+
 namespace hyrd::erasure {
 
 Striper::Striper(StripeGeometry geometry)
@@ -22,37 +24,60 @@ StripeSet Striper::encode(common::ByteSpan object) const {
   set.shard_size = shard_size_for(object.size());
   set.object_crc = common::crc32c(object);
 
-  set.shards.reserve(geometry_.total());
-  for (std::size_t i = 0; i < geometry_.k; ++i) {
-    common::Bytes shard(set.shard_size, 0);
-    const std::size_t offset = i * set.shard_size;
-    if (offset < object.size()) {
-      const std::size_t take = std::min(set.shard_size, object.size() - offset);
-      std::memcpy(shard.data(), object.data() + offset, take);
-    }
-    set.shards.push_back(std::move(shard));
-  }
+  // One arena for the whole stripe: [k data shards | m parity shards],
+  // zero-initialised so the tail shard is already padded. Parity is
+  // encoded straight into its arena region, then the arena is frozen and
+  // sliced per shard — every shard is a view, not an allocation.
+  const std::size_t total = geometry_.total();
+  common::MutableBuffer arena(total * set.shard_size);
+  arena.write(0, object);
 
-  auto parity = codec_.encode(
-      std::span<const common::Bytes>(set.shards.data(), geometry_.k));
-  assert(parity.is_ok());
-  for (auto& p : parity.value()) set.shards.push_back(std::move(p));
+  std::vector<common::ByteSpan> data_views(geometry_.k);
+  for (std::size_t i = 0; i < geometry_.k; ++i) {
+    data_views[i] = arena.span(i * set.shard_size, set.shard_size);
+  }
+  std::vector<common::MutByteSpan> parity_views(geometry_.m);
+  for (std::size_t p = 0; p < geometry_.m; ++p) {
+    parity_views[p] = arena.span((geometry_.k + p) * set.shard_size,
+                                 set.shard_size);
+  }
+  const auto st = codec_.encode_into(data_views, parity_views);
+  assert(st.is_ok());
+  (void)st;
+
+  common::Buffer frozen = std::move(arena).freeze();
+  set.shards.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    set.shards.push_back(frozen.slice(i * set.shard_size, set.shard_size));
+  }
   return set;
 }
 
-common::Result<common::Bytes> Striper::decode(const StripeSet& set) const {
+common::Result<common::Buffer> Striper::decode(const StripeSet& set) const {
   if (set.shards.size() != geometry_.total()) {
     return common::invalid_argument("stripe set has wrong shard count");
   }
-  common::Bytes object;
-  object.reserve(set.object_size);
-  for (std::size_t i = 0; i < geometry_.k && object.size() < set.object_size;
-       ++i) {
-    const std::size_t remaining =
-        static_cast<std::size_t>(set.object_size) - object.size();
-    const std::size_t take = std::min(set.shards[i].size(), remaining);
-    object.insert(object.end(), set.shards[i].begin(),
-                  set.shards[i].begin() + static_cast<std::ptrdiff_t>(take));
+  const std::span<const common::Buffer> data_shards(set.shards.data(),
+                                                    geometry_.k);
+  common::Buffer object;
+  if (auto joined = common::Buffer::join_contiguous(
+          data_shards, static_cast<std::size_t>(set.object_size))) {
+    // Fast path: the data shards are adjacent views of one block (slices
+    // of an encode arena, or fragments a store handed back by reference) —
+    // reassembly is a refbump.
+    object = *std::move(joined);
+  } else {
+    common::MutableBuffer gather(static_cast<std::size_t>(set.object_size));
+    std::size_t filled = 0;
+    for (std::size_t i = 0;
+         i < geometry_.k && filled < set.object_size; ++i) {
+      const std::size_t remaining =
+          static_cast<std::size_t>(set.object_size) - filled;
+      const std::size_t take = std::min(set.shards[i].size(), remaining);
+      gather.write(filled, set.shards[i].span().first(take));
+      filled += take;
+    }
+    object = std::move(gather).freeze();
   }
   // 0 is the "digest unknown" sentinel (e.g. after an in-place RMW update,
   // which invalidates the whole-object CRC without recomputing it).
@@ -62,7 +87,43 @@ common::Result<common::Bytes> Striper::decode(const StripeSet& set) const {
   return object;
 }
 
-common::Result<common::Bytes> Striper::decode_degraded(
+common::Result<common::Buffer> Striper::assemble(
+    std::uint64_t object_size, std::uint32_t crc,
+    std::vector<std::optional<common::Buffer>> shards) const {
+  if (shards.size() != geometry_.total()) {
+    return common::invalid_argument("wrong fragment slot count");
+  }
+  bool have_all_data = true;
+  for (std::size_t i = 0; i < geometry_.k; ++i) {
+    if (!shards[i].has_value()) {
+      have_all_data = false;
+      break;
+    }
+  }
+  StripeSet set;
+  set.geometry = geometry_;
+  set.object_size = object_size;
+  set.object_crc = crc;
+  if (have_all_data) {
+    set.shard_size = shards[0]->size();
+    set.shards.reserve(shards.size());
+    for (auto& s : shards) {
+      // Parity slots may be absent on this path; decode() only touches the
+      // first k, so fill gaps with empty placeholders.
+      set.shards.push_back(s.has_value() ? *std::move(s) : common::Buffer());
+    }
+    return decode(set);
+  }
+  // Degraded: reconstruction mutates shards in place, so the codec works
+  // on owned vectors (each survivor is copied out of its shared block).
+  std::vector<std::optional<common::Bytes>> owned(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].has_value()) owned[i] = std::move(*shards[i]).into_bytes();
+  }
+  return decode_degraded(geometry_, object_size, crc, std::move(owned));
+}
+
+common::Result<common::Buffer> Striper::decode_degraded(
     StripeGeometry geometry, std::uint64_t object_size, std::uint32_t crc,
     std::vector<std::optional<common::Bytes>> shards) const {
   if (geometry.k != geometry_.k || geometry.m != geometry_.m) {
@@ -76,7 +137,9 @@ common::Result<common::Bytes> Striper::decode_degraded(
   set.object_size = object_size;
   set.object_crc = crc;
   set.shards.reserve(shards.size());
-  for (auto& s : shards) set.shards.push_back(std::move(*s));
+  for (auto& s : shards) {
+    set.shards.push_back(common::Buffer::from(std::move(*s)));
+  }
   set.shard_size = set.shards[0].size();
   return decode(set);
 }

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/checksum.h"
 #include "common/status.h"
@@ -33,7 +34,9 @@ struct StripeSet {
   StripeGeometry geometry;
   std::uint64_t object_size = 0;  // pre-padding logical size
   std::size_t shard_size = 0;
-  std::vector<common::Bytes> shards;  // k data shards then m parity shards
+  /// k data shards then m parity shards — O(1) slices of one arena
+  /// allocation (encode packs data + parity contiguously, then slices).
+  std::vector<common::Buffer> shards;
   std::uint32_t object_crc = 0;       // CRC32C of the original object
 };
 
@@ -44,17 +47,31 @@ class Striper {
   [[nodiscard]] const StripeGeometry& geometry() const { return geometry_; }
   [[nodiscard]] const ReedSolomon& codec() const { return codec_; }
 
-  /// Splits + encodes an object. Objects smaller than k bytes still work
-  /// (shards are zero padded); empty objects produce 1-byte shards so every
-  /// provider slot stores a real fragment.
+  /// Splits + encodes an object into one arena allocation sliced
+  /// per-shard. Objects smaller than k bytes still work (shards are zero
+  /// padded); empty objects produce 1-byte shards so every provider slot
+  /// stores a real fragment.
   [[nodiscard]] StripeSet encode(common::ByteSpan object) const;
 
-  /// Reassembles the original object from a full shard set.
-  [[nodiscard]] common::Result<common::Bytes> decode(const StripeSet& set) const;
+  /// Reassembles the original object from a full shard set. When the data
+  /// shards are adjacent views of one block (the common case: slices of
+  /// the writer's arena read back from the store), this is O(1) — no
+  /// gather-copy at all; otherwise the k shards gather into one fresh
+  /// allocation.
+  [[nodiscard]] common::Result<common::Buffer> decode(
+      const StripeSet& set) const;
+
+  /// Reassembly straight from read-path fragments (any of the `total()`
+  /// slots may be missing). With all k data shards present this is
+  /// decode()'s zero-copy/gather path; otherwise missing shards are
+  /// reconstructed first (any k suffice). CRC-checks the object.
+  [[nodiscard]] common::Result<common::Buffer> assemble(
+      std::uint64_t object_size, std::uint32_t crc,
+      std::vector<std::optional<common::Buffer>> shards) const;
 
   /// Degraded decode: reconstructs missing shards first (any k suffice),
   /// then reassembles and CRC-checks the object.
-  [[nodiscard]] common::Result<common::Bytes> decode_degraded(
+  [[nodiscard]] common::Result<common::Buffer> decode_degraded(
       StripeGeometry geometry, std::uint64_t object_size, std::uint32_t crc,
       std::vector<std::optional<common::Bytes>> shards) const;
 

@@ -65,12 +65,19 @@ struct CloudOp {
   cloud::ObjectKey key;
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
-  common::ByteSpan data{};  // must outlive the batch (puts only)
+  // Puts only. An owning Buffer keeps the payload alive for the batch's
+  // lifetime (refbump, zero-copy). The ByteSpan factory overloads wrap a
+  // borrow()ed view: that memory must outlive the batch, as before.
+  common::Buffer data{};
   common::SimDuration start_offset = 0;
 
   static CloudOp put(std::size_t client, cloud::ObjectKey key,
+                     common::Buffer data, common::SimDuration start = 0) {
+    return {Kind::kPut, client, std::move(key), 0, 0, std::move(data), start};
+  }
+  static CloudOp put(std::size_t client, cloud::ObjectKey key,
                      common::ByteSpan data, common::SimDuration start = 0) {
-    return {Kind::kPut, client, std::move(key), 0, 0, data, start};
+    return put(client, std::move(key), common::Buffer::borrow(data), start);
   }
   static CloudOp get(std::size_t client, cloud::ObjectKey key,
                      common::SimDuration start = 0) {
@@ -82,9 +89,16 @@ struct CloudOp {
     return {Kind::kGetRange, client, std::move(key), offset, length, {}, start};
   }
   static CloudOp put_range(std::size_t client, cloud::ObjectKey key,
+                           std::uint64_t offset, common::Buffer data,
+                           common::SimDuration start = 0) {
+    return {Kind::kPutRange, client, std::move(key), offset, 0,
+            std::move(data), start};
+  }
+  static CloudOp put_range(std::size_t client, cloud::ObjectKey key,
                            std::uint64_t offset, common::ByteSpan data,
                            common::SimDuration start = 0) {
-    return {Kind::kPutRange, client, std::move(key), offset, 0, data, start};
+    return put_range(client, std::move(key), offset,
+                     common::Buffer::borrow(data), start);
   }
   static CloudOp remove(std::size_t client, cloud::ObjectKey key,
                         common::SimDuration start = 0) {

@@ -11,10 +11,12 @@ CloudClient::CloudClient(cloud::SimProvider* provider, RetryPolicy policy)
 
 template <typename ResultT, typename ExecFn>
 ResultT CloudClient::run(cloud::OpKind op, const cloud::ObjectKey& key,
-                         common::ByteSpan body, ExecFn&& exec) {
-  // Round-trip through the RESTful boundary: what we execute is what a real
-  // HTTP deployment would have decoded on the wire.
-  const RestRequest encoded = encode_op(op, key, body);
+                         ExecFn&& exec) {
+  // Round-trip the envelope through the RESTful boundary: the method, path
+  // and headers we execute are what a real HTTP deployment would have
+  // decoded on the wire. The payload is attached by reference (see the
+  // declaration comment), so no body bytes pass through the codec here.
+  const RestRequest encoded = encode_op(op, key, {});
   auto parsed = parse_request(serialize(encoded));
   assert(parsed.is_ok() && "REST serialization must round-trip");
   auto decoded = decode_op(parsed.value());
@@ -52,44 +54,44 @@ ResultT CloudClient::run(cloud::OpKind op, const cloud::ObjectKey& key,
 
 cloud::OpResult CloudClient::create(const std::string& container) {
   const cloud::ObjectKey key{container, ""};
-  return run<cloud::OpResult>(cloud::OpKind::kCreate, key, {},
+  return run<cloud::OpResult>(cloud::OpKind::kCreate, key,
                               [&] { return provider_->create(container); });
 }
 
 cloud::OpResult CloudClient::put(const cloud::ObjectKey& key,
-                                 common::ByteSpan data) {
-  return run<cloud::OpResult>(cloud::OpKind::kPut, key, data,
+                                 common::Buffer data) {
+  return run<cloud::OpResult>(cloud::OpKind::kPut, key,
                               [&] { return provider_->put(key, data); });
 }
 
 cloud::GetResult CloudClient::get(const cloud::ObjectKey& key) {
-  return run<cloud::GetResult>(cloud::OpKind::kGet, key, {},
+  return run<cloud::GetResult>(cloud::OpKind::kGet, key,
                                [&] { return provider_->get(key); });
 }
 
 cloud::OpResult CloudClient::remove(const cloud::ObjectKey& key) {
-  return run<cloud::OpResult>(cloud::OpKind::kRemove, key, {},
+  return run<cloud::OpResult>(cloud::OpKind::kRemove, key,
                               [&] { return provider_->remove(key); });
 }
 
 cloud::ListResult CloudClient::list(const std::string& container) {
   const cloud::ObjectKey key{container, ""};
-  return run<cloud::ListResult>(cloud::OpKind::kList, key, {},
+  return run<cloud::ListResult>(cloud::OpKind::kList, key,
                                 [&] { return provider_->list(container); });
 }
 
 cloud::GetResult CloudClient::get_range(const cloud::ObjectKey& key,
                                         std::uint64_t offset,
                                         std::uint64_t length) {
-  return run<cloud::GetResult>(cloud::OpKind::kGet, key, {}, [&] {
+  return run<cloud::GetResult>(cloud::OpKind::kGet, key, [&] {
     return provider_->get_range(key, offset, length);
   });
 }
 
 cloud::OpResult CloudClient::put_range(const cloud::ObjectKey& key,
                                        std::uint64_t offset,
-                                       common::ByteSpan data) {
-  return run<cloud::OpResult>(cloud::OpKind::kPut, key, data, [&] {
+                                       common::Buffer data) {
+  return run<cloud::OpResult>(cloud::OpKind::kPut, key, [&] {
     return provider_->put_range(key, offset, data);
   });
 }

@@ -47,7 +47,10 @@ class CloudClient {
   [[nodiscard]] cloud::SimProvider* provider() const { return provider_; }
 
   cloud::OpResult create(const std::string& container);
-  cloud::OpResult put(const cloud::ObjectKey& key, common::ByteSpan data);
+  cloud::OpResult put(const cloud::ObjectKey& key, common::Buffer data);
+  cloud::OpResult put(const cloud::ObjectKey& key, common::ByteSpan data) {
+    return put(key, common::Buffer::borrow(data));
+  }
   cloud::GetResult get(const cloud::ObjectKey& key);
   cloud::OpResult remove(const cloud::ObjectKey& key);
   cloud::ListResult list(const std::string& container);
@@ -56,7 +59,11 @@ class CloudClient {
   cloud::GetResult get_range(const cloud::ObjectKey& key, std::uint64_t offset,
                              std::uint64_t length);
   cloud::OpResult put_range(const cloud::ObjectKey& key, std::uint64_t offset,
-                            common::ByteSpan data);
+                            common::Buffer data);
+  cloud::OpResult put_range(const cloud::ObjectKey& key, std::uint64_t offset,
+                            common::ByteSpan data) {
+    return put_range(key, offset, common::Buffer::borrow(data));
+  }
 
   /// Creates the container if it does not exist yet (idempotent setup).
   cloud::OpResult ensure_container(const std::string& container);
@@ -66,11 +73,15 @@ class CloudClient {
   void set_trace_capacity(std::size_t n);
 
  private:
-  /// Encodes op -> wire -> decode, asserting round-trip fidelity, then
-  /// executes with retries. The returned result carries total latency.
+  /// Encodes the request *envelope* -> wire -> decode, asserting round-trip
+  /// fidelity, then executes with retries. The payload itself travels by
+  /// reference (scatter-gather style: a real client writev()s the body
+  /// after the header block, it does not splice it into the header buffer),
+  /// so this middleware hop copies zero payload bytes; full body round-trip
+  /// fidelity is covered by rest_codec_test. The returned result carries
+  /// total latency.
   template <typename ResultT, typename ExecFn>
-  ResultT run(cloud::OpKind op, const cloud::ObjectKey& key,
-              common::ByteSpan body, ExecFn&& exec);
+  ResultT run(cloud::OpKind op, const cloud::ObjectKey& key, ExecFn&& exec);
 
   void record_trace(OpTraceEntry entry);
 

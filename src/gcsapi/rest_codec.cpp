@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cstring>
 
+#include "common/copy_meter.h"
+
 namespace hyrd::gcs {
 
 namespace {
@@ -70,6 +72,7 @@ RestRequest encode_op(cloud::OpKind op, const cloud::ObjectKey& key,
     case cloud::OpKind::kPut:
       req.method = "PUT";
       req.path = "/" + container + "/" + name;
+      common::count_copied_bytes(body.size());
       req.body.assign(body.begin(), body.end());
       break;
     case cloud::OpKind::kGet:
@@ -153,6 +156,7 @@ common::Bytes serialize(const RestRequest& request) {
   }
   head += kCrlf;
   common::Bytes out(head.begin(), head.end());
+  common::count_copied_bytes(request.body.size());
   out.insert(out.end(), request.body.begin(), request.body.end());
   return out;
 }
@@ -198,6 +202,7 @@ common::Result<RestRequest> parse_request(common::ByteSpan wire) {
   }
 
   const std::size_t body_start = header_end + 4;
+  common::count_copied_bytes(wire.size() - body_start);
   req.body.assign(wire.begin() + static_cast<std::ptrdiff_t>(body_start),
                   wire.end());
 

@@ -49,7 +49,7 @@ TEST(SimProvider, OfflineRejectsEverything) {
   p.set_online(false);
 
   EXPECT_EQ(p.get({"c", "k"}).status.code(), common::StatusCode::kUnavailable);
-  EXPECT_EQ(p.put({"c", "k2"}, {}).status.code(),
+  EXPECT_EQ(p.put({"c", "k2"}, common::Buffer()).status.code(),
             common::StatusCode::kUnavailable);
   EXPECT_EQ(p.list("c").status.code(), common::StatusCode::kUnavailable);
   EXPECT_EQ(p.remove({"c", "k"}).status.code(),

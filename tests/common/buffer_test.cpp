@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/copy_meter.h"
+#include "common/rng.h"
+
+namespace hyrd::common {
+namespace {
+
+TEST(Buffer, DefaultIsEmptyAndOwning) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.owning());
+  EXPECT_EQ(b.use_count(), 0);
+}
+
+TEST(Buffer, CopyIsDeepAndCounted) {
+  const Bytes src = patterned(1024, 1);
+  reset_copied_bytes();
+  Buffer b = Buffer::copy(src);
+  EXPECT_EQ(copied_bytes(), 1024u);
+  EXPECT_EQ(b, src);
+  EXPECT_NE(b.data(), src.data());
+}
+
+TEST(Buffer, FromAdoptsWithoutCopy) {
+  Bytes src = patterned(512, 2);
+  const std::uint8_t* raw = src.data();
+  reset_copied_bytes();
+  Buffer b = Buffer::from(std::move(src));
+  EXPECT_EQ(copied_bytes(), 0u);
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b.size(), 512u);
+}
+
+TEST(Buffer, SliceIsZeroCopyView) {
+  Buffer b = Buffer::from(patterned(100, 3));
+  reset_copied_bytes();
+  Buffer mid = b.slice(10, 50);
+  EXPECT_EQ(copied_bytes(), 0u);
+  EXPECT_EQ(mid.size(), 50u);
+  EXPECT_EQ(mid.data(), b.data() + 10);
+  EXPECT_TRUE(mid.same_block(b));
+  EXPECT_EQ(b.use_count(), 2);
+}
+
+TEST(Buffer, EmptySlices) {
+  Buffer b = Buffer::from(patterned(16, 4));
+  Buffer zero = b.slice(0, 0);
+  Buffer at_end = b.slice(16, 0);
+  EXPECT_TRUE(zero.empty());
+  EXPECT_TRUE(at_end.empty());
+  EXPECT_EQ(zero, at_end);  // both empty: equal regardless of address
+  Buffer empty;
+  EXPECT_TRUE(empty.slice(0, 0).empty());
+  EXPECT_EQ(empty.first(10).size(), 0u);
+}
+
+TEST(Buffer, SliceOfSliceComposes) {
+  Buffer b = Buffer::from(patterned(100, 5));
+  Buffer outer = b.slice(20, 60);
+  Buffer inner = outer.slice(10, 20);
+  EXPECT_EQ(inner.data(), b.data() + 30);
+  EXPECT_EQ(inner.size(), 20u);
+  EXPECT_TRUE(inner.same_block(b));
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(inner[i], b[30 + i]);
+}
+
+TEST(Buffer, SliceAliasesAfterSourceDestruction) {
+  Buffer inner;
+  const Bytes expect = patterned(64, 6);
+  {
+    Buffer outer = Buffer::from(patterned(64, 6));
+    inner = outer.slice(16, 32);
+  }  // outer destroyed; the block must stay alive through inner
+  EXPECT_EQ(inner.size(), 32u);
+  EXPECT_EQ(inner.use_count(), 1);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(inner[i], expect[16 + i]);
+}
+
+TEST(Buffer, BorrowViewsWithoutOwning) {
+  const Bytes src = patterned(32, 7);
+  Buffer b = Buffer::borrow(src);
+  EXPECT_FALSE(b.owning());
+  EXPECT_EQ(b.data(), src.data());
+  reset_copied_bytes();
+  Buffer owned = b.own();
+  EXPECT_TRUE(owned.owning());
+  EXPECT_EQ(copied_bytes(), 32u);  // borrowed -> own() must deep copy
+  EXPECT_NE(owned.data(), src.data());
+  EXPECT_EQ(owned, src);
+}
+
+TEST(Buffer, OwnIsRefbumpWhenAlreadyOwning) {
+  Buffer b = Buffer::from(patterned(32, 8));
+  reset_copied_bytes();
+  Buffer again = b.own();
+  EXPECT_EQ(copied_bytes(), 0u);
+  EXPECT_TRUE(again.same_block(b));
+}
+
+TEST(Buffer, IntoBytesStealsWhenSoleWholeOwner) {
+  Buffer b = Buffer::from(patterned(256, 9));
+  const std::uint8_t* raw = b.data();
+  reset_copied_bytes();
+  Bytes out = std::move(b).into_bytes();
+  EXPECT_EQ(copied_bytes(), 0u);
+  EXPECT_EQ(out.data(), raw);
+  EXPECT_EQ(out.size(), 256u);
+}
+
+TEST(Buffer, IntoBytesForksWhenShared) {
+  // COW on mutation: a second view forces into_bytes() to fork so the
+  // sibling keeps its snapshot.
+  Buffer a = Buffer::from(patterned(128, 10));
+  Buffer sibling = a.slice(0, 128);
+  reset_copied_bytes();
+  Bytes out = std::move(a).into_bytes();
+  EXPECT_EQ(copied_bytes(), 128u);
+  out[0] ^= 0xFF;
+  EXPECT_NE(sibling[0], out[0]);  // sibling unchanged after the fork
+}
+
+TEST(Buffer, IntoBytesForksWhenPartialView) {
+  Buffer a = Buffer::from(patterned(128, 11)).slice(8, 64);
+  reset_copied_bytes();
+  Bytes out = std::move(a).into_bytes();
+  EXPECT_EQ(copied_bytes(), 64u);  // a partial view can never steal
+  EXPECT_EQ(out.size(), 64u);
+}
+
+TEST(Buffer, JoinContiguousFastPath) {
+  Buffer whole = Buffer::from(patterned(90, 12));
+  std::vector<Buffer> parts = {whole.slice(0, 30), whole.slice(30, 30),
+                               whole.slice(60, 30)};
+  reset_copied_bytes();
+  auto joined = Buffer::join_contiguous(parts, 85);
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_EQ(copied_bytes(), 0u);
+  EXPECT_EQ(joined->data(), whole.data());
+  EXPECT_EQ(joined->size(), 85u);  // truncated to the logical length
+}
+
+TEST(Buffer, JoinContiguousRejectsGapsAndForeignBlocks) {
+  Buffer whole = Buffer::from(patterned(90, 13));
+  // Gap: second part skips 10 bytes.
+  std::vector<Buffer> gap = {whole.slice(0, 30), whole.slice(40, 30)};
+  EXPECT_FALSE(Buffer::join_contiguous(gap, 60).has_value());
+  // Out of order.
+  std::vector<Buffer> swapped = {whole.slice(30, 30), whole.slice(0, 30)};
+  EXPECT_FALSE(Buffer::join_contiguous(swapped, 60).has_value());
+  // Different blocks.
+  Buffer other = Buffer::from(patterned(30, 14));
+  std::vector<Buffer> mixed = {whole.slice(0, 30), other};
+  EXPECT_FALSE(Buffer::join_contiguous(mixed, 60).has_value());
+  // Asking for more than the run holds.
+  std::vector<Buffer> ok = {whole.slice(0, 30), whole.slice(30, 30)};
+  EXPECT_FALSE(Buffer::join_contiguous(ok, 61).has_value());
+}
+
+TEST(MutableBuffer, FreezeAndSlice) {
+  MutableBuffer arena(64);
+  const Bytes fill = patterned(32, 15);
+  arena.write(16, fill);
+  Buffer b = std::move(arena).freeze();
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_EQ(b[0], 0);  // zero-initialised outside the written region
+  Buffer window = b.slice(16, 32);
+  EXPECT_EQ(window, fill);
+}
+
+TEST(MutableBuffer, SpanTakenBeforeFreezeStaysWritable) {
+  // The erasure write path takes parity spans before freeze() and encodes
+  // into them afterwards; the bytes must land in the frozen block.
+  MutableBuffer arena(32);
+  MutByteSpan tail = arena.span(16, 16);
+  Buffer frozen = std::move(arena).freeze();
+  for (auto& byte : tail) byte = 0xAB;
+  for (std::size_t i = 16; i < 32; ++i) EXPECT_EQ(frozen[i], 0xAB);
+}
+
+TEST(RangeWithin, RejectsOverflowingRanges) {
+  EXPECT_TRUE(range_within(0, 10, 10));
+  EXPECT_TRUE(range_within(10, 0, 10));
+  EXPECT_FALSE(range_within(11, 0, 10));
+  EXPECT_FALSE(range_within(0, 11, 10));
+  // offset + length wraps to a small number: the naive `offset + length >
+  // size` check passes; range_within must not.
+  const std::uint64_t huge = ~std::uint64_t{0} - 3;
+  EXPECT_FALSE(range_within(huge, 8, 100));
+  EXPECT_FALSE(range_within(8, huge, 100));
+  EXPECT_FALSE(range_within(huge, huge, ~std::uint64_t{0}));
+  EXPECT_TRUE(range_within(huge, 3, ~std::uint64_t{0}));
+}
+
+TEST(Buffer, ConcurrentSliceAndDropIsSafe) {
+  // Refcount stress: many threads slicing and dropping views of one block.
+  // Run under TSan to prove the control block is the only shared state.
+  Buffer shared = Buffer::from(patterned(4096, 16));
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> checksum{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&shared, &go, &checksum, t] {
+      while (!go.load()) {
+      }
+      std::uint64_t local = 0;
+      for (int i = 0; i < 2000; ++i) {
+        Buffer view = shared.slice((t * 64 + i) % 2048, 1024);
+        local += view[0] + view[view.size() - 1];
+        Buffer copy = view;  // extra refbump/decrement churn
+      }
+      checksum += local;
+    });
+  }
+  go = true;
+  for (auto& th : threads) th.join();
+  EXPECT_GT(checksum.load(), 0u);
+  EXPECT_EQ(shared.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace hyrd::common

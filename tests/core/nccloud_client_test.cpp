@@ -110,7 +110,7 @@ TEST_F(NCCloudTest, CorruptChunkForcesAnotherPair) {
   const auto& loc = w.meta.locations[node * 2];
   auto chunk = ali->raw_store().get("nccloud-data", loc.object_name);
   ASSERT_TRUE(chunk.is_ok());
-  common::Bytes bad = chunk.value();
+  common::Bytes bad = chunk.value().to_bytes();
   bad[7] ^= 0x10;
   ali->raw_store().put("nccloud-data", loc.object_name, bad);
 

@@ -27,7 +27,7 @@ class CorruptionTest : public ::testing::Test {
     auto current = provider->raw_store().get("data",
                                              m.locations[slot].object_name);
     ASSERT_TRUE(current.is_ok());
-    common::Bytes bad = current.value();
+    common::Bytes bad = current.value().to_bytes();
     bad[bad.size() / 2] ^= 0xFF;
     provider->raw_store().put("data", m.locations[slot].object_name, bad);
   }
@@ -109,7 +109,7 @@ TEST_F(CorruptionTest, HyRDEndToEndSurvivesFragmentCorruption) {
   auto frag = provider->raw_store().get("hyrd-data",
                                         w.meta.locations[0].object_name);
   ASSERT_TRUE(frag.is_ok());
-  common::Bytes bad = frag.value();
+  common::Bytes bad = frag.value().to_bytes();
   bad[0] ^= 0x01;
   provider->raw_store().put("hyrd-data", w.meta.locations[0].object_name,
                             bad);

@@ -128,7 +128,7 @@ TEST_P(StriperSizeTest, DegradedDecodeFromAnyKSurvivors) {
   for (std::size_t missing = 0; missing < 4; ++missing) {
     std::vector<std::optional<common::Bytes>> shards(4);
     for (std::size_t i = 0; i < 4; ++i) {
-      if (i != missing) shards[i] = set.shards[i];
+      if (i != missing) shards[i] = set.shards[i].to_bytes();
     }
     auto decoded = striper.decode_degraded(set.geometry, set.object_size,
                                            set.object_crc, std::move(shards));
@@ -161,7 +161,9 @@ TEST(Striper, DecodeDetectsCorruptObject) {
   Striper striper({.k = 2, .m = 1});
   const common::Bytes object = common::patterned(100, 8);
   StripeSet set = striper.encode(object);
-  set.shards[0][5] ^= 0xFF;
+  common::Bytes corrupt = set.shards[0].to_bytes();
+  corrupt[5] ^= 0xFF;
+  set.shards[0] = common::Buffer::from(std::move(corrupt));
   auto decoded = striper.decode(set);
   EXPECT_FALSE(decoded.is_ok());
   EXPECT_EQ(decoded.status().code(), common::StatusCode::kDataLoss);
@@ -182,7 +184,7 @@ TEST(Striper, RsGeometryRoundTrip) {
   // Lose three shards (the tolerance limit).
   std::vector<std::optional<common::Bytes>> shards(8);
   for (std::size_t i = 0; i < 8; ++i) {
-    if (i != 1 && i != 4 && i != 7) shards[i] = set.shards[i];
+    if (i != 1 && i != 4 && i != 7) shards[i] = set.shards[i].to_bytes();
   }
   auto decoded = striper.decode_degraded(set.geometry, set.object_size,
                                          set.object_crc, std::move(shards));
