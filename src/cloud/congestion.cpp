@@ -1,0 +1,72 @@
+#include "cloud/congestion.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hyrd::cloud {
+
+FairQueue::FairQueue(CongestionParams params) : params_(params) {
+  if (params_.channels == 0) params_.channels = 1;
+  slot_free_.assign(params_.channels, 0);
+}
+
+common::SimDuration FairQueue::service_time(std::uint64_t bytes) const {
+  double ms = params_.per_op_service_ms;
+  if (bytes > 0 && params_.service_mbps > 0) {
+    ms += static_cast<double>(bytes) / (params_.service_mbps * 1e6) * 1e3;
+  }
+  return common::from_ms(ms);
+}
+
+void FairQueue::prune(common::SimDuration arrival) {
+  while (!waiting_.empty() && waiting_.top() <= arrival) waiting_.pop();
+}
+
+FairQueue::Admission FairQueue::admit(std::uint64_t tenant, double weight,
+                                      common::SimDuration arrival,
+                                      std::uint64_t bytes) {
+  prune(arrival);
+  if (waiting_.size() >= params_.max_queue_depth) {
+    ++stats_.throttled;
+    return {.admitted = false, .wait = 0};
+  }
+
+  const common::SimDuration service = service_time(bytes);
+  if (weight <= 0.0) weight = 1.0;
+
+  // Per-flow pacing gate: a flow past its weighted share waits on its own
+  // tag even when a slot is free, so one hot tenant cannot starve the rest.
+  common::SimDuration gate = arrival;
+  if (auto it = flow_tag_.find(tenant); it != flow_tag_.end()) {
+    gate = std::max(gate, it->second);
+  }
+
+  auto slot = std::min_element(slot_free_.begin(), slot_free_.end());
+  const common::SimDuration begin = std::max(gate, *slot);
+  *slot = begin + service;
+  flow_tag_[tenant] = begin + static_cast<common::SimDuration>(
+                                  static_cast<double>(service) / weight);
+
+  const common::SimDuration wait = begin - arrival;
+  ++stats_.admitted;
+  if (wait > 0) {
+    ++stats_.queued;
+    waiting_.push(begin);
+    stats_.peak_depth = std::max(stats_.peak_depth, waiting_.size());
+    stats_.total_wait += wait;
+    stats_.max_wait = std::max(stats_.max_wait, wait);
+  }
+
+  // The tag map must track backlogged flows, not every tenant ever seen:
+  // at 10^6 closed-loop tenants an unpruned map is hundreds of MB. Tags at
+  // or behind the current arrival are inert (gate falls back to arrival).
+  if (++admits_since_prune_ >= 4096) {
+    admits_since_prune_ = 0;
+    for (auto it = flow_tag_.begin(); it != flow_tag_.end();) {
+      it = it->second <= arrival ? flow_tag_.erase(it) : std::next(it);
+    }
+  }
+  return {.admitted = true, .wait = wait};
+}
+
+}  // namespace hyrd::cloud

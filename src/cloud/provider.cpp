@@ -1,6 +1,7 @@
 #include "cloud/provider.h"
 
 #include "common/checksum.h"
+#include "common/virtual_time.h"
 
 namespace hyrd::cloud {
 
@@ -33,6 +34,43 @@ common::SimDuration SimProvider::charge(OpKind op, std::uint64_t bytes) {
         static_cast<double>(sampled) * scale);
   }
   return sampled;
+}
+
+void SimProvider::set_congestion(std::optional<CongestionParams> params) {
+  std::lock_guard lock(mu_);
+  congestion_ = params ? std::make_unique<FairQueue>(*params) : nullptr;
+}
+
+bool SimProvider::congestion_enabled() const {
+  std::lock_guard lock(mu_);
+  return congestion_ != nullptr;
+}
+
+CongestionStats SimProvider::congestion_stats() const {
+  std::lock_guard lock(mu_);
+  return congestion_ ? congestion_->stats() : CongestionStats{};
+}
+
+std::optional<OpResult> SimProvider::admit(std::uint64_t bytes,
+                                           common::SimDuration* wait) {
+  *wait = 0;
+  const common::VirtualContext* ctx = common::VirtualScope::current();
+  if (ctx == nullptr) return std::nullopt;  // legacy path: infinitely wide
+  std::lock_guard lock(mu_);
+  if (congestion_ == nullptr) return std::nullopt;
+  const auto adm =
+      congestion_->admit(ctx->tenant, ctx->weight, ctx->now, bytes);
+  if (adm.admitted) {
+    *wait = adm.wait;
+    return std::nullopt;
+  }
+  ++counters_.throttled;
+  OpResult r;
+  r.status = common::resource_exhausted(config_.name + " over capacity");
+  // A 429 is cheap for the server and comes back at request-processing
+  // speed; the client pays one metadata-op round trip, no money.
+  r.latency = common::from_ms(config_.latency.metadata_op_ms);
+  return r;
 }
 
 OpResult SimProvider::unavailable_result() {
@@ -72,14 +110,16 @@ OpResult SimProvider::put(const ObjectKey& key, common::Buffer data) {
   if (CancelScope::cancelled()) return cancelled_result();
   run_op_hook(OpKind::kPut, key);
   if (CancelScope::cancelled()) return cancelled_result();
+  common::SimDuration wait = 0;
+  if (auto throttled = admit(data.size(), &wait)) return *throttled;
   OpResult r;
   const std::uint64_t size = data.size();
   r.status = store_.put(key.container, key.name, std::move(data));
   if (r.status.is_ok()) {
     r.bytes_transferred = size;
-    r.latency = charge(OpKind::kPut, size);
+    r.latency = wait + charge(OpKind::kPut, size);
   } else {
-    r.latency = charge(OpKind::kPut, 0);
+    r.latency = wait + charge(OpKind::kPut, 0);
   }
   return r;
 }
@@ -101,9 +141,14 @@ GetResult SimProvider::get(const ObjectKey& key) {
   }
   auto res = store_.get(key.container, key.name);
   if (res.is_ok()) {
+    common::SimDuration wait = 0;
+    if (auto throttled = admit(res.value().size(), &wait)) {
+      static_cast<OpResult&>(r) = *throttled;
+      return r;
+    }
     r.data = std::move(res).value();
     r.bytes_transferred = r.data.size();
-    r.latency = charge(OpKind::kGet, r.data.size());
+    r.latency = wait + charge(OpKind::kGet, r.data.size());
     r.status = common::Status::ok();
   } else {
     r.status = res.status();
@@ -117,9 +162,11 @@ OpResult SimProvider::remove(const ObjectKey& key) {
   if (CancelScope::cancelled()) return cancelled_result();
   run_op_hook(OpKind::kRemove, key);
   if (CancelScope::cancelled()) return cancelled_result();
+  common::SimDuration wait = 0;
+  if (auto throttled = admit(0, &wait)) return *throttled;
   OpResult r;
   r.status = store_.remove(key.container, key.name);
-  r.latency = charge(OpKind::kRemove, 0);
+  r.latency = wait + charge(OpKind::kRemove, 0);
   return r;
 }
 
@@ -158,9 +205,14 @@ GetResult SimProvider::get_range(const ObjectKey& key, std::uint64_t offset,
   }
   auto res = store_.get_range(key.container, key.name, offset, length);
   if (res.is_ok()) {
+    common::SimDuration wait = 0;
+    if (auto throttled = admit(res.value().size(), &wait)) {
+      static_cast<OpResult&>(r) = *throttled;
+      return r;
+    }
     r.data = std::move(res).value();
     r.bytes_transferred = r.data.size();
-    r.latency = charge(OpKind::kGet, r.data.size());
+    r.latency = wait + charge(OpKind::kGet, r.data.size());
     r.status = common::Status::ok();
   } else {
     r.status = res.status();
@@ -175,13 +227,15 @@ OpResult SimProvider::put_range(const ObjectKey& key, std::uint64_t offset,
   if (CancelScope::cancelled()) return cancelled_result();
   run_op_hook(OpKind::kPut, key);
   if (CancelScope::cancelled()) return cancelled_result();
+  common::SimDuration wait = 0;
+  if (auto throttled = admit(data.size(), &wait)) return *throttled;
   OpResult r;
   r.status = store_.put_range(key.container, key.name, offset, data);
   if (r.status.is_ok()) {
     r.bytes_transferred = data.size();
-    r.latency = charge(OpKind::kPut, data.size());
+    r.latency = wait + charge(OpKind::kPut, data.size());
   } else {
-    r.latency = charge(OpKind::kPut, 0);
+    r.latency = wait + charge(OpKind::kPut, 0);
   }
   return r;
 }

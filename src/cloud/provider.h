@@ -13,10 +13,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "cloud/billing.h"
 #include "cloud/cancel.h"
+#include "cloud/congestion.h"
 #include "cloud/latency_model.h"
 #include "cloud/memory_store.h"
 #include "cloud/object_store.h"
@@ -42,7 +44,8 @@ struct OpCounters {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t rejected_unavailable = 0;
-  std::uint64_t cancelled = 0;  // abandoned by the client before commit
+  std::uint64_t cancelled = 0;   // abandoned by the client before commit
+  std::uint64_t throttled = 0;   // rejected 429 at the congestion-queue cap
 
   [[nodiscard]] std::uint64_t total_ops() const {
     return lists + gets + creates + puts + removes;
@@ -76,6 +79,16 @@ class SimProvider final : public ObjectStore {
   /// When true, going offline also wipes stored state (permanent provider
   /// failure rather than transient outage).
   void fail_permanently();
+
+  // --- Congestion (scale-out contention emulation; see congestion.h) ---
+
+  /// Installs (or clears) the bounded-capacity fair queue. Only requests
+  /// issued under a common::VirtualScope — i.e. from the discrete-event
+  /// scale-out engine — are subject to it; plain single-client traffic
+  /// never queues, so enabling congestion does not perturb legacy paths.
+  void set_congestion(std::optional<CongestionParams> params);
+  [[nodiscard]] bool congestion_enabled() const;
+  [[nodiscard]] CongestionStats congestion_stats() const;
 
   /// Brownout emulation: multiplies every sampled latency. 1.0 = healthy;
   /// e.g. 8.0 models a provider that is reachable but badly degraded (the
@@ -120,6 +133,12 @@ class SimProvider final : public ObjectStore {
   common::SimDuration charge(OpKind op, std::uint64_t bytes);
   OpResult unavailable_result();
 
+  /// Congestion admission for one data-plane request. Returns a 429
+  /// OpResult when the fair queue rejects it; otherwise writes the
+  /// queueing delay (0 when uncontended or congestion is off) to *wait.
+  std::optional<OpResult> admit(std::uint64_t bytes,
+                                common::SimDuration* wait);
+
   /// Result for an op abandoned by the client (see cloud/cancel.h): no
   /// store mutation, no billing, no latency draw — only the `cancelled`
   /// counter moves, so cancelled stragglers are visible in audits without
@@ -132,6 +151,7 @@ class SimProvider final : public ObjectStore {
   BillingMeter billing_;
   common::Xoshiro256 rng_;
   OpCounters counters_;
+  std::unique_ptr<FairQueue> congestion_;  // guarded by mu_; null = off
   OpHook op_hook_;  // set before concurrent use; never mutated mid-test
   std::atomic<bool> online_{true};
   std::atomic<double> latency_scale_{1.0};

@@ -78,6 +78,31 @@ void LogHistogram::add(double x) {
   ++total_;
 }
 
+double LogHistogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the percentile sample (1-based, nearest-rank).
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(total_ - 1) + 1.0);
+  std::size_t cum = 0;
+  double lo = 0.0;
+  double hi = base_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (cum + counts_[i] >= rank) {
+      const double frac = counts_[i] == 0
+                              ? 1.0
+                              : static_cast<double>(rank - cum) /
+                                    static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum += counts_[i];
+    lo = hi;
+    hi *= growth_;
+  }
+  return lo;  // everything landed in the (unbounded) last bucket
+}
+
 std::string LogHistogram::render(std::size_t width) const {
   std::string out;
   std::size_t peak = 1;

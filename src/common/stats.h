@@ -61,6 +61,13 @@ class LogHistogram {
   [[nodiscard]] std::size_t total() const { return total_; }
   [[nodiscard]] std::string render(std::size_t width = 40) const;
 
+  /// Approximate percentile (p in [0,100]): the sample's bucket is found
+  /// by cumulative count and the value interpolated linearly inside it.
+  /// O(buckets) time, O(1) memory per sample — this is what lets the
+  /// scale-out bench report p99 over millions of ops without retaining
+  /// them. Error is bounded by one bucket's width (growth factor).
+  [[nodiscard]] double percentile(double p) const;
+
  private:
   double base_;
   double growth_;

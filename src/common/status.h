@@ -24,6 +24,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kCancelled,       // op abandoned by the client (straggler past early ack)
+  kResourceExhausted,  // provider over capacity; request throttled (429)
 };
 
 /// Human-readable code name (stable; used in logs and test assertions).
@@ -38,6 +39,7 @@ constexpr std::string_view status_code_name(StatusCode c) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -96,6 +98,9 @@ inline Status internal_error(std::string msg) {
 }
 inline Status cancelled(std::string msg) {
   return {StatusCode::kCancelled, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
 }
 
 /// Result<T>: either a value or a non-OK Status.

@@ -58,7 +58,20 @@ void ThreadPool::parallel_for(std::size_t n,
     }));
     begin = end;
   }
-  for (auto& f : futs) f.get();
+  // Every chunk captures `fn` by reference, so this frame must outlive all
+  // of them: drain every future — even after one throws — before leaving,
+  // then rethrow the first failure. Bailing out on the first get() would
+  // both dangle `fn` for the still-running chunks and leave their tasks
+  // racing a destroyed stack frame.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace hyrd::common

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -64,6 +65,28 @@ class StorageClient {
                                    common::ByteSpan data) = 0;
 
   virtual dist::RemoveResult remove(const std::string& path) = 0;
+
+  // --- Async-issue path (the continuation seam the discrete-event engine
+  // drives; see sim/). The contract is completion-ordered, not
+  // thread-ordered: `done` receives the finished result exactly once, and
+  // the call itself never blocks on wall-clock waits when issued under a
+  // common::VirtualScope — every AsyncBatch the schemes build inside
+  // detects the scope and runs its ops inline, so the whole operation is
+  // one deterministic state-machine step whose cost is CPU work, not
+  // thread round trips. Without a scope these are plain synchronous calls
+  // with a callback, so non-sim callers can share code with the engine.
+  void put_async(const std::string& path, common::Buffer data,
+                 std::function<void(dist::WriteResult)> done) {
+    done(do_put(path, std::move(data)));
+  }
+  void get_async(const std::string& path,
+                 std::function<void(dist::ReadResult)> done) {
+    done(get(path));
+  }
+  void remove_async(const std::string& path,
+                    std::function<void(dist::RemoveResult)> done) {
+    done(remove(path));
+  }
 
   /// Client-side metadata lookup (served from the in-memory store; the
   /// paper loads metadata blocks into client memory before file access).

@@ -28,7 +28,16 @@ std::size_t AsyncBatch::submit(CloudOp op) {
     index = ops_.size() - 1;
     ops_.back().op = std::move(op);
   }
-  session_.pool().submit([this, index] { run_op(index); });
+  if (sim_ctx_.has_value()) {
+    // Discrete-event mode: execute now, on this thread. The op's virtual
+    // arrival is already encoded via start_offset, so running it at submit
+    // time changes nothing about virtual-time aggregation — it removes the
+    // thread handoff, which is what makes a tenant step O(bytes of state)
+    // instead of O(pool round trips).
+    run_op(index);
+  } else {
+    session_.pool().submit([this, index] { run_op(index); });
+  }
   return index;
 }
 
@@ -55,6 +64,16 @@ void AsyncBatch::run_op(std::size_t index) {
     result.status = common::cancelled("torn down before dispatch");
   } else {
     cloud::CancelScope scope(&rec->cancel);
+    // In inline mode the provider must see this op's virtual arrival, not
+    // the batch epoch: late submissions (failover retries, hedges) reach
+    // the congestion queue at epoch + start_offset, exactly when the
+    // legacy sum-of-latencies accounting says the request went out.
+    std::optional<common::VirtualScope> arrival;
+    if (sim_ctx_.has_value()) {
+      common::VirtualContext ctx = *sim_ctx_;
+      ctx.now += rec->op.start_offset;
+      arrival.emplace(ctx);
+    }
     CloudClient& client = session_.client(rec->op.client_index);
     switch (rec->op.kind) {
       case CloudOp::Kind::kPut:

@@ -29,6 +29,21 @@
 // billing. Ops cancelled before dispatch never reach the provider at all.
 // The destructor cancels and then joins every outstanding task, so a batch
 // never leaks pool work or lets a task outlive the buffers its ops span.
+//
+// Inline (discrete-event) mode: when the batch is constructed under a
+// common::VirtualScope — i.e. the caller is a tenant state machine being
+// stepped by the sim/ event loop — submit() executes the op synchronously
+// on the calling thread instead of dispatching it to the session pool,
+// with the scope re-installed at now + start_offset so SimProvider's
+// congestion queue sees the correct virtual arrival. Virtual-time
+// aggregation is unchanged (arrivals and order statistics are computed
+// identically); what changes is the real-time shape: every await_* and
+// next() returns without blocking, so a single OS thread can step through
+// millions of tenants' batches deterministically. Two semantic deltas,
+// both deliberate: real-stall hedges (next_for) never fire — a
+// single-threaded simulation has no wedged threads — and stragglers that
+// an await_first would have torn down mid-flight have already completed,
+// so they are billed as completed requests rather than cancelled ones.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +56,7 @@
 #include "cloud/object_store.h"
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/virtual_time.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -134,8 +150,16 @@ struct BatchStats {
 
 class AsyncBatch {
  public:
-  explicit AsyncBatch(MultiCloudSession& session) : session_(session) {}
+  /// Captures the active VirtualScope (if any) as the batch's virtual
+  /// epoch: all ops of one batch belong to the client call that created
+  /// it, at that call's virtual instant.
+  explicit AsyncBatch(MultiCloudSession& session)
+      : session_(session), sim_ctx_(common::VirtualScope::snapshot()) {}
   ~AsyncBatch();  // cancels stragglers and joins every task
+
+  /// True when ops run inline on the submitting thread (discrete-event
+  /// mode) instead of on the session pool.
+  [[nodiscard]] bool inline_mode() const { return sim_ctx_.has_value(); }
 
   AsyncBatch(const AsyncBatch&) = delete;
   AsyncBatch& operator=(const AsyncBatch&) = delete;
@@ -198,6 +222,7 @@ class AsyncBatch {
   void fill_stats_locked(BatchStats* stats, common::SimDuration latency) const;
 
   MultiCloudSession& session_;
+  const std::optional<common::VirtualContext> sim_ctx_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<OpRec> ops_;  // deque: stable addresses across submit()

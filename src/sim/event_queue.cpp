@@ -1,0 +1,66 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+#include "cloud/cancel.h"
+
+namespace hyrd::sim {
+
+EventId EventQueue::schedule_at(common::SimDuration when,
+                                EventHandler* handler) {
+  assert(handler != nullptr);
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  entries_[id].handler = handler;
+  heap_.push({when, id});
+  return id;
+}
+
+EventId EventQueue::schedule_in(common::SimDuration delay,
+                                EventHandler* handler) {
+  return schedule_at(delay > 0 ? now_ + delay : now_, handler);
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  // Flag, don't erase: the heap item still references the entry, and the
+  // flag must stay readable (it may be the installed CancelScope of work
+  // already associated with this event).
+  return !it->second.cancelled.exchange(true, std::memory_order_acq_rel);
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const HeapItem item = heap_.top();
+    heap_.pop();
+    auto it = entries_.find(item.id);
+    assert(it != entries_.end() && "heap item without entry");
+    if (it->second.cancelled.load(std::memory_order_acquire)) {
+      entries_.erase(it);
+      continue;
+    }
+    assert(item.when >= now_ && "virtual time must be monotonic");
+    now_ = item.when;
+    ++dispatched_;
+    EventHandler* handler = it->second.handler;
+    {
+      // The event's own flag doubles as the cooperative-cancellation token
+      // for everything the handler does: a provider op issued from this
+      // step aborts exactly like an AsyncBatch straggler would.
+      cloud::CancelScope scope(&it->second.cancelled);
+      handler->on_event(*this, now_);
+    }
+    entries_.erase(item.id);  // `it` may be stale after handler side effects
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace hyrd::sim

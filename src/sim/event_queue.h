@@ -1,0 +1,104 @@
+// Discrete-event core of the scale-out engine: a binary heap of events
+// keyed on virtual nanoseconds, dispatched strictly in (time, submission)
+// order on one OS thread.
+//
+// This replaces "concurrency = OS threads" with "concurrency = pending
+// events": a simulated tenant is an EventHandler whose next wakeup sits in
+// this heap, costing tens of bytes instead of a thread stack. The loop
+// pops the earliest event, advances the virtual clock to it (never
+// backwards — monotonicity is asserted), and steps the handler; the
+// handler issues client ops under a common::VirtualScope, learns their
+// virtual latency immediately (providers *compute* time, nothing sleeps),
+// and schedules its own next wakeup. The shape is vitastor's
+// event-loop-per-OSD turned inside out: one loop, many cheap actors.
+//
+// Ordering: events with equal timestamps dispatch in schedule() order
+// (a monotone sequence number breaks ties), so runs are reproducible.
+//
+// Cancellation: every scheduled event owns an atomic cancel flag.
+// cancel(id) marks it; the dispatcher skips marked events, and while a
+// handler runs, its event's flag is installed as the thread's
+// cloud::CancelScope — so provider-level cooperative cancellation (the
+// same mechanism AsyncBatch stragglers use) composes with event-level
+// cancellation without new machinery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hyrd::sim {
+
+class EventQueue;
+
+/// Something that can be woken at a virtual instant. Handlers are borrowed,
+/// never owned: the caller keeps them alive until their events have fired
+/// or been cancelled.
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void on_event(EventQueue& queue, common::SimDuration now) = 0;
+};
+
+/// Identifies one scheduled (not yet dispatched) event. Never reused.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Current virtual time: the timestamp of the latest dispatched event.
+  [[nodiscard]] common::SimDuration now() const { return now_; }
+
+  [[nodiscard]] std::size_t pending() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Schedules `handler` at virtual time `when`. Times in the past are
+  /// clamped to now(): virtual time never runs backwards.
+  EventId schedule_at(common::SimDuration when, EventHandler* handler);
+
+  /// Schedules `handler` `delay` from now (negative delays clamp to 0).
+  EventId schedule_in(common::SimDuration delay, EventHandler* handler);
+
+  /// Cancels a pending event. Returns false when the id is unknown,
+  /// already dispatched, or already cancelled. The handler is not invoked.
+  bool cancel(EventId id);
+
+  /// Dispatches the earliest pending event, skipping cancelled ones.
+  /// Returns false when nothing was dispatched (queue empty or all
+  /// remaining events cancelled).
+  bool step();
+
+  /// Runs until the queue drains or `max_events` were dispatched.
+  /// Returns the number of events dispatched.
+  std::uint64_t run(std::uint64_t max_events =
+                        std::numeric_limits<std::uint64_t>::max());
+
+ private:
+  struct HeapItem {
+    common::SimDuration when;
+    EventId id;  // monotone: smaller id == scheduled earlier
+    friend bool operator>(const HeapItem& a, const HeapItem& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+  struct Entry {
+    EventHandler* handler;
+    std::atomic<bool> cancelled{false};
+  };
+
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  // Node-based so &entry.cancelled stays valid across rehash while a
+  // handler scheduled from inside on_event() grows the map.
+  std::unordered_map<EventId, Entry> entries_;
+  common::SimDuration now_ = 0;
+  EventId next_id_ = 1;  // 0 is kInvalidEvent
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace hyrd::sim

@@ -1,0 +1,210 @@
+#include "sim/scaleout.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "cloud/profiles.h"
+#include "cloud/registry.h"
+#include "common/buffer.h"
+#include "common/rng.h"
+#include "core/duracloud_client.h"
+#include "core/hyrd_client.h"
+#include "core/racs_client.h"
+#include "gcsapi/session.h"
+#include "sim/event_queue.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace hyrd::sim {
+
+namespace {
+
+std::unique_ptr<core::StorageClient> make_client(const std::string& scheme,
+                                                 gcs::MultiCloudSession& s) {
+  if (scheme == "HyRD") return std::make_unique<core::HyRDClient>(s);
+  if (scheme == "DuraCloud") return std::make_unique<core::DuraCloudClient>(s);
+  if (scheme == "RACS") return std::make_unique<core::RACSClient>(s);
+  throw std::invalid_argument("unknown scaleout scheme: " + scheme);
+}
+
+/// Fills the shared payload arena with seeded pseudo-random bytes, so
+/// tenant objects have unique-looking content without per-tenant storage.
+common::Buffer make_arena(std::size_t bytes, std::uint64_t seed) {
+  common::MutableBuffer arena(bytes);
+  common::SplitMix64 mixer(seed ^ 0xa5a5a5a5a5a5a5a5ull);
+  std::uint8_t* p = arena.data();
+  std::size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    const std::uint64_t word = mixer.next();
+    std::memcpy(p + i, &word, 8);
+  }
+  if (i < bytes) {
+    const std::uint64_t word = mixer.next();
+    std::memcpy(p + i, &word, bytes - i);
+  }
+  return std::move(arena).freeze();
+}
+
+/// Fixed-format double: enough digits to be faithful, same bytes for the
+/// same value (reproducibility contract of report_to_json).
+void append_field(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.6f,", key, v);
+  out += buf;
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu,", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long long size = 0;
+  unsigned long long resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return resident * static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t rss_before = current_rss_bytes();
+
+  // --- Fleet + scheme under test ---------------------------------------
+  cloud::CloudRegistry registry;
+  cloud::install_standard_four(registry, config.seed);
+  if (config.congestion_enabled) {
+    for (const auto& provider : registry.all()) {
+      provider->set_congestion(config.congestion);
+    }
+  }
+  gcs::MultiCloudSession session(registry);
+  std::unique_ptr<core::StorageClient> client =
+      make_client(config.scheme, session);
+  // Setup traffic (container creates, evaluator probes) is not part of the
+  // measured workload: start the audit counters at zero. The congestion
+  // queue is untouched by setup — it only sees VirtualScope traffic.
+  for (const auto& provider : registry.all()) provider->reset_counters();
+
+  // --- Tenants ----------------------------------------------------------
+  const common::Buffer arena = make_arena(config.arena_bytes, config.seed);
+  FleetMetrics metrics;
+  EventQueue queue;
+  std::vector<Tenant> fleet;
+  fleet.reserve(config.tenants);  // stable addresses: the queue holds raw ptrs
+  common::SplitMix64 seeder(config.seed);
+  for (std::size_t i = 0; i < config.tenants; ++i) {
+    fleet.emplace_back(static_cast<std::uint64_t>(i), seeder.next(),
+                       config.tenant, *client, arena, metrics);
+  }
+  // First wakeups staggered uniformly across the ramp window.
+  for (std::size_t i = 0; i < config.tenants; ++i) {
+    const common::SimDuration at =
+        config.tenants <= 1
+            ? 0
+            : static_cast<common::SimDuration>(
+                  static_cast<double>(config.ramp) * static_cast<double>(i) /
+                  static_cast<double>(config.tenants));
+    queue.schedule_at(at, &fleet[i]);
+  }
+
+  queue.run();
+
+  // --- Report -----------------------------------------------------------
+  ScaleoutReport r;
+  r.scheme = config.scheme;
+  r.seed = config.seed;
+  r.tenants = config.tenants;
+  r.ops_ok = metrics.ops_ok;
+  r.ops_failed = metrics.ops_failed;
+  r.events_dispatched = queue.dispatched();
+  for (const auto& provider : registry.all()) {
+    const cloud::OpCounters c = provider->counters();
+    r.provider_ops += c.total_ops();
+    r.provider_throttled += c.throttled;
+    if (provider->congestion_enabled()) {
+      r.peak_queue_depth =
+          std::max(r.peak_queue_depth, provider->congestion_stats().peak_depth);
+    }
+  }
+  r.virtual_seconds = common::to_seconds(metrics.last_completion);
+  r.throughput_ops_per_vs =
+      r.virtual_seconds > 0
+          ? static_cast<double>(r.ops_ok) / r.virtual_seconds
+          : 0.0;
+  const std::size_t n_lat = metrics.latency_ms.total();
+  r.mean_ms = n_lat ? (metrics.put_ms.sum() + metrics.get_ms.sum()) /
+                          static_cast<double>(n_lat)
+                    : 0.0;
+  r.p50_ms = metrics.latency_ms.percentile(50.0);
+  r.p90_ms = metrics.latency_ms.percentile(90.0);
+  r.p99_ms = metrics.latency_ms.percentile(99.0);
+  r.p999_ms = metrics.latency_ms.percentile(99.9);
+  r.put_mean_ms = metrics.put_ms.mean();
+  r.get_mean_ms = metrics.get_ms.mean();
+
+  const std::uint64_t rss_after = current_rss_bytes();
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+  r.rss_bytes = rss_after;
+  r.rss_delta_bytes = rss_after > rss_before ? rss_after - rss_before : 0;
+  r.bytes_per_tenant =
+      config.tenants
+          ? static_cast<double>(r.rss_delta_bytes) /
+                static_cast<double>(config.tenants)
+          : 0.0;
+  return r;
+}
+
+std::string report_to_json(const ScaleoutReport& r, bool include_env) {
+  std::string out = "{";
+  out += "\"scheme\":\"" + r.scheme + "\",";
+  append_field(out, "seed", r.seed);
+  append_field(out, "tenants", static_cast<std::uint64_t>(r.tenants));
+  append_field(out, "ops_ok", r.ops_ok);
+  append_field(out, "ops_failed", r.ops_failed);
+  append_field(out, "events_dispatched", r.events_dispatched);
+  append_field(out, "provider_ops", r.provider_ops);
+  append_field(out, "provider_throttled", r.provider_throttled);
+  append_field(out, "peak_queue_depth",
+               static_cast<std::uint64_t>(r.peak_queue_depth));
+  append_field(out, "virtual_seconds", r.virtual_seconds);
+  append_field(out, "throughput_ops_per_vs", r.throughput_ops_per_vs);
+  append_field(out, "mean_ms", r.mean_ms);
+  append_field(out, "p50_ms", r.p50_ms);
+  append_field(out, "p90_ms", r.p90_ms);
+  append_field(out, "p99_ms", r.p99_ms);
+  append_field(out, "p999_ms", r.p999_ms);
+  append_field(out, "put_mean_ms", r.put_mean_ms);
+  append_field(out, "get_mean_ms", r.get_mean_ms);
+  if (include_env) {
+    append_field(out, "wall_ms", r.wall_ms);
+    append_field(out, "rss_bytes", r.rss_bytes);
+    append_field(out, "rss_delta_bytes", r.rss_delta_bytes);
+    append_field(out, "bytes_per_tenant", r.bytes_per_tenant);
+  }
+  out.back() = '}';  // replace the trailing comma
+  return out;
+}
+
+}  // namespace hyrd::sim

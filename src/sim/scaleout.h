@@ -1,0 +1,82 @@
+// The scale-out experiment harness: builds a fleet of simulated providers
+// (with congestion enabled), one shared StorageClient for the scheme under
+// test, and N closed-loop tenants on the discrete-event queue; runs the
+// event loop to completion and reports throughput / tail latency / memory.
+//
+// Shared between bench_scaleout (the sweep driver) and the integration
+// tests (determinism: same seed => byte-identical report JSON), so the
+// JSON serialization lives here, split into a deterministic core and
+// environment-dependent extras (wall time, RSS) that reproducible runs
+// exclude.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/congestion.h"
+#include "sim/tenant.h"
+
+namespace hyrd::sim {
+
+struct ScaleoutConfig {
+  /// Scheme under test: "HyRD", "DuraCloud" (replicated), or "RACS" (RS).
+  std::string scheme = "HyRD";
+  std::size_t tenants = 1000;
+  std::uint64_t seed = 42;
+  TenantConfig tenant;
+
+  /// Provider-side capacity model, applied to every provider of the fleet.
+  cloud::CongestionParams congestion;
+  bool congestion_enabled = true;
+
+  /// Tenants wake for their first op uniformly staggered across this
+  /// window, so the fleet ramps instead of stampeding at t=0.
+  common::SimDuration ramp = 30 * common::kSecond;
+
+  /// Shared payload arena size (tenant puts slice windows out of it).
+  std::size_t arena_bytes = 1u << 20;
+};
+
+struct ScaleoutReport {
+  // --- Deterministic core (stable across identical-seed runs) ---
+  std::string scheme;
+  std::uint64_t seed = 0;
+  std::size_t tenants = 0;
+  std::uint64_t ops_ok = 0;
+  std::uint64_t ops_failed = 0;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t provider_ops = 0;     // fleet-wide, incl. fan-out
+  std::uint64_t provider_throttled = 0;  // 429s at the congestion cap
+  std::size_t peak_queue_depth = 0;   // max over providers
+  double virtual_seconds = 0;         // fleet makespan in virtual time
+  double throughput_ops_per_vs = 0;   // ok client ops per virtual second
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double put_mean_ms = 0;
+  double get_mean_ms = 0;
+
+  // --- Environment-dependent (excluded from stable JSON) ---
+  double wall_ms = 0;             // real time for the whole point
+  std::uint64_t rss_bytes = 0;    // process RSS after the run
+  std::uint64_t rss_delta_bytes = 0;  // growth across the run
+  double bytes_per_tenant = 0;    // rss_delta / tenants
+};
+
+/// Runs one experiment point. Deterministic given (config, seed): the
+/// event loop is single-threaded and every RNG stream derives from
+/// config.seed. (The session pool still exists for erasure encode overlap,
+/// but compute tasks draw no randomness.)
+ScaleoutReport run_scaleout(const ScaleoutConfig& config);
+
+/// Serializes a report as one JSON object with sorted, fixed keys.
+/// `include_env` adds the wall-clock/RSS fields; reproducibility checks
+/// pass false and compare bytes.
+std::string report_to_json(const ScaleoutReport& report, bool include_env);
+
+/// Current process resident set in bytes (0 where unsupported).
+std::uint64_t current_rss_bytes();
+
+}  // namespace hyrd::sim

@@ -1,0 +1,55 @@
+#include "sim/tenant.h"
+
+#include <cmath>
+
+#include "common/virtual_time.h"
+
+namespace hyrd::sim {
+
+common::Buffer Tenant::draw_payload() {
+  // A random-offset window into the shared arena: unique-enough content,
+  // zero allocation, zero copy (the store keeps the slice by refbump).
+  const std::uint64_t span = arena_.size() - config_.object_bytes;
+  const std::uint64_t offset = span == 0 ? 0 : rng_() % span;
+  return arena_.slice(offset, config_.object_bytes);
+}
+
+common::SimDuration Tenant::draw_think() {
+  return static_cast<common::SimDuration>(
+      static_cast<double>(config_.mean_think) * rng_.exponential(1.0));
+}
+
+void Tenant::on_event(EventQueue& queue, common::SimDuration now) {
+  // Everything issued from this step carries (now, id, weight): AsyncBatch
+  // switches to inline execution and SimProvider's fair queue sees the
+  // arrival instant and the flow identity.
+  common::VirtualScope scope({now, id_, config_.weight});
+
+  const bool is_put = !has_object_ || rng_.chance(config_.write_ratio);
+
+  common::SimDuration latency = 0;
+  bool ok = false;
+  if (is_put) {
+    client_.put_async(path_, draw_payload(), [&](dist::WriteResult r) {
+      latency = r.latency;
+      ok = r.status.is_ok();
+    });
+    if (ok) has_object_ = true;
+  } else {
+    client_.get_async(path_, [&](dist::ReadResult r) {
+      latency = r.latency;
+      ok = r.status.is_ok();
+    });
+  }
+
+  ++ops_done_;
+  metrics_.note_op(is_put, ok, latency, now + latency);
+
+  if (ops_done_ >= config_.ops) {
+    ++metrics_.tenants_finished;
+    return;  // no further events: this tenant's lifecycle is complete
+  }
+  queue.schedule_at(now + latency + draw_think(), this);
+}
+
+}  // namespace hyrd::sim

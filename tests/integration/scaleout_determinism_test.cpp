@@ -1,0 +1,64 @@
+// Determinism contract of the discrete-event scale-out engine: a run is a
+// pure function of its config — two runs from the same seed produce
+// byte-identical reports (the --stable-json guarantee of bench_scaleout),
+// and the seed actually matters.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/scaleout.h"
+
+namespace hyrd::sim {
+namespace {
+
+ScaleoutConfig small_config(const std::string& scheme, std::uint64_t seed) {
+  ScaleoutConfig config;
+  config.scheme = scheme;
+  config.tenants = 400;
+  config.seed = seed;
+  // A narrow fleet so queueing (the stateful part of the model) engages
+  // even at this size: the run must be deterministic *with* contention.
+  config.congestion.channels = 4;
+  return config;
+}
+
+std::string stable_json(const std::string& scheme, std::uint64_t seed) {
+  return report_to_json(run_scaleout(small_config(scheme, seed)),
+                        /*include_env=*/false);
+}
+
+TEST(ScaleoutDeterminism, SameSeedIsByteIdentical) {
+  // HyRD covers the replicated small-file path + metadata replication.
+  EXPECT_EQ(stable_json("HyRD", 42), stable_json("HyRD", 42));
+}
+
+TEST(ScaleoutDeterminism, ErasurePathIsDeterministicDespiteThePool) {
+  // RACS stripes everything, so encode/CRC compute overlaps on the session
+  // pool even in inline mode — the report must not depend on how the OS
+  // schedules those compute tasks.
+  EXPECT_EQ(stable_json("RACS", 42), stable_json("RACS", 42));
+}
+
+TEST(ScaleoutDeterminism, SeedChangesTheRun) {
+  // The comparison above has teeth only if different seeds diverge.
+  EXPECT_NE(stable_json("HyRD", 42), stable_json("HyRD", 43));
+}
+
+TEST(ScaleoutDeterminism, ReportIsInternallyConsistent) {
+  const ScaleoutReport r = run_scaleout(small_config("DuraCloud", 7));
+  // Closed loop: every tenant issues exactly config.tenant.ops ops.
+  EXPECT_EQ(r.ops_ok + r.ops_failed, 400u * 4u);
+  EXPECT_EQ(r.events_dispatched, 400u * 4u);  // one event per op
+  EXPECT_GT(r.provider_ops, r.ops_ok);        // fan-out: >1 provider op/op
+  EXPECT_GT(r.virtual_seconds, 0.0);
+  EXPECT_GE(r.p99_ms, r.p50_ms);
+  // Env fields are excluded from the stable serialization.
+  const std::string stable = report_to_json(r, false);
+  EXPECT_EQ(stable.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(stable.find("rss_"), std::string::npos);
+  const std::string full = report_to_json(r, true);
+  EXPECT_NE(full.find("wall_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyrd::sim

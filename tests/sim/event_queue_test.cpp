@@ -1,0 +1,162 @@
+// Discrete-event core contracts: dispatch order (time, then submission),
+// cooperative cancellation (including the CancelScope bridge into the
+// provider layer), and virtual-time monotonicity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cloud/cancel.h"
+#include "common/clock.h"
+#include "sim/event_queue.h"
+
+namespace hyrd::sim {
+namespace {
+
+/// Appends its tag to a shared trace on every dispatch.
+class Recorder final : public EventHandler {
+ public:
+  Recorder(int tag, std::vector<int>& trace) : tag_(tag), trace_(trace) {}
+  void on_event(EventQueue&, common::SimDuration) override {
+    trace_.push_back(tag_);
+  }
+
+ private:
+  int tag_;
+  std::vector<int>& trace_;
+};
+
+TEST(EventQueue, DispatchesInTimeOrder) {
+  std::vector<int> trace;
+  Recorder a(1, trace), b(2, trace), c(3, trace);
+  EventQueue q;
+  q.schedule_at(300, &c);
+  q.schedule_at(100, &a);
+  q.schedule_at(200, &b);
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 300);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.dispatched(), 3u);
+}
+
+TEST(EventQueue, EqualTimestampsDispatchInScheduleOrder) {
+  // The stability contract the determinism test leans on: ties broken by
+  // the monotone event id, i.e. submission order — never heap order.
+  std::vector<int> trace;
+  std::vector<Recorder> handlers;
+  handlers.reserve(8);
+  EventQueue q;
+  for (int i = 0; i < 8; ++i) {
+    handlers.emplace_back(i, trace);
+    q.schedule_at(500, &handlers[i]);
+  }
+  q.run();
+  EXPECT_EQ(trace, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, CancelledEventIsSkipped) {
+  std::vector<int> trace;
+  Recorder a(1, trace), b(2, trace);
+  EventQueue q;
+  const EventId ida = q.schedule_at(100, &a);
+  q.schedule_at(200, &b);
+  EXPECT_TRUE(q.cancel(ida));
+  EXPECT_EQ(q.run(), 1u);  // only b dispatched
+  EXPECT_EQ(trace, (std::vector<int>{2}));
+  EXPECT_EQ(q.now(), 200);  // cancelled events don't advance the clock
+}
+
+TEST(EventQueue, CancelIsIdempotentAndRejectsUnknownOrDispatched) {
+  std::vector<int> trace;
+  Recorder a(1, trace);
+  EventQueue q;
+  const EventId id = q.schedule_at(50, &a);
+  EXPECT_FALSE(q.cancel(kInvalidEvent));
+  EXPECT_FALSE(q.cancel(id + 999));  // never issued
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  q.run();
+  EXPECT_TRUE(trace.empty());
+
+  const EventId id2 = q.schedule_at(60, &a);
+  q.run();
+  EXPECT_FALSE(q.cancel(id2));  // already dispatched
+}
+
+TEST(EventQueue, PastSchedulesClampToNowAndTimeIsMonotone) {
+  struct Prober final : EventHandler {
+    std::vector<common::SimDuration> seen;
+    void on_event(EventQueue& q, common::SimDuration now) override {
+      seen.push_back(now);
+      if (seen.size() == 1) {
+        q.schedule_at(now - 500, this);  // the past: must clamp to now
+        q.schedule_in(-10, this);        // negative delay: same
+      }
+    }
+  } p;
+  EventQueue q;
+  q.schedule_at(1000, &p);
+  q.run();
+  ASSERT_EQ(p.seen.size(), 3u);
+  EXPECT_EQ(p.seen[0], 1000);
+  EXPECT_EQ(p.seen[1], 1000);  // clamped, not 500
+  EXPECT_EQ(p.seen[2], 1000);
+  EXPECT_EQ(q.now(), 1000);
+}
+
+TEST(EventQueue, SelfReschedulingChainAdvancesVirtualTime) {
+  // The tenant lifecycle shape: each dispatch schedules the next.
+  struct Chain final : EventHandler {
+    int steps = 0;
+    void on_event(EventQueue& q, common::SimDuration now) override {
+      if (++steps < 5) q.schedule_at(now + common::kMillisecond, this);
+    }
+  } chain;
+  EventQueue q;
+  q.schedule_at(0, &chain);
+  EXPECT_EQ(q.run(), 5u);
+  EXPECT_EQ(chain.steps, 5);
+  EXPECT_EQ(q.now(), 4 * common::kMillisecond);
+}
+
+TEST(EventQueue, RunHonorsMaxEvents) {
+  std::vector<int> trace;
+  Recorder a(1, trace), b(2, trace), c(3, trace);
+  EventQueue q;
+  q.schedule_at(1, &a);
+  q.schedule_at(2, &b);
+  q.schedule_at(3, &c);
+  EXPECT_EQ(q.run(2), 2u);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run(), 1u);
+}
+
+TEST(EventQueue, HandlerRunsUnderItsEventCancelScope) {
+  // While a handler runs, its event's flag is the thread's CancelScope —
+  // the same token SimProvider polls — and it reads "not cancelled" for a
+  // normally dispatched event. Cancelling *another* pending event from
+  // inside the handler must not disturb the installed scope.
+  struct Prober final : EventHandler {
+    EventId other = kInvalidEvent;
+    bool saw_uncancelled = false;
+    bool cancelled_other = false;
+    void on_event(EventQueue& q, common::SimDuration) override {
+      saw_uncancelled = !cloud::CancelScope::cancelled();
+      if (other != kInvalidEvent) cancelled_other = q.cancel(other);
+      saw_uncancelled = saw_uncancelled && !cloud::CancelScope::cancelled();
+    }
+  } p;
+  std::vector<int> trace;
+  Recorder victim(9, trace);
+  EventQueue q;
+  q.schedule_at(10, &p);
+  p.other = q.schedule_at(20, &victim);
+  q.run();
+  EXPECT_TRUE(p.saw_uncancelled);
+  EXPECT_TRUE(p.cancelled_other);
+  EXPECT_TRUE(trace.empty());
+  EXPECT_FALSE(cloud::CancelScope::cancelled());  // scope popped after run
+}
+
+}  // namespace
+}  // namespace hyrd::sim
