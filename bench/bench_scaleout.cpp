@@ -11,7 +11,7 @@
 //
 // Usage: bench_scaleout [--smoke] [--seed=N] [--max-tenants=N]
 //                       [--scheme=NAME] [--stable-json]
-//                       [--json | --json=FILE]
+//                       [--campaign[=N]] [--json | --json=FILE]
 //
 //   --smoke        one small point per scheme (CI lane; seconds, not minutes)
 //   --seed=N       the single seed every RNG stream derives from (default 42)
@@ -19,10 +19,18 @@
 //   --scheme=NAME  restrict to HyRD | DuraCloud | RACS
 //   --stable-json  exclude wall-clock/RSS keys so two same-seed runs emit
 //                  byte-identical JSON (the determinism contract)
+//   --campaign[=N] run the E4 failure campaign (N tenants, default 2000)
+//                  instead of the sweep: tight congestion, jittered
+//                  retries, a correlated two-provider outage, a brownout,
+//                  and a permanent provider loss, reporting goodput /
+//                  retry amplification / recovery time per scheme
 //
-// Checks: at every point >= 1e5 tenants, RSS stays under 2 GB and marginal
-// memory under 4 KB/tenant; the congestion knee must appear (p99 at the
-// largest point strictly above p99 at the smallest) for every scheme.
+// Sweep checks: at every point >= 1e5 tenants, RSS stays under 2 GB and
+// marginal memory under 4 KB/tenant; the congestion knee must appear (p99
+// at the largest point strictly above p99 at the smallest) per scheme.
+// Campaign checks: HyRD rides out the whole campaign with zero
+// client-visible failures, retries are actually exercised, and no scheme's
+// run resurrects the destroyed provider.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,11 +58,18 @@ int main(int argc, char** argv) {
   std::size_t max_tenants = 1'000'000;
   bool smoke = false;
   bool stable = false;
+  bool campaign = false;
+  std::size_t campaign_tenants = 2'000;
   std::string only_scheme;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--smoke") smoke = true;
     if (a == "--stable-json") stable = true;
+    if (a == "--campaign") campaign = true;
+    if (a.rfind("--campaign=", 0) == 0) {
+      campaign = true;
+      campaign_tenants = std::strtoull(a.c_str() + 11, nullptr, 10);
+    }
     if (a.rfind("--seed=", 0) == 0)
       seed = std::strtoull(a.c_str() + 7, nullptr, 10);
     if (a.rfind("--max-tenants=", 0) == 0)
@@ -62,6 +77,71 @@ int main(int argc, char** argv) {
     if (a.rfind("--scheme=", 0) == 0) only_scheme = a.substr(9);
   }
   bench::JsonSink json(argc, argv);
+
+  if (campaign) {
+    std::vector<std::string> schemes = {"HyRD", "DuraCloud", "RACS"};
+    if (!only_scheme.empty()) schemes = {only_scheme};
+    if (!json.quiet()) {
+      std::printf(
+          "=== E4 failure campaign: %zu tenants/scheme, correlated outage + "
+          "brownout + permanent loss (seed %llu) ===\n\n",
+          campaign_tenants, static_cast<unsigned long long>(seed));
+    }
+
+    bool hyrd_clean = true;
+    bool no_resurrection = true;
+    bool retried = false;
+    common::Table t({"Scheme", "Ops ok", "Ops failed", "Retries", "Amp",
+                     "Goodput", "Recovery vs", "Events", "Wall s"});
+    for (const auto& scheme : schemes) {
+      const sim::ScaleoutReport r = sim::run_scaleout(
+          sim::standard_campaign_config(scheme, campaign_tenants, seed));
+
+      const std::string k = "campaign/" + scheme + "/";
+      json.add(k + "ops_ok", static_cast<double>(r.ops_ok));
+      json.add(k + "ops_failed", static_cast<double>(r.ops_failed));
+      json.add(k + "retries", static_cast<double>(r.retries));
+      json.add(k + "retry_amplification", r.retry_amplification);
+      json.add(k + "goodput_ops_per_vs", r.goodput_ops_per_vs);
+      json.add(k + "recovery_virtual_seconds", r.recovery_virtual_seconds);
+      json.add(k + "failure_events", static_cast<double>(r.failure_events));
+      json.add(k + "provider_resurrected",
+               static_cast<double>(r.provider_resurrected));
+      json.add(k + "throttled", static_cast<double>(r.provider_throttled));
+      if (!stable) json.add(k + "wall_ms", r.wall_ms);
+
+      if (scheme == "HyRD" && r.ops_failed > 0) hyrd_clean = false;
+      if (r.provider_resurrected != 0) no_resurrection = false;
+      if (r.retries > 0) retried = true;
+
+      t.add_row({scheme, std::to_string(r.ops_ok),
+                 std::to_string(r.ops_failed), std::to_string(r.retries),
+                 common::Table::num(r.retry_amplification, 3),
+                 common::Table::num(r.goodput_ops_per_vs, 1),
+                 common::Table::num(r.recovery_virtual_seconds, 2),
+                 std::to_string(r.failure_events),
+                 common::Table::num(r.wall_ms / 1000.0, 1)});
+    }
+    if (!json.quiet()) {
+      t.print();
+      std::printf("\n");
+    }
+
+    json.add("check/campaign_hyrd_zero_failures", hyrd_clean ? 1.0 : 0.0);
+    json.add("check/campaign_no_resurrection", no_resurrection ? 1.0 : 0.0);
+    json.add("check/campaign_retries_exercised", retried ? 1.0 : 0.0);
+    json.flush("bench_scaleout");
+
+    if (!json.quiet()) {
+      std::printf("Checks:\n");
+      std::printf("  HyRD zero client-visible failures: %s\n",
+                  hyrd_clean ? "yes" : "NO (regression)");
+      std::printf("  destroyed provider stayed destroyed: %s\n",
+                  no_resurrection ? "yes" : "NO (regression)");
+      std::printf("  retries exercised: %s\n", retried ? "yes" : "NO");
+    }
+    return (hyrd_clean && no_resurrection && retried) ? 0 : 1;
+  }
 
   std::vector<std::size_t> sweep;
   if (smoke) {

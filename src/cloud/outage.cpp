@@ -12,8 +12,7 @@ bool OutageController::take_down(const std::string& name) {
 bool OutageController::restore(const std::string& name) {
   SimProvider* p = registry_.find(name);
   if (p == nullptr) return false;
-  p->set_online(true);
-  return true;
+  return p->set_online(true);
 }
 
 bool OutageController::destroy(const std::string& name) {
@@ -50,7 +49,9 @@ std::vector<std::string> RandomOutageInjector::step() {
         --online_count;
         flipped.push_back(p->name());
       }
-    } else if (rng_.chance(p_up_)) {
+    } else if (!p->permanently_failed() && rng_.chance(p_up_)) {
+      // Destroyed providers are out of the churn pool for good: no
+      // recovery draw, no flip — their store was wiped.
       p->set_online(true);
       ++online_count;
       flipped.push_back(p->name());

@@ -24,6 +24,9 @@ class OutageController {
   bool take_down(const std::string& name);
 
   /// Brings a provider back online (data intact — transient outage).
+  /// Returns false for unknown providers and for permanently failed ones:
+  /// a destroyed provider's store is gone, so restoring it would resurrect
+  /// an empty provider that answers GETs as if recovered.
   bool restore(const std::string& name);
 
   /// Takes a provider down *and* wipes it (permanent failure).

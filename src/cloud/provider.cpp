@@ -241,6 +241,9 @@ OpResult SimProvider::put_range(const ObjectKey& key, std::uint64_t offset,
 }
 
 void SimProvider::fail_permanently() {
+  // Order matters: mark first, so a concurrent restore attempt racing this
+  // call can never re-enable a wiped store.
+  permanently_failed_.store(true);
   set_online(false);
   store_.wipe();
 }

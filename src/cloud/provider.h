@@ -73,12 +73,25 @@ class SimProvider final : public ObjectStore {
   using ObjectStore::put_range;
 
   // --- Availability control (outage emulation) ---
-  void set_online(bool online) { online_.store(online); }
+
+  /// Transient availability flip. Bringing a *permanently failed* provider
+  /// back online is refused: its store was wiped, so "recovering" it would
+  /// serve empty GETs as if the data had returned. Returns whether the
+  /// requested state is now in effect.
+  bool set_online(bool online) {
+    if (online && permanently_failed_.load()) return false;
+    online_.store(online);
+    return true;
+  }
   [[nodiscard]] bool online() const { return online_.load(); }
 
-  /// When true, going offline also wipes stored state (permanent provider
-  /// failure rather than transient outage).
+  /// Takes the provider offline *and* wipes stored state (permanent
+  /// provider failure rather than transient outage). Irreversible:
+  /// set_online(true) is a refused no-op afterwards.
   void fail_permanently();
+  [[nodiscard]] bool permanently_failed() const {
+    return permanently_failed_.load();
+  }
 
   // --- Congestion (scale-out contention emulation; see congestion.h) ---
 
@@ -154,6 +167,7 @@ class SimProvider final : public ObjectStore {
   std::unique_ptr<FairQueue> congestion_;  // guarded by mu_; null = off
   OpHook op_hook_;  // set before concurrent use; never mutated mid-test
   std::atomic<bool> online_{true};
+  std::atomic<bool> permanently_failed_{false};
   std::atomic<double> latency_scale_{1.0};
   mutable std::mutex mu_;  // guards rng_, billing_, counters_
 };

@@ -4,6 +4,7 @@
 // latency/cost numbers are directly comparable.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -11,6 +12,8 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "common/checksum.h"
 
 #include "common/stats.h"
 #include "dist/scheme.h"
@@ -48,9 +51,11 @@ class StorageClient {
   /// the stores (schemes slice it, they never duplicate it). The ByteSpan
   /// overload borrows the caller's memory for the (synchronous) call.
   dist::WriteResult put(const std::string& path, common::Buffer data) {
+    const std::lock_guard lock(path_write_mu(path));
     return do_put(path, std::move(data));
   }
   dist::WriteResult put(const std::string& path, common::ByteSpan data) {
+    const std::lock_guard lock(path_write_mu(path));
     return do_put(path, common::Buffer::borrow(data));
   }
 
@@ -77,7 +82,12 @@ class StorageClient {
   // with a callback, so non-sim callers can share code with the engine.
   void put_async(const std::string& path, common::Buffer data,
                  std::function<void(dist::WriteResult)> done) {
-    done(do_put(path, std::move(data)));
+    dist::WriteResult result;
+    {
+      const std::lock_guard lock(path_write_mu(path));
+      result = do_put(path, std::move(data));
+    }
+    done(std::move(result));
   }
   void get_async(const std::string& path,
                  std::function<void(dist::ReadResult)> done) {
@@ -114,6 +124,20 @@ class StorageClient {
   void note_remove(common::SimDuration latency, bool ok);
 
  private:
+  /// Overwrites of one path are serialized end-to-end (fragment writes,
+  /// metadata upsert, metadata persist). Without this, two concurrent
+  /// writers can land on the scheme's replicas in different orders —
+  /// object names are path-derived, not versioned — leaving one replica's
+  /// bytes disagreeing with the winning metadata CRC, which a later
+  /// degraded read (other replicas offline) surfaces as data loss.
+  /// Striped so distinct paths keep their write parallelism.
+  [[nodiscard]] std::mutex& path_write_mu(const std::string& path) {
+    return path_write_mu_[common::fnv1a(std::string_view(path)) %
+                          kPathWriteLocks];
+  }
+
+  static constexpr std::size_t kPathWriteLocks = 64;
+  std::array<std::mutex, kPathWriteLocks> path_write_mu_;
   mutable std::mutex stats_mu_;
   ClientStats stats_;
 };

@@ -1,6 +1,11 @@
 #include "gcsapi/client.h"
 
 #include <cassert>
+#include <optional>
+
+#include "cloud/cancel.h"
+#include "common/checksum.h"
+#include "common/virtual_time.h"
 
 namespace hyrd::gcs {
 
@@ -24,21 +29,42 @@ ResultT CloudClient::run(cloud::OpKind op, const cloud::ObjectKey& key,
          decoded.value().key == key && "REST op must round-trip");
   (void)decoded;
 
+  // Retry loop. Under a VirtualScope (discrete-event traffic) every attempt
+  // past the first re-installs the scope with `now` advanced by everything
+  // already charged to the op — attempt latencies plus backoff — so a retry
+  // *arrives later* at the provider's fair queue instead of replaying the
+  // original virtual instant (which would find the same backlog and be
+  // re-throttled forever).
+  const std::optional<common::VirtualContext> base =
+      common::VirtualScope::snapshot();
+  const std::uint64_t decorrelate =
+      common::fnv1a(std::string_view(key.str())) ^
+      (base ? base->tenant ^ static_cast<std::uint64_t>(base->now) : 0);
+
   ResultT result;
   common::SimDuration total_latency = 0;
-  double backoff = policy_.backoff_ms;
   int attempt = 0;
   for (;;) {
     ++attempt;
-    result = exec();
+    if (base && attempt > 1) {
+      common::VirtualScope advanced(
+          {base->now + total_latency, base->tenant, base->weight});
+      result = exec();
+    } else {
+      result = exec();
+    }
     total_latency += result.latency;
-    const bool retryable =
-        result.status.code() == common::StatusCode::kUnavailable
-            ? policy_.retry_unavailable
-            : result.status.code() == common::StatusCode::kInternal;
-    if (result.ok() || !retryable || attempt >= policy_.max_attempts) break;
-    total_latency += common::from_ms(backoff);
-    backoff *= policy_.backoff_multiplier;
+    if (result.ok() || !policy_.retryable(result.status.code()) ||
+        attempt >= policy_.max_attempts) {
+      break;
+    }
+    // A cancelled op (AsyncBatch straggler teardown, cancelled event) must
+    // not burn backoff budget on a result nobody is waiting for.
+    if (cloud::CancelScope::cancelled()) break;
+    const common::SimDuration backoff =
+        policy_.backoff_before(attempt, decorrelate);
+    if (policy_.over_deadline(total_latency, backoff)) break;
+    total_latency += backoff;
   }
   result.latency = total_latency;
 

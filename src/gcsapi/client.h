@@ -14,17 +14,9 @@
 
 #include "cloud/provider.h"
 #include "gcsapi/rest_codec.h"
+#include "gcsapi/retry.h"
 
 namespace hyrd::gcs {
-
-struct RetryPolicy {
-  int max_attempts = 3;          // total tries (1 = no retry)
-  double backoff_ms = 50.0;      // initial backoff
-  double backoff_multiplier = 2.0;
-  bool retry_unavailable = false;  // outages are usually long; off by default
-
-  [[nodiscard]] static RetryPolicy none() { return {.max_attempts = 1}; }
-};
 
 /// One completed middleware operation (for audits and debugging).
 struct OpTraceEntry {

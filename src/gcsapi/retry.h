@@ -1,0 +1,71 @@
+// RetryPolicy: the client-side failure-response contract of the GCS-API
+// middleware.
+//
+// The paper's availability argument (§III) assumes clients *ride through*
+// provider throttling and transient outages rather than surfacing them.
+// This policy encodes how: per-status-code retryability (throttle 429s are
+// retryable by default; outages opt-in because they are usually long),
+// capped exponential backoff with optional seeded full jitter (so a fleet
+// of same-phase tenants decorrelates instead of producing synchronized
+// retry storms), and a total virtual-time deadline budget.
+//
+// Determinism: jitter is *stateless* — each backoff is a pure function of
+// (jitter_seed, decorrelation key, attempt), so concurrent clients never
+// race on a shared RNG stream and a same-seed run reproduces byte-identical
+// backoff sequences. jitter_seed == 0 disables jitter entirely, preserving
+// the legacy deterministic 50/100/200 ms ladder.
+//
+// Two consumers:
+//   - CloudClient::run (gcsapi/client.cpp): the blocking variant. Backoff
+//     accrues as virtual latency; under a common::VirtualScope each attempt
+//     re-installs the scope with `now` advanced past the previous attempt's
+//     latency + backoff, so a retried request *arrives later* at the
+//     provider's fair queue instead of hammering the same virtual instant.
+//   - sim::Tenant (sim/tenant.cpp): the non-blocking variant. A failed op
+//     schedules the retry as a sim::EventQueue event at now + backoff, so
+//     the event loop interleaves other tenants — and failure-injector
+//     events (outage ends, brownout recoveries) — between attempts.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace hyrd::gcs {
+
+struct RetryPolicy {
+  int max_attempts = 3;          // total tries (1 = no retry)
+  double backoff_ms = 50.0;      // initial backoff
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 5'000.0;  // exponential ladder cap
+  bool retry_unavailable = false;  // outages are usually long; off by default
+  bool retry_throttled = true;     // 429s are short by design; on by default
+  /// Total virtual-time budget (attempt latencies + backoffs) after which
+  /// no further retry is attempted. 0 = unlimited.
+  double deadline_ms = 0.0;
+  /// Non-zero enables full jitter: backoff ~ U[0, ladder). Mixed with the
+  /// caller's decorrelation key so equal-phase flows spread out.
+  std::uint64_t jitter_seed = 0;
+
+  [[nodiscard]] static RetryPolicy none() { return {.max_attempts = 1}; }
+
+  /// Whether an attempt that failed with `code` may be retried under this
+  /// policy. Attempt counts and the deadline budget are enforced by the
+  /// caller; this is pure classification.
+  [[nodiscard]] bool retryable(common::StatusCode code) const;
+
+  /// Backoff before attempt `attempt + 1` (i.e. after the `attempt`-th try,
+  /// 1-based): the capped exponential ladder, full-jittered when
+  /// jitter_seed != 0. `decorrelate` identifies the flow (tenant id, key
+  /// hash, virtual arrival — anything that separates same-phase callers).
+  [[nodiscard]] common::SimDuration backoff_before(
+      int attempt, std::uint64_t decorrelate) const;
+
+  /// True when `spent` (total virtual time already charged to the op)
+  /// plus `next_backoff` would exceed the deadline budget.
+  [[nodiscard]] bool over_deadline(common::SimDuration spent,
+                                   common::SimDuration next_backoff) const;
+};
+
+}  // namespace hyrd::gcs

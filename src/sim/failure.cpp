@@ -1,0 +1,147 @@
+#include "sim/failure.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace hyrd::sim {
+
+void FailureInjector::Phase::on_event(EventQueue&, common::SimDuration now) {
+  injector->apply(spec_index, onset, now);
+}
+
+void FailureInjector::schedule(FailureSpec spec) {
+  const bool transient = spec.kind != FailureKind::kPermanentLoss;
+  const common::SimDuration at = spec.at;
+  const common::SimDuration end = spec.at + spec.duration;
+  specs_.push_back(std::move(spec));
+  const std::size_t index = specs_.size() - 1;
+
+  phases_.push_back({});
+  Phase& begin = phases_.back();
+  begin.injector = this;
+  begin.spec_index = index;
+  begin.onset = true;
+  queue_.schedule_at(at, &begin);
+
+  if (transient) {
+    phases_.push_back({});
+    Phase& finish = phases_.back();
+    finish.injector = this;
+    finish.spec_index = index;
+    finish.onset = false;
+    queue_.schedule_at(end, &finish);
+  }
+}
+
+void FailureInjector::schedule_outage(std::vector<std::string> providers,
+                                      common::SimDuration at,
+                                      common::SimDuration duration) {
+  schedule({.kind = FailureKind::kOutage,
+            .providers = std::move(providers),
+            .at = at,
+            .duration = duration});
+}
+
+void FailureInjector::schedule_brownout(std::vector<std::string> providers,
+                                        common::SimDuration at,
+                                        common::SimDuration duration,
+                                        double latency_scale) {
+  schedule({.kind = FailureKind::kBrownout,
+            .providers = std::move(providers),
+            .at = at,
+            .duration = duration,
+            .latency_scale = latency_scale});
+}
+
+void FailureInjector::schedule_permanent_loss(std::string provider,
+                                              common::SimDuration at) {
+  schedule({.kind = FailureKind::kPermanentLoss,
+            .providers = {std::move(provider)},
+            .at = at});
+}
+
+void FailureInjector::schedule_random_churn(std::uint64_t seed,
+                                            std::size_t epochs,
+                                            common::SimDuration epoch_length,
+                                            double p_down, double p_up,
+                                            std::size_t min_online) {
+  // The Markov chain is simulated symbolically at schedule time: `down[i]`
+  // tracks the provider's scheduled state, seeded from its current real
+  // state. Down providers get an outage spec when their recovery epoch is
+  // drawn, so every churn outage has a definite [at, at+duration) window.
+  common::Xoshiro256 rng(seed);
+  const auto& providers = registry_.all();
+  std::vector<bool> down(providers.size());
+  std::vector<common::SimDuration> down_since(providers.size(), 0);
+  std::size_t online = 0;
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    down[i] = !providers[i]->online() || providers[i]->permanently_failed();
+    if (!down[i]) ++online;
+  }
+  for (std::size_t e = 1; e <= epochs; ++e) {
+    const common::SimDuration t =
+        static_cast<common::SimDuration>(e) * epoch_length;
+    for (std::size_t i = 0; i < providers.size(); ++i) {
+      if (providers[i]->permanently_failed()) continue;  // out of the pool
+      if (!down[i]) {
+        if (online > min_online && rng.chance(p_down)) {
+          down[i] = true;
+          down_since[i] = t;
+          --online;
+        }
+      } else if (rng.chance(p_up)) {
+        down[i] = false;
+        ++online;
+        schedule_outage({providers[i]->name()}, down_since[i],
+                        t - down_since[i]);
+      }
+    }
+  }
+  // Providers still down at the horizon recover at the horizon's end.
+  const common::SimDuration horizon =
+      static_cast<common::SimDuration>(epochs + 1) * epoch_length;
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    if (down[i] && !providers[i]->permanently_failed() &&
+        providers[i]->online()) {
+      schedule_outage({providers[i]->name()}, down_since[i],
+                      horizon - down_since[i]);
+    }
+  }
+}
+
+void FailureInjector::apply(std::size_t spec_index, bool onset,
+                            common::SimDuration now) {
+  const FailureSpec& spec = specs_[spec_index];
+  for (const auto& name : spec.providers) {
+    cloud::SimProvider* p = registry_.find(name);
+    if (p == nullptr) continue;
+    bool applied = false;
+    switch (spec.kind) {
+      case FailureKind::kOutage:
+        // set_online(true) refuses permanently failed providers, so an
+        // outage whose end lands after a scheduled destruction can never
+        // resurrect the wiped store.
+        applied = p->set_online(!onset);
+        break;
+      case FailureKind::kBrownout:
+        p->set_latency_scale(onset ? spec.latency_scale : 1.0);
+        applied = true;
+        break;
+      case FailureKind::kPermanentLoss:
+        p->fail_permanently();
+        applied = true;
+        break;
+    }
+    if (!applied) continue;
+    log_.push_back({now, spec.kind, onset, name});
+    if (!onset) {
+      last_transient_end_ = std::max(last_transient_end_, now);
+      if (spec.kind == FailureKind::kOutage && restore_listener_) {
+        restore_listener_(name, now);
+      }
+    }
+  }
+}
+
+}  // namespace hyrd::sim

@@ -1,0 +1,141 @@
+// Event-driven failure injection for the discrete-event scale-out engine.
+//
+// The legacy failure tools are step-driven: OutageController is scripted by
+// the bench loop, RandomOutageInjector flips coins once per externally
+// supplied epoch. Neither composes with the event queue — a sim run has no
+// "per-step" place to put them, so PR 6's fleets ran against providers that
+// never failed. FailureInjector makes disruptions first-class events:
+//
+//   outage          correlated set of providers offline for a duration,
+//                   restored (data intact) at the end event
+//   brownout        slow-but-alive: latency_scale applied for a duration
+//                   (the degraded-provider tail hedged reads exist to cut)
+//   permanent loss  SimProvider::fail_permanently() — store wiped, offline
+//                   forever; restore attempts are refused by the provider
+//
+// Each scheduled disruption becomes one or two EventHandlers on the same
+// queue the tenants run on, so onsets and recoveries interleave with tenant
+// steps at exact virtual instants and the whole campaign stays a pure
+// function of the config (deterministic, byte-identical per seed).
+//
+// Restores invoke an optional listener — the harness points it at
+// StorageClient::on_provider_restored so schemes run their post-outage
+// consistency update (UpdateLog replay) the moment the provider returns,
+// exactly like the paper's recovery story.
+//
+// schedule_random_churn() is the event-driven replacement for per-step
+// RandomOutageInjector loops: it pre-generates a seeded Markov outage
+// schedule (respecting min_online) at schedule time, so the churn itself
+// is part of the deterministic event timeline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cloud/registry.h"
+#include "sim/event_queue.h"
+
+namespace hyrd::sim {
+
+enum class FailureKind { kOutage, kBrownout, kPermanentLoss };
+
+constexpr std::string_view failure_kind_name(FailureKind k) {
+  switch (k) {
+    case FailureKind::kOutage: return "outage";
+    case FailureKind::kBrownout: return "brownout";
+    case FailureKind::kPermanentLoss: return "permanent_loss";
+  }
+  return "unknown";
+}
+
+/// One scheduled disruption. Every named provider flips together (that is
+/// what makes an outage "correlated"); unknown names are ignored.
+struct FailureSpec {
+  FailureKind kind = FailureKind::kOutage;
+  std::vector<std::string> providers;
+  common::SimDuration at = 0;
+  common::SimDuration duration = 0;  // ignored for kPermanentLoss
+  double latency_scale = 8.0;        // kBrownout only
+};
+
+/// One applied state transition, in dispatch order (deterministic).
+struct FailureLogEntry {
+  common::SimDuration at = 0;
+  FailureKind kind = FailureKind::kOutage;
+  bool onset = true;  // false = recovery (restore / scale back to 1.0)
+  std::string provider;
+};
+
+class FailureInjector {
+ public:
+  FailureInjector(cloud::CloudRegistry& registry, EventQueue& queue)
+      : registry_(registry), queue_(queue) {}
+
+  FailureInjector(const FailureInjector&) = delete;
+  FailureInjector& operator=(const FailureInjector&) = delete;
+
+  /// Schedules one disruption (onset event, plus an end event for the
+  /// transient kinds). Must be called before/while the queue runs; the
+  /// injector must outlive the queue's run.
+  void schedule(FailureSpec spec);
+
+  void schedule_outage(std::vector<std::string> providers,
+                       common::SimDuration at, common::SimDuration duration);
+  void schedule_brownout(std::vector<std::string> providers,
+                         common::SimDuration at, common::SimDuration duration,
+                         double latency_scale);
+  void schedule_permanent_loss(std::string provider, common::SimDuration at);
+
+  /// Pre-generates a seeded random outage schedule over `epochs` epochs of
+  /// `epoch_length` each: every online provider goes down with p_down per
+  /// epoch (never below min_online symbolically-online providers) and every
+  /// offline one recovers with p_up. The whole schedule is drawn up front
+  /// from its own RNG stream, so it is independent of event dispatch.
+  void schedule_random_churn(std::uint64_t seed, std::size_t epochs,
+                             common::SimDuration epoch_length,
+                             double p_down = 0.02, double p_up = 0.30,
+                             std::size_t min_online = 3);
+
+  /// Called (provider name, virtual now) after an outage restore takes
+  /// effect — the hook for scheme-level consistency updates.
+  using RestoreListener =
+      std::function<void(const std::string&, common::SimDuration)>;
+  void set_restore_listener(RestoreListener listener) {
+    restore_listener_ = std::move(listener);
+  }
+
+  [[nodiscard]] const std::vector<FailureLogEntry>& log() const {
+    return log_;
+  }
+
+  /// Latest virtual end of any *applied* transient disruption (outage
+  /// restore or brownout recovery); 0 when none ended. The campaign's
+  /// recovery-time metric is measured from here.
+  [[nodiscard]] common::SimDuration last_transient_end() const {
+    return last_transient_end_;
+  }
+
+ private:
+  struct Phase final : EventHandler {
+    FailureInjector* injector = nullptr;
+    std::size_t spec_index = 0;
+    bool onset = true;
+    void on_event(EventQueue& queue, common::SimDuration now) override;
+  };
+
+  void apply(std::size_t spec_index, bool onset, common::SimDuration now);
+
+  cloud::CloudRegistry& registry_;
+  EventQueue& queue_;
+  std::deque<FailureSpec> specs_;
+  std::deque<Phase> phases_;  // deque: stable addresses, the queue holds ptrs
+  std::vector<FailureLogEntry> log_;
+  RestoreListener restore_listener_;
+  common::SimDuration last_transient_end_ = 0;
+};
+
+}  // namespace hyrd::sim

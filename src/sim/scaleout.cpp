@@ -5,18 +5,22 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "cloud/profiles.h"
 #include "cloud/registry.h"
 #include "common/buffer.h"
 #include "common/rng.h"
+#include "common/virtual_time.h"
 #include "core/duracloud_client.h"
 #include "core/hyrd_client.h"
 #include "core/racs_client.h"
 #include "gcsapi/session.h"
 #include "sim/event_queue.h"
+#include "sim/failure.h"
 
 #if defined(__linux__)
 #include <unistd.h>
@@ -25,6 +29,10 @@
 namespace hyrd::sim {
 
 namespace {
+
+/// Flow identity for post-outage repair traffic (consistency updates).
+/// Tenant ids count up from 0, so the all-ones id can never collide.
+constexpr std::uint64_t kRepairFlowId = ~0ull;
 
 std::unique_ptr<core::StorageClient> make_client(const std::string& scheme,
                                                  gcs::MultiCloudSession& s) {
@@ -97,7 +105,7 @@ ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
       provider->set_congestion(config.congestion);
     }
   }
-  gcs::MultiCloudSession session(registry);
+  gcs::MultiCloudSession session(registry, config.client_retry);
   std::unique_ptr<core::StorageClient> client =
       make_client(config.scheme, session);
   // Setup traffic (container creates, evaluator probes) is not part of the
@@ -125,6 +133,32 @@ ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
                   static_cast<double>(config.ramp) * static_cast<double>(i) /
                   static_cast<double>(config.tenants));
     queue.schedule_at(at, &fleet[i]);
+  }
+
+  // --- Failure campaign -------------------------------------------------
+  std::optional<FailureInjector> injector;
+  if (config.campaign.enabled) {
+    const CampaignConfig& c = config.campaign;
+    injector.emplace(registry, queue);
+    if (!c.outage_providers.empty()) {
+      injector->schedule_outage(c.outage_providers, c.outage_at,
+                                c.outage_duration);
+    }
+    if (!c.brownout_providers.empty()) {
+      injector->schedule_brownout(c.brownout_providers, c.brownout_at,
+                                  c.brownout_duration, c.brownout_scale);
+    }
+    if (!c.lost_provider.empty()) {
+      injector->schedule_permanent_loss(c.lost_provider, c.lost_at);
+    }
+    // Consistency updates (update-log replay) run inline at the restore
+    // instant, scoped under the reserved repair flow so the traffic is
+    // fair-queued and the run stays a deterministic event timeline.
+    injector->set_restore_listener(
+        [&client](const std::string& name, common::SimDuration at) {
+          common::VirtualScope scope({at, kRepairFlowId, 1.0});
+          client->on_provider_restored(name);
+        });
   }
 
   queue.run();
@@ -162,6 +196,30 @@ ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
   r.put_mean_ms = metrics.put_ms.mean();
   r.get_mean_ms = metrics.get_ms.mean();
 
+  r.retries = metrics.retries;
+  const std::uint64_t ops_total = r.ops_ok + r.ops_failed;
+  r.retry_amplification =
+      ops_total ? static_cast<double>(ops_total + r.retries) /
+                      static_cast<double>(ops_total)
+                : 1.0;
+  r.goodput_ops_per_vs = r.virtual_seconds > 0
+                             ? static_cast<double>(r.ops_ok) /
+                                   r.virtual_seconds
+                             : 0.0;
+  if (injector.has_value()) {
+    r.failure_events = injector->log().size();
+    const common::SimDuration lifted = injector->last_transient_end();
+    if (lifted > 0 && metrics.last_disruption_felt > lifted) {
+      r.recovery_virtual_seconds =
+          common::to_seconds(metrics.last_disruption_felt - lifted);
+    }
+  }
+  for (const auto& provider : registry.all()) {
+    if (provider->permanently_failed() && provider->online()) {
+      r.provider_resurrected = 1;
+    }
+  }
+
   const std::uint64_t rss_after = current_rss_bytes();
   r.wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - wall_start)
@@ -174,6 +232,64 @@ ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
                 static_cast<double>(config.tenants)
           : 0.0;
   return r;
+}
+
+ScaleoutConfig standard_campaign_config(std::string scheme,
+                                        std::size_t tenants,
+                                        std::uint64_t seed) {
+  ScaleoutConfig config;
+  config.scheme = std::move(scheme);
+  config.tenants = tenants;
+  config.seed = seed;
+
+  // Tight provider capacity: the ramp alone drives the fair queue to its
+  // depth cap, so the campaign exercises real 429s, not just outages.
+  config.congestion.channels = 8;
+  config.congestion.per_op_service_ms = 2.0;
+  config.congestion.service_mbps = 200.0;
+  config.congestion.max_queue_depth = 64;
+  config.ramp = 10 * common::kSecond;
+
+  config.tenant.ops = 16;
+  config.tenant.write_ratio = 0.25;
+  config.tenant.object_bytes = 4096;
+  config.tenant.mean_think = 2 * common::kSecond;
+
+  // Tenant-level response: generous attempt budget with a jittered capped
+  // ladder, so ops started inside the 8 s outage keep backing off until
+  // the restore event lands instead of giving up mid-disruption.
+  config.tenant.retry.max_attempts = 64;
+  config.tenant.retry.backoff_ms = 50.0;
+  config.tenant.retry.backoff_multiplier = 2.0;
+  config.tenant.retry.max_backoff_ms = 2'000.0;
+  config.tenant.retry.retry_unavailable = true;
+  config.tenant.retry.retry_throttled = true;
+  config.tenant.retry.jitter_seed = seed ^ 0xeb5493553f6cf38dull;
+
+  // Session-level response: short jittered 429 ladder inside CloudClient,
+  // absorbing transient fair-queue rejections before they ever surface.
+  config.client_retry.max_attempts = 4;
+  config.client_retry.backoff_ms = 25.0;
+  config.client_retry.backoff_multiplier = 2.0;
+  config.client_retry.max_backoff_ms = 500.0;
+  config.client_retry.retry_throttled = true;
+  config.client_retry.jitter_seed = seed ^ 0xc2b2ae3d27d4eb4full;
+
+  // The scripted disruptions. WindowsAzure + Aliyun are the two
+  // performance-oriented providers HyRD's replication targets, so the
+  // correlated outage takes out every replica of the small-file tier at
+  // once; Aliyun is later destroyed outright (store wiped).
+  config.campaign.enabled = true;
+  config.campaign.outage_providers = {"WindowsAzure", "Aliyun"};
+  config.campaign.outage_at = 12 * common::kSecond;
+  config.campaign.outage_duration = 8 * common::kSecond;
+  config.campaign.brownout_providers = {"AmazonS3"};
+  config.campaign.brownout_at = 24 * common::kSecond;
+  config.campaign.brownout_duration = 8 * common::kSecond;
+  config.campaign.brownout_scale = 8.0;
+  config.campaign.lost_provider = "Aliyun";
+  config.campaign.lost_at = 36 * common::kSecond;
+  return config;
 }
 
 std::string report_to_json(const ScaleoutReport& r, bool include_env) {
@@ -197,6 +313,12 @@ std::string report_to_json(const ScaleoutReport& r, bool include_env) {
   append_field(out, "p999_ms", r.p999_ms);
   append_field(out, "put_mean_ms", r.put_mean_ms);
   append_field(out, "get_mean_ms", r.get_mean_ms);
+  append_field(out, "retries", r.retries);
+  append_field(out, "retry_amplification", r.retry_amplification);
+  append_field(out, "goodput_ops_per_vs", r.goodput_ops_per_vs);
+  append_field(out, "failure_events", r.failure_events);
+  append_field(out, "recovery_virtual_seconds", r.recovery_virtual_seconds);
+  append_field(out, "provider_resurrected", r.provider_resurrected);
   if (include_env) {
     append_field(out, "wall_ms", r.wall_ms);
     append_field(out, "rss_bytes", r.rss_bytes);

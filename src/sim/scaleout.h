@@ -12,11 +12,32 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cloud/congestion.h"
 #include "sim/tenant.h"
 
 namespace hyrd::sim {
+
+/// A scripted disruption campaign layered onto a scale-out run: one
+/// correlated multi-provider outage, one brownout, and one permanent
+/// provider loss, all dispatched as FailureInjector events on the tenant
+/// queue. Empty provider lists / names disable the corresponding phase.
+struct CampaignConfig {
+  bool enabled = false;
+
+  std::vector<std::string> outage_providers;  // flip offline together
+  common::SimDuration outage_at = 12 * common::kSecond;
+  common::SimDuration outage_duration = 8 * common::kSecond;
+
+  std::vector<std::string> brownout_providers;
+  common::SimDuration brownout_at = 24 * common::kSecond;
+  common::SimDuration brownout_duration = 8 * common::kSecond;
+  double brownout_scale = 8.0;
+
+  std::string lost_provider;  // destroyed (store wiped); "" = none
+  common::SimDuration lost_at = 36 * common::kSecond;
+};
 
 struct ScaleoutConfig {
   /// Scheme under test: "HyRD", "DuraCloud" (replicated), or "RACS" (RS).
@@ -35,6 +56,14 @@ struct ScaleoutConfig {
 
   /// Shared payload arena size (tenant puts slice windows out of it).
   std::size_t arena_bytes = 1u << 20;
+
+  /// Session-level (CloudClient) retry policy for every cloud op the scheme
+  /// issues. Default: the legacy 3-attempt deterministic ladder.
+  gcs::RetryPolicy client_retry = {};
+
+  /// Scripted disruptions (outage / brownout / permanent loss) delivered as
+  /// events on the same queue the tenants run on.
+  CampaignConfig campaign;
 };
 
 struct ScaleoutReport {
@@ -58,6 +87,19 @@ struct ScaleoutReport {
   double put_mean_ms = 0;
   double get_mean_ms = 0;
 
+  // --- Failure-response accounting (deterministic; campaign-meaningful) ---
+  std::uint64_t retries = 0;          // tenant attempts beyond the first
+  double retry_amplification = 1.0;   // (ops + retries) / ops
+  double goodput_ops_per_vs = 0;      // ok client ops per virtual second
+  std::uint64_t failure_events = 0;   // applied injector transitions
+  /// Virtual seconds between the last transient disruption's end and the
+  /// last failed attempt the fleet saw — 0 when the fleet recovered before
+  /// (or exactly when) the disruption lifted, or when nothing was injected.
+  double recovery_virtual_seconds = 0;
+  /// 1 if any permanently-failed provider ended the run online — the
+  /// resurrection bug this PR fixes; must stay 0.
+  std::uint64_t provider_resurrected = 0;
+
   // --- Environment-dependent (excluded from stable JSON) ---
   double wall_ms = 0;             // real time for the whole point
   std::uint64_t rss_bytes = 0;    // process RSS after the run
@@ -70,6 +112,15 @@ struct ScaleoutReport {
 /// config.seed. (The session pool still exists for erasure encode overlap,
 /// but compute tasks draw no randomness.)
 ScaleoutReport run_scaleout(const ScaleoutConfig& config);
+
+/// The standard E4 failure campaign against the standard four providers:
+/// tight congestion (so throttling is real), jittered tenant + client
+/// retries, a correlated two-provider outage (the two performance-oriented
+/// providers HyRD replicates to), a brownout on AmazonS3, and permanent
+/// loss of Aliyun. Deterministic per (scheme, tenants, seed).
+ScaleoutConfig standard_campaign_config(std::string scheme,
+                                        std::size_t tenants,
+                                        std::uint64_t seed);
 
 /// Serializes a report as one JSON object with sorted, fixed keys.
 /// `include_env` adds the wall-clock/RSS fields; reproducibility checks

@@ -25,25 +25,53 @@ void Tenant::on_event(EventQueue& queue, common::SimDuration now) {
   // arrival instant and the flow identity.
   common::VirtualScope scope({now, id_, config_.weight});
 
-  const bool is_put = !has_object_ || rng_.chance(config_.write_ratio);
+  // A retry wakeup re-issues the same op kind; a fresh op draws one.
+  const bool is_put = attempt_ > 0
+                          ? retry_is_put_
+                          : !has_object_ || rng_.chance(config_.write_ratio);
+  ++attempt_;
 
   common::SimDuration latency = 0;
-  bool ok = false;
+  common::Status status;
   if (is_put) {
     client_.put_async(path_, draw_payload(), [&](dist::WriteResult r) {
       latency = r.latency;
-      ok = r.status.is_ok();
+      status = r.status;
     });
-    if (ok) has_object_ = true;
   } else {
     client_.get_async(path_, [&](dist::ReadResult r) {
       latency = r.latency;
-      ok = r.status.is_ok();
+      status = r.status;
     });
   }
+  const bool ok = status.is_ok();
+  op_spent_ += latency;
 
+  // Back off and resume: a retryable failure (throttle 429, outage) does
+  // not end the op — the tenant schedules its next attempt as an event at
+  // now + latency + backoff, so the whole fleet's retry pressure is paced
+  // by the policy's jittered ladder instead of stampeding the fair queue,
+  // and failure-injector recoveries fire in between.
+  if (!ok && config_.retry.retryable(status.code()) &&
+      attempt_ < static_cast<std::uint32_t>(config_.retry.max_attempts)) {
+    const common::SimDuration backoff = config_.retry.backoff_before(
+        static_cast<int>(attempt_),
+        id_ ^ static_cast<std::uint64_t>(now));
+    if (!config_.retry.over_deadline(op_spent_, backoff)) {
+      retry_is_put_ = is_put;
+      op_spent_ += backoff;
+      metrics_.note_retry(now + latency);
+      queue.schedule_at(now + latency + backoff, this);
+      return;  // op still in flight; ops_done_ unchanged
+    }
+  }
+
+  if (ok && is_put) has_object_ = true;
   ++ops_done_;
-  metrics_.note_op(is_put, ok, latency, now + latency);
+  // The op's client-visible latency includes every attempt and backoff.
+  metrics_.note_op(is_put, ok, op_spent_, now + latency);
+  attempt_ = 0;
+  op_spent_ = 0;
 
   if (ops_done_ >= config_.ops) {
     ++metrics_.tenants_finished;

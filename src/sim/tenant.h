@@ -31,6 +31,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/storage_client.h"
+#include "gcsapi/retry.h"
 #include "sim/event_queue.h"
 
 namespace hyrd::sim {
@@ -42,6 +43,14 @@ struct TenantConfig {
   std::uint32_t object_bytes = 4096;   // small file -> replicated path
   common::SimDuration mean_think = 2 * common::kSecond;  // exp. distributed
   double weight = 1.0;                 // fair-queuing share at providers
+
+  /// Tenant-level failure response: when an op fails retryably (throttled
+  /// 429, provider outage), the tenant *schedules the retry as an event*
+  /// at now + latency + backoff instead of counting a failure — the
+  /// non-blocking Retry-v2 variant, so outage-end and brownout-recovery
+  /// events interleave between attempts. Default none(): one attempt per
+  /// op, one event per op (the shape the determinism tests pin).
+  gcs::RetryPolicy retry = gcs::RetryPolicy::none();
 };
 
 /// Fleet-wide accounting shared (single-threaded) by all tenants.
@@ -51,8 +60,13 @@ struct FleetMetrics {
   common::RunningStat get_ms;
   std::uint64_t ops_ok = 0;
   std::uint64_t ops_failed = 0;
+  std::uint64_t retries = 0;  // attempts beyond each op's first
   std::uint64_t tenants_finished = 0;
   common::SimDuration last_completion = 0;  // fleet makespan (virtual)
+  /// Latest virtual completion of a failed attempt (retried or given up):
+  /// the moment the fleet last *felt* a disruption. Recovery time is
+  /// measured from the last disruption's end to here.
+  common::SimDuration last_disruption_felt = 0;
 
   void note_op(bool is_put, bool ok, common::SimDuration latency,
                common::SimDuration completed_at) {
@@ -60,6 +74,14 @@ struct FleetMetrics {
     (is_put ? put_ms : get_ms).add(common::to_ms(latency));
     ok ? ++ops_ok : ++ops_failed;
     if (completed_at > last_completion) last_completion = completed_at;
+    if (!ok && completed_at > last_disruption_felt) {
+      last_disruption_felt = completed_at;
+    }
+  }
+
+  void note_retry(common::SimDuration failed_at) {
+    ++retries;
+    if (failed_at > last_disruption_felt) last_disruption_felt = failed_at;
   }
 };
 
@@ -94,6 +116,9 @@ class Tenant final : public EventHandler {
   FleetMetrics& metrics_;        // shared, fleet-owned
   const std::string path_;       // "t<id>/o" — fits SSO
   std::uint32_t ops_done_ = 0;
+  std::uint32_t attempt_ = 0;  // attempts of the in-flight op; 0 = fresh op
+  common::SimDuration op_spent_ = 0;  // virtual time charged to it so far
+  bool retry_is_put_ = false;  // kind of the op being retried
   bool has_object_ = false;  // first successful PUT landed
 };
 

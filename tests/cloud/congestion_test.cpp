@@ -157,5 +157,24 @@ TEST(SimProviderCongestion, QueueingDelayIsVisibleInOpLatency) {
   EXPECT_GE(lat_queued, lat_free + 2 * kTenMs);
 }
 
+TEST(FairQueue, DepthCapBoundaryAdmitsExactlyMaxQueueDepthWaiters) {
+  // The cap counts *waiters*, not in-service requests: with C channels and
+  // depth D, exactly C + D simultaneous arrivals are admitted and the
+  // (C + D + 1)-th is the first 429. Guards the off-by-one at the
+  // `waiting >= max_queue_depth` boundary.
+  constexpr std::size_t kChannels = 2;
+  constexpr std::size_t kDepth = 5;
+  FairQueue q(narrow(kChannels, kDepth));
+  for (std::size_t i = 0; i < kChannels + kDepth; ++i) {
+    EXPECT_TRUE(q.admit(100 + i, 1.0, 0, 0).admitted) << "arrival " << i;
+  }
+  EXPECT_EQ(q.stats().peak_depth, kDepth);
+  EXPECT_EQ(q.stats().throttled, 0u);
+  // One more at the same instant: the queue is exactly full.
+  EXPECT_FALSE(q.admit(999, 1.0, 0, 0).admitted);
+  EXPECT_EQ(q.stats().throttled, 1u);
+  EXPECT_EQ(q.stats().peak_depth, kDepth);  // never exceeded the cap
+}
+
 }  // namespace
 }  // namespace hyrd::cloud

@@ -75,8 +75,21 @@ TEST(SimProvider, PermanentFailureWipesData) {
   p.put({"c", "k"}, common::bytes_of("v"));
   p.fail_permanently();
   EXPECT_FALSE(p.online());
-  p.set_online(true);
-  EXPECT_EQ(p.get({"c", "k"}).status.code(), common::StatusCode::kNotFound);
+  EXPECT_TRUE(p.permanently_failed());
+  // A destroyed provider cannot be resurrected: set_online(true) is
+  // refused and every op keeps failing as unavailable.
+  EXPECT_FALSE(p.set_online(true));
+  EXPECT_FALSE(p.online());
+  EXPECT_EQ(p.get({"c", "k"}).status.code(),
+            common::StatusCode::kUnavailable);
+}
+
+TEST(SimProvider, PermanentFailureStillAllowsGoingOffline) {
+  SimProvider p(test_config(), 1);
+  p.fail_permanently();
+  // Only resurrection is refused; a redundant "go offline" is fine.
+  EXPECT_TRUE(p.set_online(false));
+  EXPECT_FALSE(p.online());
 }
 
 TEST(SimProvider, CountersTrackOpsAndBytes) {

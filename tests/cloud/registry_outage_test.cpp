@@ -76,9 +76,29 @@ TEST(OutageController, DestroyWipes) {
   ali->put({"c", "k"}, common::bytes_of("v"));
   OutageController ctl(reg);
   ASSERT_TRUE(ctl.destroy("Aliyun"));
-  ali->set_online(true);
+  // The store is wiped and the provider is gone for good: neither a
+  // direct set_online(true) nor a controller restore can bring it back.
+  EXPECT_FALSE(ali->set_online(true));
+  EXPECT_FALSE(ctl.restore("Aliyun"));
+  EXPECT_FALSE(ali->online());
   EXPECT_EQ(ali->get({"c", "k"}).status.code(),
-            common::StatusCode::kNotFound);
+            common::StatusCode::kUnavailable);
+}
+
+TEST(RandomOutageInjector, NeverResurrectsDestroyedProvider) {
+  CloudRegistry reg;
+  install_standard_four(reg, 1);
+  OutageController ctl(reg);
+  ASSERT_TRUE(ctl.destroy("Rackspace"));
+  // p_up = 1.0: every down provider recovers on every step — except the
+  // destroyed one, which is out of the churn pool for good.
+  RandomOutageInjector injector(reg, /*seed=*/7, /*p_down=*/0.5,
+                                /*p_up=*/1.0, /*min_online=*/1);
+  for (int i = 0; i < 50; ++i) {
+    injector.step();
+    EXPECT_FALSE(reg.find("Rackspace")->online());
+  }
+  EXPECT_TRUE(reg.find("Rackspace")->permanently_failed());
 }
 
 TEST(RandomOutageInjector, RespectsMinOnline) {

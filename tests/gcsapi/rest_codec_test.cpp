@@ -108,10 +108,22 @@ TEST(RestCodec, HttpStatusMappingRoundTrips) {
   for (auto code :
        {common::StatusCode::kOk, common::StatusCode::kNotFound,
         common::StatusCode::kUnavailable, common::StatusCode::kInvalidArgument,
-        common::StatusCode::kAlreadyExists}) {
+        common::StatusCode::kAlreadyExists,
+        common::StatusCode::kResourceExhausted}) {
     const common::Status st(code, "m");
     EXPECT_EQ(http_to_status(status_to_http(st), "m").code(), code);
   }
+}
+
+TEST(RestCodec, ThrottleMapsTo429BothWays) {
+  // The throttle boundary: a fair-queue rejection must travel as HTTP 429
+  // and come back as kResourceExhausted, never as a generic 5xx — the
+  // retry policy's 429-vs-outage distinction depends on it.
+  EXPECT_EQ(status_to_http(common::resource_exhausted("throttled")), 429);
+  const common::Status back = http_to_status(429, "throttled");
+  EXPECT_EQ(back.code(), common::StatusCode::kResourceExhausted);
+  EXPECT_EQ(back.message(), "throttled");
+  EXPECT_NE(status_to_http(common::unavailable("down")), 429);
 }
 
 TEST(RestCodec, DataLossMapsTo500) {

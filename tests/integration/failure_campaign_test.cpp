@@ -1,0 +1,106 @@
+// End-to-end failure-response contract of this PR: a throttled fleet
+// completes cleanly once 429-aware retry is on, the scripted E4 campaign
+// (correlated outage + brownout + permanent loss) is survivable for HyRD
+// with zero client-visible errors, the destroyed provider stays destroyed,
+// and the whole campaign is byte-deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/scaleout.h"
+
+namespace hyrd::sim {
+namespace {
+
+/// A fleet sized to slam the fair queue: tight capacity, no ramp to speak
+/// of, so the opening burst overruns max_queue_depth and 429s are certain.
+ScaleoutConfig throttled_config(std::uint64_t seed) {
+  ScaleoutConfig config;
+  config.scheme = "HyRD";
+  config.tenants = 200;
+  config.seed = seed;
+  config.congestion.channels = 2;
+  config.congestion.per_op_service_ms = 5.0;
+  config.congestion.max_queue_depth = 8;
+  config.ramp = common::kSecond / 2;
+  config.tenant.ops = 4;
+  // Strip the session-level safety net so the tenant layer is what's
+  // under test (and the no-retry control actually fails).
+  config.client_retry = gcs::RetryPolicy::none();
+  return config;
+}
+
+TEST(FailureCampaign, ThrottledFleetFailsWithoutRetryAndCompletesWithIt) {
+  // Control: 429s surface as client-visible failures.
+  const ScaleoutReport bare = run_scaleout(throttled_config(42));
+  ASSERT_GT(bare.provider_throttled, 0u) << "config no longer throttles";
+  EXPECT_GT(bare.ops_failed, 0u);
+  EXPECT_EQ(bare.retries, 0u);
+
+  // Same fleet with the tenant backoff state machine: every op completes.
+  // The scheme layer aggregates an all-replicas-429 write into
+  // kUnavailable ("no replica target reachable"), so the tenant policy
+  // opts into unavailable — raw 429 classification is exercised at the
+  // CloudClient layer (RetryPolicy.ThrottledOpSucceedsAfterBackoff).
+  ScaleoutConfig config = throttled_config(42);
+  config.tenant.retry.max_attempts = 32;
+  config.tenant.retry.backoff_ms = 25.0;
+  config.tenant.retry.max_backoff_ms = 1'000.0;
+  config.tenant.retry.retry_unavailable = true;
+  config.tenant.retry.jitter_seed = 42 ^ 0xeb5493553f6cf38dull;
+  const ScaleoutReport retried = run_scaleout(config);
+  EXPECT_GT(retried.provider_throttled, 0u);
+  EXPECT_EQ(retried.ops_failed, 0u);
+  EXPECT_EQ(retried.ops_ok, 200u * 4u);
+  EXPECT_GT(retried.retries, 0u);
+  EXPECT_GT(retried.retry_amplification, 1.0);
+  // Retry wakeups are extra events beyond the one-event-per-op baseline.
+  EXPECT_EQ(retried.events_dispatched, 200u * 4u + retried.retries);
+}
+
+TEST(FailureCampaign, HyRDRidesOutTheStandardCampaign) {
+  const ScaleoutReport r =
+      run_scaleout(standard_campaign_config("HyRD", 300, 42));
+  // The campaign took down both replica targets at once, browned out the
+  // metadata-heavy provider, and destroyed one replica target outright —
+  // and every client op still completed.
+  EXPECT_EQ(r.ops_ok, 300u * 16u);
+  EXPECT_EQ(r.ops_failed, 0u);
+  EXPECT_GT(r.retries, 0u);
+  // 7 applied transitions: 2 outage onsets + 2 restores + brownout
+  // begin/end + 1 permanent loss.
+  EXPECT_EQ(r.failure_events, 7u);
+  EXPECT_EQ(r.provider_resurrected, 0u);
+}
+
+TEST(FailureCampaign, DestroyedProviderStaysDestroyedForEveryScheme) {
+  for (const std::string scheme : {"HyRD", "DuraCloud", "RACS"}) {
+    const ScaleoutReport r =
+        run_scaleout(standard_campaign_config(scheme, 120, 7));
+    EXPECT_EQ(r.provider_resurrected, 0u) << scheme;
+    EXPECT_EQ(r.failure_events, 7u) << scheme;
+  }
+}
+
+TEST(FailureCampaign, CampaignIsByteDeterministicPerSeed) {
+  const auto stable = [](std::uint64_t seed) {
+    return report_to_json(run_scaleout(standard_campaign_config("HyRD", 200, seed)),
+                          /*include_env=*/false);
+  };
+  EXPECT_EQ(stable(42), stable(42));
+  EXPECT_NE(stable(42), stable(43));
+}
+
+TEST(FailureCampaign, ReportSerializesFailureFields) {
+  const std::string json = report_to_json(
+      run_scaleout(standard_campaign_config("HyRD", 60, 3)), false);
+  for (const char* key :
+       {"\"retries\":", "\"retry_amplification\":", "\"goodput_ops_per_vs\":",
+        "\"failure_events\":", "\"recovery_virtual_seconds\":",
+        "\"provider_resurrected\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace hyrd::sim

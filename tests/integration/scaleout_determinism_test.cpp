@@ -44,6 +44,25 @@ TEST(ScaleoutDeterminism, SeedChangesTheRun) {
   EXPECT_NE(stable_json("HyRD", 42), stable_json("HyRD", 43));
 }
 
+TEST(ScaleoutDeterminism, JitteredRetriesStayByteIdentical) {
+  // Retry v2's full jitter is a pure function of (seed, op identity,
+  // attempt) — no shared RNG stream — so enabling it must not cost the
+  // byte-identity contract even with tenant-level retry events in play.
+  const auto jittered = [](std::uint64_t seed) {
+    ScaleoutConfig config = small_config("HyRD", seed);
+    config.congestion.max_queue_depth = 16;  // force real 429s
+    config.tenant.retry.max_attempts = 8;
+    config.tenant.retry.backoff_ms = 20.0;
+    config.tenant.retry.max_backoff_ms = 500.0;
+    config.tenant.retry.retry_unavailable = true;
+    config.tenant.retry.jitter_seed = seed ^ 0x51ca1e07ull;
+    config.client_retry.jitter_seed = seed ^ 0xfeedfaceull;
+    return report_to_json(run_scaleout(config), /*include_env=*/false);
+  };
+  EXPECT_EQ(jittered(42), jittered(42));
+  EXPECT_NE(jittered(42), jittered(43));
+}
+
 TEST(ScaleoutDeterminism, ReportIsInternallyConsistent) {
   const ScaleoutReport r = run_scaleout(small_config("DuraCloud", 7));
   // Closed loop: every tenant issues exactly config.tenant.ops ops.

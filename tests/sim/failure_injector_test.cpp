@@ -1,0 +1,161 @@
+// Event-driven failure injection (sim/failure.h): outage onset/restore as
+// queue events, brownout latency scaling, permanent loss that nothing can
+// undo, the applied-transition log, and seeded random churn.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cloud/profiles.h"
+#include "cloud/registry.h"
+#include "common/clock.h"
+#include "sim/event_queue.h"
+#include "sim/failure.h"
+
+namespace hyrd::sim {
+namespace {
+
+constexpr common::SimDuration kS = common::kSecond;
+
+class FailureInjectorTest : public ::testing::Test {
+ protected:
+  FailureInjectorTest() { cloud::install_standard_four(registry_, 42); }
+
+  cloud::CloudRegistry registry_;
+  EventQueue queue_;
+};
+
+// A probe that samples provider state at a chosen virtual instant, so the
+// test observes the fleet *between* injector events.
+struct Probe final : EventHandler {
+  cloud::CloudRegistry* registry = nullptr;
+  std::vector<std::string> online_at_fire;
+  void on_event(EventQueue&, common::SimDuration) override {
+    for (const auto& p : registry->all()) {
+      if (p->online()) online_at_fire.push_back(p->name());
+    }
+  }
+};
+
+TEST_F(FailureInjectorTest, CorrelatedOutageFlipsSetTogetherAndRestores) {
+  FailureInjector injector(registry_, queue_);
+  injector.schedule_outage({"WindowsAzure", "Aliyun"}, 5 * kS, 3 * kS);
+
+  Probe during;
+  during.registry = &registry_;
+  queue_.schedule_at(6 * kS, &during);
+
+  queue_.run();
+
+  // Mid-outage both named providers were down, the others untouched.
+  EXPECT_EQ(during.online_at_fire,
+            (std::vector<std::string>{"AmazonS3", "Rackspace"}));
+  // After the end event everything is back.
+  for (const auto& p : registry_.all()) EXPECT_TRUE(p->online());
+
+  ASSERT_EQ(injector.log().size(), 4u);  // 2 onsets + 2 restores
+  EXPECT_EQ(injector.log()[0].at, 5 * kS);
+  EXPECT_TRUE(injector.log()[0].onset);
+  EXPECT_EQ(injector.log()[2].at, 8 * kS);
+  EXPECT_FALSE(injector.log()[2].onset);
+  EXPECT_EQ(injector.last_transient_end(), 8 * kS);
+}
+
+TEST_F(FailureInjectorTest, BrownoutScalesLatencyThenRecovers) {
+  FailureInjector injector(registry_, queue_);
+  injector.schedule_brownout({"AmazonS3"}, 2 * kS, 4 * kS, /*scale=*/8.0);
+
+  cloud::SimProvider* s3 = registry_.find("AmazonS3");
+  ASSERT_NE(s3, nullptr);
+  EXPECT_EQ(s3->latency_scale(), 1.0);
+
+  // Run up to the onset, sample, then drain.
+  while (queue_.now() < 2 * kS && queue_.step()) {
+  }
+  EXPECT_EQ(s3->latency_scale(), 8.0);
+  EXPECT_TRUE(s3->online());  // slow, not dead
+  queue_.run();
+  EXPECT_EQ(s3->latency_scale(), 1.0);
+  EXPECT_EQ(injector.last_transient_end(), 6 * kS);
+}
+
+TEST_F(FailureInjectorTest, PermanentLossIsForever) {
+  FailureInjector injector(registry_, queue_);
+  injector.schedule_permanent_loss("Rackspace", 1 * kS);
+  // An outage of the same provider whose restore fires *after* the loss
+  // must not resurrect it.
+  injector.schedule_outage({"Rackspace"}, 0, 4 * kS);
+  queue_.run();
+
+  cloud::SimProvider* rs = registry_.find("Rackspace");
+  EXPECT_TRUE(rs->permanently_failed());
+  EXPECT_FALSE(rs->online());
+  EXPECT_FALSE(rs->set_online(true));
+
+  // The refused restore is not logged as an applied transition.
+  for (const auto& entry : injector.log()) {
+    EXPECT_FALSE(entry.provider == "Rackspace" &&
+                 entry.kind == FailureKind::kOutage && !entry.onset);
+  }
+}
+
+TEST_F(FailureInjectorTest, RestoreListenerFiresAtOutageEnd) {
+  FailureInjector injector(registry_, queue_);
+  std::vector<std::pair<std::string, common::SimDuration>> restored;
+  injector.set_restore_listener(
+      [&](const std::string& name, common::SimDuration at) {
+        restored.emplace_back(name, at);
+      });
+  injector.schedule_outage({"Aliyun"}, 3 * kS, 2 * kS);
+  injector.schedule_permanent_loss("Rackspace", 1 * kS);  // no restore event
+  queue_.run();
+
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].first, "Aliyun");
+  EXPECT_EQ(restored[0].second, 5 * kS);
+}
+
+TEST_F(FailureInjectorTest, RandomChurnIsSeededAndSkipsDestroyed) {
+  registry_.find("Rackspace")->fail_permanently();
+
+  FailureInjector injector(registry_, queue_);
+  injector.schedule_random_churn(/*seed=*/7, /*epochs=*/200,
+                                 /*epoch_length=*/kS, /*p_down=*/0.2,
+                                 /*p_up=*/0.5, /*min_online=*/1);
+  queue_.run();
+
+  // Some churn actually happened, and only to resurrectable providers.
+  EXPECT_FALSE(injector.log().empty());
+  for (const auto& entry : injector.log()) {
+    EXPECT_NE(entry.provider, "Rackspace");
+  }
+  // After the horizon every non-destroyed provider is back online.
+  for (const auto& p : registry_.all()) {
+    EXPECT_EQ(p->online(), !p->permanently_failed()) << p->name();
+  }
+  EXPECT_FALSE(registry_.find("Rackspace")->online());
+
+  // Same seed, fresh fleet: the identical schedule (determinism contract).
+  cloud::CloudRegistry registry2;
+  cloud::install_standard_four(registry2, 42);
+  registry2.find("Rackspace")->fail_permanently();
+  EventQueue queue2;
+  FailureInjector injector2(registry2, queue2);
+  injector2.schedule_random_churn(7, 200, kS, 0.2, 0.5, 1);
+  queue2.run();
+  ASSERT_EQ(injector2.log().size(), injector.log().size());
+  for (std::size_t i = 0; i < injector.log().size(); ++i) {
+    EXPECT_EQ(injector2.log()[i].at, injector.log()[i].at);
+    EXPECT_EQ(injector2.log()[i].provider, injector.log()[i].provider);
+    EXPECT_EQ(injector2.log()[i].onset, injector.log()[i].onset);
+  }
+}
+
+TEST_F(FailureInjectorTest, KindNames) {
+  EXPECT_EQ(failure_kind_name(FailureKind::kOutage), "outage");
+  EXPECT_EQ(failure_kind_name(FailureKind::kBrownout), "brownout");
+  EXPECT_EQ(failure_kind_name(FailureKind::kPermanentLoss), "permanent_loss");
+}
+
+}  // namespace
+}  // namespace hyrd::sim
