@@ -12,6 +12,7 @@
 // Usage: bench_scaleout [--smoke] [--seed=N] [--max-tenants=N]
 //                       [--scheme=NAME] [--stable-json]
 //                       [--campaign[=N]] [--json | --json=FILE]
+//                       [--timeline=FILE] [--trace=FILE]
 //
 //   --smoke        one small point per scheme (CI lane; seconds, not minutes)
 //   --seed=N       the single seed every RNG stream derives from (default 42)
@@ -24,13 +25,19 @@
 //                  retries, a correlated two-provider outage, a brownout,
 //                  and a permanent provider loss, reporting goodput /
 //                  retry amplification / recovery time per scheme
+//   --timeline=F   (campaign) write the per-scheme flight-recorder
+//                  time-series to F (default BENCH_timeline.json)
+//   --trace=F      (campaign) record per-op spans across the runs and dump
+//                  Chrome trace_event JSON to F (one pid per scheme)
 //
 // Sweep checks: at every point >= 1e5 tenants, RSS stays under 2 GB and
 // marginal memory under 4 KB/tenant; the congestion knee must appear (p99
 // at the largest point strictly above p99 at the smallest) per scheme.
 // Campaign checks: HyRD rides out the whole campaign with zero
-// client-visible failures, retries are actually exercised, and no scheme's
-// run resurrects the destroyed provider.
+// client-visible failures, retries are actually exercised, no scheme's run
+// resurrects the destroyed provider, and — read off the timeline, not
+// end-of-run totals — HyRD's goodput is back at >= 90% of its pre-outage
+// baseline within the recovery budget after the outage lifts.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,7 +46,9 @@
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "obs/trace.h"
 #include "sim/scaleout.h"
+#include "sim/timeline.h"
 
 using namespace hyrd;
 
@@ -61,6 +70,8 @@ int main(int argc, char** argv) {
   bool campaign = false;
   std::size_t campaign_tenants = 2'000;
   std::string only_scheme;
+  std::string timeline_file;
+  std::string trace_file;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--smoke") smoke = true;
@@ -75,8 +86,11 @@ int main(int argc, char** argv) {
     if (a.rfind("--max-tenants=", 0) == 0)
       max_tenants = std::strtoull(a.c_str() + 14, nullptr, 10);
     if (a.rfind("--scheme=", 0) == 0) only_scheme = a.substr(9);
+    if (a.rfind("--timeline=", 0) == 0) timeline_file = a.substr(11);
+    if (a.rfind("--trace=", 0) == 0) trace_file = a.substr(8);
   }
   bench::JsonSink json(argc, argv);
+  if (campaign && timeline_file.empty()) timeline_file = "BENCH_timeline.json";
 
   if (campaign) {
     std::vector<std::string> schemes = {"HyRD", "DuraCloud", "RACS"};
@@ -91,13 +105,48 @@ int main(int argc, char** argv) {
     bool hyrd_clean = true;
     bool no_resurrection = true;
     bool retried = false;
+    bool recovery_ok = true;
+
+    // Timeline recovery gate, read off the sampled series (not end-of-run
+    // totals): baseline goodput = the windows between ramp end (10 vs) and
+    // outage start (12 vs); the fleet must be back at >= 90% of it within
+    // the budget after the outage lifts (20 vs). Gated on HyRD — the
+    // schemes without a reachable replica set may legitimately limp.
+    constexpr double kBaselineFromVs = 10.0;
+    constexpr double kBaselineToVs = 12.0;
+    constexpr double kOutageEndVs = 20.0;
+    constexpr double kRecoveryFraction = 0.9;
+    constexpr double kRecoveryBudgetVs = 10.0;
+
+    obs::TraceRecorder recorder;
+    std::string timelines;  // "schemes" object body of the timeline file
     common::Table t({"Scheme", "Ops ok", "Ops failed", "Retries", "Amp",
                      "Goodput", "Recovery vs", "Events", "Wall s"});
-    for (const auto& scheme : schemes) {
-      const sim::ScaleoutReport r = sim::run_scaleout(
-          sim::standard_campaign_config(scheme, campaign_tenants, seed));
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      const std::string& scheme = schemes[si];
+      sim::ScaleoutConfig config =
+          sim::standard_campaign_config(scheme, campaign_tenants, seed);
+      if (!trace_file.empty()) {
+        recorder.set_default_pid(static_cast<std::uint32_t>(si + 1));
+        config.trace = &recorder;
+      }
+      const sim::ScaleoutReport r = sim::run_scaleout(config);
+
+      const double recovery_vs = sim::timeline_recovery_seconds(
+          r.timeline, kBaselineFromVs, kBaselineToVs, kOutageEndVs,
+          kRecoveryFraction);
+      if (scheme == "HyRD" &&
+          (recovery_vs < 0 || recovery_vs > kRecoveryBudgetVs)) {
+        recovery_ok = false;
+      }
+      if (!timelines.empty()) timelines += ",";
+      timelines += "\"" + scheme + "\":" +
+                   sim::timeline_to_json(r.timeline, r.timeline_providers,
+                                         r.timeline_interval_vs);
 
       const std::string k = "campaign/" + scheme + "/";
+      json.add(k + "timeline_recovery_vs", recovery_vs);
+      json.add(k + "timeline_rows", static_cast<double>(r.timeline.size()));
       json.add(k + "ops_ok", static_cast<double>(r.ops_ok));
       json.add(k + "ops_failed", static_cast<double>(r.ops_failed));
       json.add(k + "retries", static_cast<double>(r.retries));
@@ -130,7 +179,38 @@ int main(int argc, char** argv) {
     json.add("check/campaign_hyrd_zero_failures", hyrd_clean ? 1.0 : 0.0);
     json.add("check/campaign_no_resurrection", no_resurrection ? 1.0 : 0.0);
     json.add("check/campaign_retries_exercised", retried ? 1.0 : 0.0);
+    json.add("check/campaign_timeline_recovery", recovery_ok ? 1.0 : 0.0);
     json.flush("bench_scaleout");
+
+    if (!timeline_file.empty()) {
+      std::FILE* f = std::fopen(timeline_file.c_str(), "w");
+      if (f != nullptr) {
+        char head[160];
+        std::snprintf(head, sizeof(head), "{\"seed\":%llu,\"tenants\":%zu,",
+                      static_cast<unsigned long long>(seed), campaign_tenants);
+        std::fputs(head, f);
+        std::fputs("\"schemes\":{", f);
+        std::fputs(timelines.c_str(), f);
+        std::fputs("}}\n", f);
+        std::fclose(f);
+        if (!json.quiet()) {
+          std::printf("Timeline written to %s\n", timeline_file.c_str());
+        }
+      }
+    }
+    if (!trace_file.empty()) {
+      std::FILE* f = std::fopen(trace_file.c_str(), "w");
+      if (f != nullptr) {
+        const std::string chrome = recorder.to_chrome_json();
+        std::fwrite(chrome.data(), 1, chrome.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        if (!json.quiet()) {
+          std::printf("Trace (%zu spans) written to %s\n", recorder.size(),
+                      trace_file.c_str());
+        }
+      }
+    }
 
     if (!json.quiet()) {
       std::printf("Checks:\n");
@@ -139,8 +219,12 @@ int main(int argc, char** argv) {
       std::printf("  destroyed provider stayed destroyed: %s\n",
                   no_resurrection ? "yes" : "NO (regression)");
       std::printf("  retries exercised: %s\n", retried ? "yes" : "NO");
+      std::printf("  goodput recovered to >= %.0f%% of pre-outage within "
+                  "%.0f vs of outage end: %s\n",
+                  kRecoveryFraction * 100.0, kRecoveryBudgetVs,
+                  recovery_ok ? "yes" : "NO (regression)");
     }
-    return (hyrd_clean && no_resurrection && retried) ? 0 : 1;
+    return (hyrd_clean && no_resurrection && retried && recovery_ok) ? 0 : 1;
   }
 
   std::vector<std::size_t> sweep;

@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace hyrd::cloud {
+
+namespace {
+
+// Registry handles for the fair-queue plane, resolved once.
+struct FqMetrics {
+  obs::Counter admitted =
+      obs::MetricsRegistry::global().counter("cloud.fq.admitted");
+  obs::Counter queued =
+      obs::MetricsRegistry::global().counter("cloud.fq.queued");
+  obs::Counter throttled =
+      obs::MetricsRegistry::global().counter("cloud.fq.throttled");
+  obs::Counter wait_ns =
+      obs::MetricsRegistry::global().counter("cloud.fq.wait_ns");
+};
+
+FqMetrics& fq_metrics() {
+  static FqMetrics m;
+  return m;
+}
+
+}  // namespace
 
 FairQueue::FairQueue(CongestionParams params) : params_(params) {
   if (params_.channels == 0) params_.channels = 1;
@@ -22,12 +46,27 @@ void FairQueue::prune(common::SimDuration arrival) {
   while (!waiting_.empty() && waiting_.top() <= arrival) waiting_.pop();
 }
 
+std::size_t FairQueue::depth_at(common::SimDuration now) {
+  prune(now);
+  return waiting_.size();
+}
+
 FairQueue::Admission FairQueue::admit(std::uint64_t tenant, double weight,
                                       common::SimDuration arrival,
                                       std::uint64_t bytes) {
   prune(arrival);
   if (waiting_.size() >= params_.max_queue_depth) {
     ++stats_.throttled;
+    fq_metrics().throttled.inc();
+    if (obs::trace_active()) {
+      obs::TraceSpan span;
+      span.name = "throttle429";
+      span.cat = "cloud";
+      span.tid = tenant;
+      span.ts = arrival;
+      span.arg("depth", static_cast<long long>(waiting_.size()));
+      obs::emit(std::move(span));
+    }
     return {.admitted = false, .wait = 0};
   }
 
@@ -49,7 +88,10 @@ FairQueue::Admission FairQueue::admit(std::uint64_t tenant, double weight,
 
   const common::SimDuration wait = begin - arrival;
   ++stats_.admitted;
+  fq_metrics().admitted.inc();
   if (wait > 0) {
+    fq_metrics().queued.inc();
+    fq_metrics().wait_ns.add(static_cast<std::uint64_t>(wait));
     ++stats_.queued;
     waiting_.push(begin);
     stats_.peak_depth = std::max(stats_.peak_depth, waiting_.size());

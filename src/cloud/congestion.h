@@ -85,6 +85,11 @@ class FairQueue {
   /// Server-side service demand for a request of `bytes` payload.
   [[nodiscard]] common::SimDuration service_time(std::uint64_t bytes) const;
 
+  /// Waiting-request count as of virtual time `now` (prunes entries whose
+  /// service already began). This is the queue depth the timeline sampler
+  /// exports per provider.
+  [[nodiscard]] std::size_t depth_at(common::SimDuration now);
+
   [[nodiscard]] const CongestionParams& params() const { return params_; }
   [[nodiscard]] const CongestionStats& stats() const { return stats_; }
 

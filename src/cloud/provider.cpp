@@ -51,6 +51,11 @@ CongestionStats SimProvider::congestion_stats() const {
   return congestion_ ? congestion_->stats() : CongestionStats{};
 }
 
+std::size_t SimProvider::congestion_depth(common::SimDuration now) const {
+  std::lock_guard lock(mu_);
+  return congestion_ ? congestion_->depth_at(now) : 0;
+}
+
 std::optional<OpResult> SimProvider::admit(std::uint64_t bytes,
                                            common::SimDuration* wait) {
   *wait = 0;

@@ -103,6 +103,10 @@ class SimProvider final : public ObjectStore {
   [[nodiscard]] bool congestion_enabled() const;
   [[nodiscard]] CongestionStats congestion_stats() const;
 
+  /// Fair-queue depth at virtual time `now` (0 when congestion is off).
+  /// Read by the timeline sampler for the per-provider queue-depth series.
+  [[nodiscard]] std::size_t congestion_depth(common::SimDuration now) const;
+
   /// Brownout emulation: multiplies every sampled latency. 1.0 = healthy;
   /// e.g. 8.0 models a provider that is reachable but badly degraded (the
   /// tail the hedged/first-k read paths exist to cut). Expected-latency

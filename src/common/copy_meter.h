@@ -7,33 +7,41 @@
 // workload to report "bytes memcpy'd per op" (see bench_client_micro's
 // --json databus mode and EXPERIMENTS.md E2).
 //
-// The counter is a relaxed atomic: it is a statistic, not a
-// synchronization point, and the hot path must not pay for ordering.
+// Since the flight-recorder PR this is a thin veneer over the standard
+// metrics plane: the bytes land in the `common.bytes_copied` counter of
+// obs::MetricsRegistry::global(), so memcpy accounting shows up in the same
+// snapshot/export as every other metric instead of a parallel mechanism.
+// The update cost is unchanged — one relaxed fetch_add on a padded cell —
+// and, like every registry counter, it compiles out (reads 0) under
+// -DHYRD_OBS_METRICS=OFF.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+
+#include "obs/metrics.h"
 
 namespace hyrd::common {
 
 namespace internal {
-inline std::atomic<std::uint64_t> g_bytes_copied{0};
+inline const obs::Counter& copy_counter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::global().counter("common.bytes_copied");
+  return counter;
+}
 }  // namespace internal
 
 /// Records `n` physically copied payload bytes.
 inline void count_copied_bytes(std::uint64_t n) {
-  internal::g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+  internal::copy_counter().add(n);
 }
 
 /// Total payload bytes physically copied since process start (or the last
 /// reset). Monotone except for reset_copied_bytes().
 inline std::uint64_t copied_bytes() {
-  return internal::g_bytes_copied.load(std::memory_order_relaxed);
+  return internal::copy_counter().value();
 }
 
 /// Zeroes the counter (benches only; races with in-flight ops are benign).
-inline void reset_copied_bytes() {
-  internal::g_bytes_copied.store(0, std::memory_order_relaxed);
-}
+inline void reset_copied_bytes() { internal::copy_counter().reset(); }
 
 }  // namespace hyrd::common

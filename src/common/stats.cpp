@@ -53,9 +53,12 @@ double Samples::mean() const {
 
 double Samples::percentile(double p) {
   if (values_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
+  if (sorted_prefix_ < values_.size()) {
+    const auto mid = values_.begin() +
+                     static_cast<std::ptrdiff_t>(sorted_prefix_);
+    std::sort(mid, values_.end());
+    std::inplace_merge(values_.begin(), mid, values_.end());
+    sorted_prefix_ = values_.size();
   }
   const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
@@ -67,15 +70,37 @@ double Samples::percentile(double p) {
 LogHistogram::LogHistogram(double base, double growth, std::size_t buckets)
     : base_(base), growth_(growth), counts_(buckets, 0) {}
 
-void LogHistogram::add(double x) {
+LogHistogram::LogHistogram(double base, double growth,
+                           std::vector<std::size_t> counts)
+    : base_(base), growth_(growth), counts_(std::move(counts)) {
+  for (std::size_t c : counts_) total_ += c;
+}
+
+std::size_t LogHistogram::bucket_index(double x, double base, double growth,
+                                       std::size_t buckets) {
   std::size_t idx = 0;
-  double bound = base_;
-  while (idx + 1 < counts_.size() && x >= bound) {
-    bound *= growth_;
+  double bound = base;
+  while (idx + 1 < buckets && x >= bound) {
+    bound *= growth;
     ++idx;
   }
-  ++counts_[idx];
+  return idx;
+}
+
+void LogHistogram::add(double x) {
+  ++counts_[bucket_index(x, base_, growth_, counts_.size())];
   ++total_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.counts_.size() != counts_.size() || other.base_ != base_ ||
+      other.growth_ != growth_) {
+    return;  // geometry mismatch: refuse rather than mis-bucket
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
 }
 
 double LogHistogram::percentile(double p) const {

@@ -34,12 +34,12 @@ class RunningStat {
 };
 
 /// Keeps every sample (bounded workloads) and answers percentile queries.
+/// A percentile query after N appended samples sorts only the unsorted tail
+/// and merges it into the already-sorted prefix, so alternating add/query
+/// costs O(tail log tail + n) per query instead of re-sorting everything.
 class Samples {
  public:
-  void add(double x) {
-    values_.push_back(x);
-    sorted_ = false;
-  }
+  void add(double x) { values_.push_back(x); }
 
   [[nodiscard]] std::size_t count() const { return values_.size(); }
   [[nodiscard]] double mean() const;
@@ -48,7 +48,7 @@ class Samples {
 
  private:
   std::vector<double> values_;
-  bool sorted_ = false;
+  std::size_t sorted_prefix_ = 0;  // values_[0, sorted_prefix_) is sorted
 };
 
 /// Histogram with logarithmically spaced buckets; renders ASCII bars.
@@ -57,8 +57,30 @@ class LogHistogram {
   /// Buckets: [0, base), [base, base*growth), ... up to `buckets` buckets.
   LogHistogram(double base, double growth, std::size_t buckets);
 
+  /// Adopts pre-merged bucket counts (same geometry semantics as above).
+  /// Used by obs::Histogram::snapshot to turn sharded atomic cells into a
+  /// plain histogram, and by the timeline sampler for window deltas.
+  LogHistogram(double base, double growth, std::vector<std::size_t> counts);
+
   void add(double x);
+
+  /// The bucket `add(x)` would increment, for a histogram with this
+  /// geometry. Exposed so sharded external storage (obs::Histogram) uses
+  /// the exact same bucketing and merge-of-shards == single-stream holds.
+  [[nodiscard]] static std::size_t bucket_index(double x, double base,
+                                                double growth,
+                                                std::size_t buckets);
+
+  /// Element-wise accumulate of a same-geometry histogram (per-thread
+  /// shard reduction). Geometries must match exactly.
+  void merge(const LogHistogram& other);
+
   [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double base() const { return base_; }
+  [[nodiscard]] double growth() const { return growth_; }
+  [[nodiscard]] const std::vector<std::size_t>& counts() const {
+    return counts_;
+  }
   [[nodiscard]] std::string render(std::size_t width = 40) const;
 
   /// Approximate percentile (p in [0,100]): the sample's bucket is found

@@ -7,12 +7,46 @@
 
 #include "common/checksum.h"
 #include "common/copy_meter.h"
+#include "common/virtual_time.h"
 #include "erasure/raid5.h"
 #include "erasure/reed_solomon.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hyrd::dist {
 
 namespace {
+
+// Encode/CRC phase accounting: bytes run through the GF encoder and the
+// checksummer per stripe write, visible next to the upload counters in the
+// same registry export.
+struct StripeMetrics {
+  obs::Counter encode_bytes =
+      obs::MetricsRegistry::global().counter("scheme.encode_bytes");
+  obs::Counter crc_bytes =
+      obs::MetricsRegistry::global().counter("scheme.crc_bytes");
+};
+
+StripeMetrics& stripe_metrics() {
+  static StripeMetrics m;
+  return m;
+}
+
+/// Scheme-level span stamped with the issuing tenant's virtual context.
+void emit_stripe_span(const char* name, common::SimDuration dur,
+                      std::initializer_list<obs::TraceSpan::Arg> args) {
+  if (!obs::trace_active()) return;
+  obs::TraceSpan span;
+  span.name = name;
+  span.cat = "scheme";
+  if (const auto base = common::VirtualScope::snapshot()) {
+    span.tid = base->tenant;
+    span.ts = base->now;
+  }
+  span.dur = dur;
+  for (const auto& a : args) span.arg(a.key, a.value);
+  obs::emit(std::move(span));
+}
 
 /// Maps each fragment slot of `meta` to its session client index; -1 when
 /// the provider is not in the session.
@@ -192,8 +226,16 @@ WriteResult ErasureScheme::write(gcs::MultiCloudSession& session,
         common::unavailable("fewer than k fragments written; stripe lost");
     return result;
   }
+  stripe_metrics().encode_bytes.add(
+      static_cast<std::uint64_t>(geom.m) * shard_size);
+  stripe_metrics().crc_bytes.add(data.size() +
+                                 static_cast<std::uint64_t>(total) * shard_size);
   result.status = common::Status::ok();
   result.meta = std::move(m);
+  emit_stripe_span("stripe_write", result.latency,
+                   {{"k", static_cast<long long>(geom.k)},
+                    {"m", static_cast<long long>(geom.m)},
+                    {"landed", static_cast<long long>(landed)}});
   return result;
 }
 
@@ -304,6 +346,9 @@ ReadResult ErasureScheme::read(gcs::MultiCloudSession& session,
       }
       result.status = common::Status::ok();
       result.data = std::move(object).value();
+      emit_stripe_span("stripe_read", result.latency,
+                       {{"k", static_cast<long long>(geom.k)},
+                        {"degraded", result.degraded ? 1 : 0}});
       return result;
     }
 
@@ -342,6 +387,10 @@ ReadResult ErasureScheme::read(gcs::MultiCloudSession& session,
   }
   result.status = common::Status::ok();
   result.data = std::move(object).value();
+  emit_stripe_span("stripe_read", result.latency,
+                   {{"k", static_cast<long long>(geom.k)},
+                    {"degraded", result.degraded ? 1 : 0},
+                    {"saved_ns", static_cast<long long>(result.saved)}});
   return result;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/checksum.h"
+#include "common/virtual_time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hyrd::dist {
 
@@ -10,6 +13,28 @@ namespace {
 
 /// Majority of the intended replica set (DepSky-style quorum rank).
 std::size_t majority(std::size_t n) { return n / 2 + 1; }
+
+obs::Counter& hedge_counter() {
+  static obs::Counter c = obs::MetricsRegistry::global().counter("scheme.hedges");
+  return c;
+}
+
+/// Scheme-level span stamped with the issuing tenant's virtual context
+/// (tid 0 / ts 0 for plain non-sim traffic).
+void emit_scheme_span(const char* name, common::SimDuration dur,
+                      std::initializer_list<obs::TraceSpan::Arg> args) {
+  if (!obs::trace_active()) return;
+  obs::TraceSpan span;
+  span.name = name;
+  span.cat = "scheme";
+  if (const auto base = common::VirtualScope::snapshot()) {
+    span.tid = base->tenant;
+    span.ts = base->now;
+  }
+  span.dur = dur;
+  for (const auto& a : args) span.arg(a.key, a.value);
+  obs::emit(std::move(span));
+}
 
 }  // namespace
 
@@ -88,6 +113,9 @@ WriteResult ReplicationScheme::write(
   }
   result.status = common::Status::ok();
   result.meta = std::move(m);
+  emit_scheme_span("replicated_write", result.latency,
+                   {{"replicas", static_cast<long long>(replica_clients.size())},
+                    {"landed", static_cast<long long>(landed)}});
   return result;
 }
 
@@ -138,6 +166,7 @@ ReadResult ReplicationScheme::read(gcs::MultiCloudSession& session,
       batch.submit(gcs::CloudOp::get(client_idx,
                                      {container_, loc->object_name}, start));
       op_is_hedge.push_back(is_hedge);
+      if (is_hedge) hedge_counter().inc();
       return true;
     }
     return false;
@@ -257,6 +286,10 @@ ReadResult ReplicationScheme::read(gcs::MultiCloudSession& session,
   result.saved =
       worst_arrival > best_arrival ? worst_arrival - best_arrival : 0;
   result.degraded = result.degraded || !first_attempt;
+  emit_scheme_span("replicated_read", result.latency,
+                   {{"hedged", hedge_attempted ? 1 : 0},
+                    {"degraded", result.degraded ? 1 : 0},
+                    {"saved_ns", static_cast<long long>(result.saved)}});
   return result;
 }
 

@@ -5,12 +5,36 @@
 
 #include "cloud/cancel.h"
 #include "gcsapi/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hyrd::gcs {
 
 namespace {
 
 bool default_usable(const CloudCompletion& c) { return c.ok(); }
+
+struct BatchMetrics {
+  obs::Counter ops = obs::MetricsRegistry::global().counter("gcs.batch.ops");
+  obs::Counter cancelled =
+      obs::MetricsRegistry::global().counter("gcs.batch.cancelled");
+};
+
+BatchMetrics& batch_metrics() {
+  static BatchMetrics m;
+  return m;
+}
+
+constexpr const char* batch_op_name(CloudOp::Kind kind) {
+  switch (kind) {
+    case CloudOp::Kind::kPut: return "put";
+    case CloudOp::Kind::kGet: return "get";
+    case CloudOp::Kind::kGetRange: return "get_range";
+    case CloudOp::Kind::kPutRange: return "put_range";
+    case CloudOp::Kind::kRemove: return "remove";
+  }
+  return "?";
+}
 
 }  // namespace
 
@@ -97,6 +121,20 @@ void AsyncBatch::run_op(std::size_t index) {
   }
   const bool cancelled =
       result.status.code() == common::StatusCode::kCancelled;
+  batch_metrics().ops.inc();
+  if (cancelled) batch_metrics().cancelled.inc();
+  if (obs::trace_active()) {
+    obs::TraceSpan span;
+    span.name = batch_op_name(rec->op.kind);
+    span.cat = "batch";
+    span.tid = sim_ctx_.has_value() ? sim_ctx_->tenant : 0;
+    span.ts = (sim_ctx_.has_value() ? sim_ctx_->now : 0) + rec->op.start_offset;
+    span.dur = result.latency;
+    span.arg("op_index", static_cast<long long>(index))
+        .arg("client", static_cast<long long>(rec->op.client_index))
+        .arg("cancelled", cancelled ? 1 : 0);
+    obs::emit(std::move(span));
+  }
   {
     std::lock_guard lock(mu_);
     rec->completion.op_index = index;

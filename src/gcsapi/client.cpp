@@ -6,8 +6,30 @@
 #include "cloud/cancel.h"
 #include "common/checksum.h"
 #include "common/virtual_time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hyrd::gcs {
+
+namespace {
+
+// Retry-loop metrics, registered once. `attempts - ops` is the retry
+// amplification the timeline sampler windows over.
+struct ClientMetrics {
+  obs::Counter ops = obs::MetricsRegistry::global().counter("gcs.ops");
+  obs::Counter attempts =
+      obs::MetricsRegistry::global().counter("gcs.attempts");
+  obs::Counter retries = obs::MetricsRegistry::global().counter("gcs.retries");
+  obs::Counter backoff_ns =
+      obs::MetricsRegistry::global().counter("gcs.backoff_ns");
+};
+
+ClientMetrics& client_metrics() {
+  static ClientMetrics m;
+  return m;
+}
+
+}  // namespace
 
 CloudClient::CloudClient(cloud::SimProvider* provider, RetryPolicy policy)
     : provider_(provider), policy_(policy) {
@@ -43,6 +65,7 @@ ResultT CloudClient::run(cloud::OpKind op, const cloud::ObjectKey& key,
 
   ResultT result;
   common::SimDuration total_latency = 0;
+  common::SimDuration backoff_total = 0;
   int attempt = 0;
   for (;;) {
     ++attempt;
@@ -65,8 +88,32 @@ ResultT CloudClient::run(cloud::OpKind op, const cloud::ObjectKey& key,
         policy_.backoff_before(attempt, decorrelate);
     if (policy_.over_deadline(total_latency, backoff)) break;
     total_latency += backoff;
+    backoff_total += backoff;
   }
   result.latency = total_latency;
+
+  client_metrics().ops.inc();
+  client_metrics().attempts.add(static_cast<std::uint64_t>(attempt));
+  if (attempt > 1) {
+    client_metrics().retries.add(static_cast<std::uint64_t>(attempt - 1));
+  }
+  if (backoff_total > 0) {
+    client_metrics().backoff_ns.add(static_cast<std::uint64_t>(backoff_total));
+  }
+  if (obs::trace_active()) {
+    obs::TraceSpan span;
+    span.name = cloud::op_kind_name(op).data();  // string_view over a literal
+    span.cat = "cloud";
+    span.tid = base ? base->tenant : 0;
+    span.ts = base ? base->now : 0;
+    span.dur = total_latency;
+    span.detail = provider_->name();
+    span.arg("attempts", attempt)
+        .arg("status", static_cast<long long>(result.status.code()))
+        .arg("bytes", static_cast<long long>(result.bytes_transferred))
+        .arg("backoff_ns", static_cast<long long>(backoff_total));
+    obs::emit(std::move(span));
+  }
 
   record_trace({.provider = provider_->name(),
                 .op = op,

@@ -1,0 +1,329 @@
+// MetricsRegistry: the unified, lock-cheap metrics plane of the flight
+// recorder (DESIGN.md §13).
+//
+// Every layer of the stack — copy meter, CloudClient retry loop, AsyncBatch,
+// the congestion fair queue, the schemes — registers named counters, gauges,
+// and log-scaled histograms here once (under a mutex) and then updates them
+// through handles that touch nothing but cache-line-padded per-thread cells:
+// one relaxed atomic RMW per update, no shared-line ping-pong, no ordering.
+// That is the budget the 10^6-tenant discrete-event hot path can afford.
+//
+// Reads (snapshot / to_json / value) merge the cells. They are exact once
+// writers have quiesced (join / event-loop drain) and approximate while
+// writers race — they are statistics, not synchronization.
+//
+// Compile-out: configuring with -DHYRD_OBS_METRICS=OFF defines
+// HYRD_OBS_DISABLED, which turns every handle update into a no-op the
+// optimizer deletes (reads then return 0 — including the copy meter, so the
+// E2 databus assertions only hold in the default ON build). This is what the
+// "<5% with metrics enabled" comparison in EXPERIMENTS.md E5 builds against.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace hyrd::obs {
+
+#if defined(HYRD_OBS_DISABLED)
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+/// Power-of-two shard count: enough to keep 8-16 hardware threads off each
+/// other's lines without bloating snapshot cost.
+inline constexpr std::size_t kMetricShards = 16;
+
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct alignas(64) GaugeCell {
+  std::atomic<std::int64_t> value{0};
+};
+
+namespace internal {
+
+/// Stable per-thread shard slot: threads are striped round-robin across the
+/// cells, so two hot threads almost never share one.
+inline std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return slot;
+}
+
+struct CounterState {
+  CounterCell cells[kMetricShards];
+};
+
+struct GaugeState {
+  GaugeCell cells[kMetricShards];
+};
+
+struct HistogramState {
+  double base = 1.0;
+  double growth = 2.0;
+  std::size_t buckets = 0;
+  // Shard-major: cell (shard, bucket) at [shard * buckets + bucket]. Buckets
+  // of one shard are contiguous; different shards land on different lines
+  // for any realistic bucket count.
+  std::vector<std::atomic<std::uint64_t>> counts;
+};
+
+}  // namespace internal
+
+/// Monotone counter handle. Copyable, trivially destructible; the default-
+/// constructed handle is an inert no-op (useful for optional metrics).
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n) const {
+    if constexpr (!kMetricsEnabled) {
+      (void)n;
+      return;
+    }
+    if (state_ == nullptr) return;
+    state_->cells[internal::shard_index()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() const { add(1); }
+
+  [[nodiscard]] std::uint64_t value() const {
+    if (state_ == nullptr) return 0;
+    std::uint64_t sum = 0;
+    for (const auto& c : state_->cells) {
+      sum += c.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  /// Zeroes every cell (benches/tests only; racing writers are benign).
+  void reset() const {
+    if (state_ == nullptr) return;
+    for (auto& c : state_->cells) c.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(internal::CounterState* state) : state_(state) {}
+  internal::CounterState* state_ = nullptr;
+};
+
+/// Up/down gauge (e.g. in-flight ops). Sharded the same way: the current
+/// value is the sum of per-cell deltas, so inc on one thread and dec on
+/// another still net to zero.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void add(std::int64_t delta) const {
+    if constexpr (!kMetricsEnabled) {
+      (void)delta;
+      return;
+    }
+    if (state_ == nullptr) return;
+    state_->cells[internal::shard_index()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void inc() const { add(1); }
+  void dec() const { add(-1); }
+
+  [[nodiscard]] std::int64_t value() const {
+    if (state_ == nullptr) return 0;
+    std::int64_t sum = 0;
+    for (const auto& c : state_->cells) {
+      sum += c.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() const {
+    if (state_ == nullptr) return;
+    for (auto& c : state_->cells) c.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(internal::GaugeState* state) : state_(state) {}
+  internal::GaugeState* state_ = nullptr;
+};
+
+/// Log-scaled histogram handle with the exact bucketing of
+/// common::LogHistogram (shared via LogHistogram::bucket_index), so a
+/// snapshot merged out of the shards equals a single-stream LogHistogram
+/// fed the same values.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(double x) const {
+    if constexpr (!kMetricsEnabled) {
+      (void)x;
+      return;
+    }
+    if (state_ == nullptr) return;
+    const std::size_t bucket = common::LogHistogram::bucket_index(
+        x, state_->base, state_->growth, state_->buckets);
+    state_->counts[internal::shard_index() * state_->buckets + bucket]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Shards merged into a plain LogHistogram (percentiles, render, merge).
+  [[nodiscard]] common::LogHistogram snapshot() const {
+    if (state_ == nullptr) return common::LogHistogram(1.0, 2.0, 1);
+    std::vector<std::size_t> counts(state_->buckets, 0);
+    for (std::size_t s = 0; s < kMetricShards; ++s) {
+      for (std::size_t b = 0; b < state_->buckets; ++b) {
+        counts[b] += state_->counts[s * state_->buckets + b].load(
+            std::memory_order_relaxed);
+      }
+    }
+    return common::LogHistogram(state_->base, state_->growth,
+                                std::move(counts));
+  }
+
+  void reset() const {
+    if (state_ == nullptr) return;
+    for (auto& c : state_->counts) c.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(internal::HistogramState* state) : state_(state) {}
+  internal::HistogramState* state_ = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in instrumentation site uses.
+  static MetricsRegistry& global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+
+  /// Registers (or finds) a counter. Registration locks; the returned
+  /// handle never does. Handles stay valid for the registry's lifetime.
+  Counter counter(const std::string& name) {
+    std::lock_guard lock(mu_);
+    auto& slot = counters_[name];
+    if (slot == nullptr) slot = std::make_unique<internal::CounterState>();
+    return Counter(slot.get());
+  }
+
+  Gauge gauge(const std::string& name) {
+    std::lock_guard lock(mu_);
+    auto& slot = gauges_[name];
+    if (slot == nullptr) slot = std::make_unique<internal::GaugeState>();
+    return Gauge(slot.get());
+  }
+
+  /// Re-registering an existing histogram returns it unchanged; the
+  /// geometry of the first registration wins (asserted in debug builds).
+  Histogram histogram(const std::string& name, double base, double growth,
+                      std::size_t buckets) {
+    std::lock_guard lock(mu_);
+    auto& slot = histograms_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<internal::HistogramState>();
+      slot->base = base;
+      slot->growth = growth;
+      slot->buckets = buckets == 0 ? 1 : buckets;
+      slot->counts =
+          std::vector<std::atomic<std::uint64_t>>(kMetricShards * slot->buckets);
+    }
+    assert(slot->base == base && slot->growth == growth &&
+           slot->buckets == (buckets == 0 ? 1 : buckets) &&
+           "histogram re-registered with a different geometry");
+    return Histogram(slot.get());
+  }
+
+  struct Snapshot {
+    // std::map: name-sorted, so serialization order is deterministic.
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, common::LogHistogram> histograms;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    std::lock_guard lock(mu_);
+    Snapshot snap;
+    for (const auto& [name, state] : counters_) {
+      snap.counters.emplace(name, Counter(state.get()).value());
+    }
+    for (const auto& [name, state] : gauges_) {
+      snap.gauges.emplace(name, Gauge(state.get()).value());
+    }
+    for (const auto& [name, state] : histograms_) {
+      snap.histograms.emplace(name, Histogram(state.get()).snapshot());
+    }
+    return snap;
+  }
+
+  /// One JSON object, keys sorted (deterministic given quiesced writers).
+  [[nodiscard]] std::string to_json() const {
+    const Snapshot snap = snapshot();
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : snap.counters) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(v));
+      out += (first ? "" : ",");
+      out += "\"" + name + "\":" + buf;
+      first = false;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : snap.gauges) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+      out += (first ? "" : ",");
+      out += "\"" + name + "\":" + buf;
+      first = false;
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : snap.histograms) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"total\":%llu,\"p50\":%.6f,\"p99\":%.6f}",
+                    static_cast<unsigned long long>(h.total()),
+                    h.percentile(50.0), h.percentile(99.0));
+      out += (first ? "" : ",");
+      out += "\"" + name + "\":" + buf;
+      first = false;
+    }
+    out += "}}";
+    return out;
+  }
+
+  /// Zeroes every registered metric (benches/tests).
+  void reset() {
+    std::lock_guard lock(mu_);
+    for (const auto& [name, state] : counters_) Counter(state.get()).reset();
+    for (const auto& [name, state] : gauges_) Gauge(state.get()).reset();
+    for (const auto& [name, state] : histograms_) {
+      Histogram(state.get()).reset();
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: handle pointers stay valid as registrations grow.
+  std::map<std::string, std::unique_ptr<internal::CounterState>> counters_;
+  std::map<std::string, std::unique_ptr<internal::GaugeState>> gauges_;
+  std::map<std::string, std::unique_ptr<internal::HistogramState>> histograms_;
+};
+
+}  // namespace hyrd::obs

@@ -1,0 +1,76 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace hyrd::obs {
+
+namespace {
+
+/// Minimal JSON string escaping for the one dynamic field (provider names,
+/// object keys): quotes, backslashes, and control bytes.
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::lock_guard lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  char buf[192];
+  bool first = true;
+  for (const TraceSpan& s : spans_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += s.name;
+    out += "\",\"cat\":\"";
+    out += s.cat;
+    out += "\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"pid\":%u,\"tid\":%llu,\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<unsigned>(s.pid),
+                  static_cast<unsigned long long>(s.tid),
+                  static_cast<double>(s.ts) / 1000.0,
+                  static_cast<double>(s.dur) / 1000.0);
+    out += buf;
+    if (s.arg_count > 0 || !s.detail.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (std::uint32_t i = 0; i < s.arg_count; ++i) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\":%lld",
+                      first_arg ? "" : ",", s.args[i].key, s.args[i].value);
+        out += buf;
+        first_arg = false;
+      }
+      if (!s.detail.empty()) {
+        out += first_arg ? "\"what\":\"" : ",\"what\":\"";
+        append_escaped(out, s.detail);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hyrd::obs

@@ -1,0 +1,135 @@
+// Per-op trace spans: the second leg of the flight recorder (DESIGN.md §13).
+//
+// A TraceSpan is one completed operation at one layer — a tenant op attempt,
+// a CloudClient retry loop, one AsyncBatch provider op, a fair-queue 429 —
+// stamped with *virtual-time* begin/duration, so a trace of a --seed run is
+// byte-identical across runs and machines. Spans carry a static name/
+// category, the issuing tenant id (rendered as the Chrome tid), up to four
+// numeric args, and one optional dynamic string (provider name and the
+// like).
+//
+// Recording is opt-in and scoped: nothing is captured unless a TraceScope
+// has installed a TraceRecorder, and the fast path when inactive is a single
+// relaxed load (trace_active()). The recorder serializes to the Chrome
+// trace_event JSON array format, so `bench_scaleout --campaign --trace=f`
+// output loads directly in chrome://tracing / Perfetto.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hyrd::obs {
+
+struct TraceSpan {
+  const char* name = "";  // static storage only (literals)
+  const char* cat = "";   // static storage only
+  std::uint64_t tid = 0;  // issuing tenant / flow id
+  std::uint32_t pid = 0;  // 0 = recorder default (set at record time)
+  common::SimDuration ts = 0;   // virtual begin
+  common::SimDuration dur = 0;  // virtual duration (0 = instant event)
+
+  struct Arg {
+    const char* key = "";
+    long long value = 0;
+  };
+  std::array<Arg, 4> args{};
+  std::uint32_t arg_count = 0;
+  std::string detail;  // serialized as args.what when non-empty
+
+  TraceSpan& arg(const char* key, long long value) {
+    if (arg_count < args.size()) args[arg_count++] = {key, value};
+    return *this;
+  }
+};
+
+class TraceRecorder {
+ public:
+  /// Keep only spans of this tenant/flow id (single-tenant inspection).
+  void set_tid_filter(std::uint64_t tid) {
+    std::lock_guard lock(mu_);
+    tid_filter_ = tid;
+  }
+  void clear_tid_filter() {
+    std::lock_guard lock(mu_);
+    tid_filter_.reset();
+  }
+
+  /// Chrome pid stamped on subsequently recorded spans that carry pid 0 —
+  /// the campaign driver uses one pid per scheme, so a multi-scheme trace
+  /// renders as separate process lanes.
+  void set_default_pid(std::uint32_t pid) {
+    std::lock_guard lock(mu_);
+    default_pid_ = pid;
+  }
+
+  void record(TraceSpan span) {
+    std::lock_guard lock(mu_);
+    if (tid_filter_.has_value() && span.tid != *tid_filter_) return;
+    if (span.pid == 0) span.pid = default_pid_;
+    spans_.push_back(std::move(span));
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return spans_.size();
+  }
+  [[nodiscard]] std::vector<TraceSpan> spans() const {
+    std::lock_guard lock(mu_);
+    return spans_;
+  }
+  void clear() {
+    std::lock_guard lock(mu_);
+    spans_.clear();
+  }
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}): complete events
+  /// (ph "X"), ts/dur in microseconds of virtual time, fixed %.3f
+  /// formatting — byte-identical for identical span streams.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::optional<std::uint64_t> tid_filter_;
+  std::uint32_t default_pid_ = 1;
+};
+
+namespace internal {
+inline std::atomic<TraceRecorder*> g_recorder{nullptr};
+}  // namespace internal
+
+/// The inactive-path cost at every instrumentation site: one relaxed load.
+[[nodiscard]] inline bool trace_active() {
+  return internal::g_recorder.load(std::memory_order_relaxed) != nullptr;
+}
+
+inline void emit(TraceSpan&& span) {
+  TraceRecorder* recorder =
+      internal::g_recorder.load(std::memory_order_relaxed);
+  if (recorder != nullptr) recorder->record(std::move(span));
+}
+
+/// RAII installer, nestable (inner scope wins; outer restored on exit).
+class TraceScope {
+ public:
+  explicit TraceScope(TraceRecorder* recorder)
+      : prev_(internal::g_recorder.exchange(recorder,
+                                            std::memory_order_relaxed)) {}
+  ~TraceScope() {
+    internal::g_recorder.store(prev_, std::memory_order_relaxed);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+}  // namespace hyrd::obs

@@ -161,7 +161,19 @@ ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
         });
   }
 
-  queue.run();
+  // --- Flight recorder --------------------------------------------------
+  std::optional<TimelineSampler> sampler;
+  if (config.timeline.enabled) {
+    sampler.emplace(config.timeline, metrics, registry, config.tenants);
+    sampler->start(queue);
+  }
+
+  {
+    // Trace only the measured run; setup traffic above emits no spans.
+    std::optional<obs::TraceScope> tracing;
+    if (config.trace != nullptr) tracing.emplace(config.trace);
+    queue.run();
+  }
 
   // --- Report -----------------------------------------------------------
   ScaleoutReport r;
@@ -218,6 +230,11 @@ ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
     if (provider->permanently_failed() && provider->online()) {
       r.provider_resurrected = 1;
     }
+  }
+  if (sampler.has_value()) {
+    r.timeline = sampler->rows();
+    r.timeline_providers = sampler->providers();
+    r.timeline_interval_vs = sampler->interval_vs();
   }
 
   const std::uint64_t rss_after = current_rss_bytes();
@@ -289,6 +306,10 @@ ScaleoutConfig standard_campaign_config(std::string scheme,
   config.campaign.brownout_scale = 8.0;
   config.campaign.lost_provider = "Aliyun";
   config.campaign.lost_at = 36 * common::kSecond;
+
+  // Campaign runs always sample the timeline: the phases above only mean
+  // something as transitions in the series.
+  config.timeline.enabled = true;
   return config;
 }
 

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "cloud/congestion.h"
+#include "obs/trace.h"
 #include "sim/tenant.h"
+#include "sim/timeline.h"
 
 namespace hyrd::sim {
 
@@ -64,6 +66,15 @@ struct ScaleoutConfig {
   /// Scripted disruptions (outage / brownout / permanent loss) delivered as
   /// events on the same queue the tenants run on.
   CampaignConfig campaign;
+
+  /// Time-series sampler (sim/timeline.h). Off by default: its tick events
+  /// count toward events_dispatched, which the plain-run determinism
+  /// contract pins. standard_campaign_config() enables it.
+  TimelineConfig timeline;
+
+  /// When set, per-op trace spans from every layer are recorded here for
+  /// the duration of the measured run (setup traffic is not traced).
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct ScaleoutReport {
@@ -99,6 +110,12 @@ struct ScaleoutReport {
   /// 1 if any permanently-failed provider ended the run online — the
   /// resurrection bug this PR fixes; must stay 0.
   std::uint64_t provider_resurrected = 0;
+
+  // --- Timeline (deterministic; serialized by timeline_to_json, not
+  // --- report_to_json, so the report JSON bytes are unchanged) ---
+  std::vector<TimelineRow> timeline;
+  std::vector<std::string> timeline_providers;
+  double timeline_interval_vs = 0;
 
   // --- Environment-dependent (excluded from stable JSON) ---
   double wall_ms = 0;             // real time for the whole point

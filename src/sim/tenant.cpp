@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/virtual_time.h"
+#include "obs/trace.h"
 
 namespace hyrd::sim {
 
@@ -29,6 +30,7 @@ void Tenant::on_event(EventQueue& queue, common::SimDuration now) {
   const bool is_put = attempt_ > 0
                           ? retry_is_put_
                           : !has_object_ || rng_.chance(config_.write_ratio);
+  if (attempt_ == 0) ++metrics_.ops_started;
   ++attempt_;
 
   common::SimDuration latency = 0;
@@ -46,6 +48,17 @@ void Tenant::on_event(EventQueue& queue, common::SimDuration now) {
   }
   const bool ok = status.is_ok();
   op_spent_ += latency;
+
+  if (obs::trace_active()) {
+    obs::TraceSpan span;
+    span.name = is_put ? "put" : "get";
+    span.cat = "tenant";
+    span.tid = id_;
+    span.ts = now;
+    span.dur = latency;
+    span.arg("attempt", static_cast<long long>(attempt_)).arg("ok", ok ? 1 : 0);
+    obs::emit(std::move(span));
+  }
 
   // Back off and resume: a retryable failure (throttle 429, outage) does
   // not end the op — the tenant schedules its next attempt as an event at

@@ -60,6 +60,7 @@ struct FleetMetrics {
   common::RunningStat get_ms;
   std::uint64_t ops_ok = 0;
   std::uint64_t ops_failed = 0;
+  std::uint64_t ops_started = 0;  // fresh ops issued (first attempts)
   std::uint64_t retries = 0;  // attempts beyond each op's first
   std::uint64_t tenants_finished = 0;
   common::SimDuration last_completion = 0;  // fleet makespan (virtual)

@@ -1,0 +1,186 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hyrd::sim {
+
+namespace {
+
+void append_num(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.6f,", key, v);
+  out += buf;
+}
+
+void append_num(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu,", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+TimelineSampler::TimelineSampler(TimelineConfig config,
+                                 const FleetMetrics& metrics,
+                                 const cloud::CloudRegistry& registry,
+                                 std::size_t fleet_size)
+    : config_(config),
+      metrics_(metrics),
+      registry_(registry),
+      fleet_size_(fleet_size) {
+  for (const auto& provider : registry_.all()) {
+    provider_names_.push_back(provider->name());
+  }
+  prev_provider_throttled_.assign(provider_names_.size(), 0);
+  prev_latency_counts_ = metrics_.latency_ms.counts();
+}
+
+void TimelineSampler::start(EventQueue& queue) {
+  if (!config_.enabled || config_.interval <= 0) return;
+  queue.schedule_at(config_.interval, this);
+}
+
+void TimelineSampler::on_event(EventQueue& queue, common::SimDuration now) {
+  sample(now);
+  // Once every tenant has finished, this tick closed the final window; not
+  // rescheduling lets the queue drain instead of ticking forever.
+  if (metrics_.tenants_finished >= fleet_size_) return;
+  queue.schedule_at(now + config_.interval, this);
+}
+
+void TimelineSampler::sample(common::SimDuration now) {
+  TimelineRow row;
+  row.t_vs = common::to_seconds(now);
+
+  row.ops_ok_w = metrics_.ops_ok - prev_ops_ok_;
+  row.ops_failed_w = metrics_.ops_failed - prev_ops_failed_;
+  row.retries_w = metrics_.retries - prev_retries_;
+  prev_ops_ok_ = metrics_.ops_ok;
+  prev_ops_failed_ = metrics_.ops_failed;
+  prev_retries_ = metrics_.retries;
+
+  const double interval_s = common::to_seconds(config_.interval);
+  row.goodput_ops_per_vs =
+      interval_s > 0 ? static_cast<double>(row.ops_ok_w) / interval_s : 0.0;
+  const std::uint64_t done_w = row.ops_ok_w + row.ops_failed_w;
+  row.retry_amplification_w =
+      done_w ? static_cast<double>(done_w + row.retries_w) /
+                   static_cast<double>(done_w)
+             : 1.0;
+
+  // Window percentiles: the latency histogram's count delta over this
+  // window is itself a LogHistogram (same geometry), so the bucket
+  // interpolation machinery applies unchanged.
+  const std::vector<std::size_t>& cum = metrics_.latency_ms.counts();
+  std::vector<std::size_t> delta(cum.size());
+  for (std::size_t i = 0; i < cum.size(); ++i) {
+    delta[i] = cum[i] - prev_latency_counts_[i];
+  }
+  prev_latency_counts_ = cum;
+  const common::LogHistogram window(metrics_.latency_ms.base(),
+                                    metrics_.latency_ms.growth(),
+                                    std::move(delta));
+  row.p50_ms_w = window.percentile(50.0);
+  row.p99_ms_w = window.percentile(99.0);
+
+  row.in_flight =
+      metrics_.ops_started - metrics_.ops_ok - metrics_.ops_failed;
+
+  const auto& providers = registry_.all();
+  row.provider_queue_depth.reserve(providers.size());
+  row.provider_online.reserve(providers.size());
+  row.provider_throttled_w.reserve(providers.size());
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    row.provider_queue_depth.push_back(providers[i]->congestion_depth(now));
+    row.provider_online.push_back(providers[i]->online() ? 1 : 0);
+    const std::uint64_t throttled = providers[i]->counters().throttled;
+    row.provider_throttled_w.push_back(throttled -
+                                       prev_provider_throttled_[i]);
+    prev_provider_throttled_[i] = throttled;
+    row.throttled_w += row.provider_throttled_w.back();
+  }
+
+  rows_.push_back(std::move(row));
+}
+
+std::string timeline_to_json(const std::vector<TimelineRow>& rows,
+                             const std::vector<std::string>& providers,
+                             double interval_vs) {
+  std::string out = "{";
+  append_num(out, "interval_vs", interval_vs);
+  out += "\"providers\":[";
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + providers[i] + "\"";
+  }
+  out += "],\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TimelineRow& r = rows[i];
+    if (i > 0) out += ",";
+    out += "{";
+    append_num(out, "t_vs", r.t_vs);
+    append_num(out, "ops_ok_w", r.ops_ok_w);
+    append_num(out, "ops_failed_w", r.ops_failed_w);
+    append_num(out, "retries_w", r.retries_w);
+    append_num(out, "throttled_w", r.throttled_w);
+    append_num(out, "goodput_ops_per_vs", r.goodput_ops_per_vs);
+    append_num(out, "retry_amplification_w", r.retry_amplification_w);
+    append_num(out, "p50_ms_w", r.p50_ms_w);
+    append_num(out, "p99_ms_w", r.p99_ms_w);
+    append_num(out, "in_flight", r.in_flight);
+    const auto append_array = [&out](const char* key, auto&& values) {
+      out += "\"";
+      out += key;
+      out += "\":[";
+      bool first = true;
+      for (const auto v : values) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%s%llu", first ? "" : ",",
+                      static_cast<unsigned long long>(v));
+        out += buf;
+        first = false;
+      }
+      out += "],";
+    };
+    append_array("provider_queue_depth", r.provider_queue_depth);
+    append_array("provider_online", r.provider_online);
+    append_array("provider_throttled", r.provider_throttled_w);
+    out.back() = '}';  // replace the trailing comma
+  }
+  out += "]}";
+  return out;
+}
+
+double timeline_recovery_seconds(const std::vector<TimelineRow>& rows,
+                                 double baseline_from_vs,
+                                 double baseline_to_vs, double after_vs,
+                                 double fraction) {
+  double baseline_sum = 0;
+  std::size_t baseline_n = 0;
+  for (const TimelineRow& r : rows) {
+    if (r.t_vs >= baseline_from_vs && r.t_vs < baseline_to_vs) {
+      baseline_sum += r.goodput_ops_per_vs;
+      ++baseline_n;
+    }
+  }
+  if (baseline_n == 0) return -1;
+  const double target =
+      fraction * baseline_sum / static_cast<double>(baseline_n);
+  if (target <= 0) return -1;
+
+  // First row at/after `after_vs` opening a run of >= 2 rows at target.
+  // The final row of the series counts alone (nothing follows to confirm
+  // it, but the fleet finishing healthy is itself the confirmation).
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].t_vs < after_vs) continue;
+    if (rows[i].goodput_ops_per_vs < target) continue;
+    const bool sustained = i + 1 >= rows.size() ||
+                           rows[i + 1].goodput_ops_per_vs >= target;
+    if (sustained) return rows[i].t_vs - after_vs;
+  }
+  return -1;
+}
+
+}  // namespace hyrd::sim

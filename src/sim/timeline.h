@@ -1,0 +1,115 @@
+// Time-series export: the third leg of the flight recorder (DESIGN.md §13).
+//
+// A TimelineSampler is an EventHandler that reschedules itself on the same
+// EventQueue the tenants run on, snapshotting the fleet every `interval` of
+// *virtual* time. Each tick closes one window: deltas of the cumulative
+// FleetMetrics and provider counters become windowed goodput, failure rate,
+// retry amplification, and p50/p99 (from the latency-histogram count delta),
+// plus instantaneous in-flight ops and per-provider fair-queue depth /
+// online state. Because the sampler runs inside the deterministic event
+// loop and reads only virtual-time state, the emitted series is
+// byte-identical across same-seed runs — the campaign determinism test pins
+// exactly that.
+//
+// The knee, the outage trough, the brownout shoulder, and the recovery
+// slope of an E4 campaign — invisible in end-of-run aggregates — are rows
+// here, and timeline_recovery_seconds() turns the recovery slope into a
+// single assertable number for CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/registry.h"
+#include "common/clock.h"
+#include "sim/event_queue.h"
+#include "sim/tenant.h"
+
+namespace hyrd::sim {
+
+struct TimelineConfig {
+  /// Off by default: sampler events change events_dispatched, and the
+  /// plain-run determinism contract pins that count. Campaign configs
+  /// (standard_campaign_config) turn it on.
+  bool enabled = false;
+  common::SimDuration interval = 250 * common::kMillisecond;
+};
+
+/// One closed window of the run. `_w` suffix = windowed (delta over this
+/// interval); everything else is instantaneous at the window's end.
+struct TimelineRow {
+  double t_vs = 0;  // window end, virtual seconds
+
+  std::uint64_t ops_ok_w = 0;
+  std::uint64_t ops_failed_w = 0;
+  std::uint64_t retries_w = 0;
+  std::uint64_t throttled_w = 0;  // provider-side 429s this window
+  double goodput_ops_per_vs = 0;  // ops_ok_w / interval
+  double retry_amplification_w = 1.0;
+  double p50_ms_w = 0;  // over ops completed this window
+  double p99_ms_w = 0;
+  std::uint64_t in_flight = 0;  // ops started minus ops resolved
+
+  // Parallel to TimelineSampler::providers() / the "providers" JSON array.
+  std::vector<std::size_t> provider_queue_depth;
+  std::vector<std::uint8_t> provider_online;
+  std::vector<std::uint64_t> provider_throttled_w;
+};
+
+class TimelineSampler final : public EventHandler {
+ public:
+  TimelineSampler(TimelineConfig config, const FleetMetrics& metrics,
+                  const cloud::CloudRegistry& registry, std::size_t fleet_size);
+
+  /// Schedules the first tick. No-op when the config is disabled.
+  void start(EventQueue& queue);
+
+  void on_event(EventQueue& queue, common::SimDuration now) override;
+
+  [[nodiscard]] const std::vector<TimelineRow>& rows() const { return rows_; }
+  [[nodiscard]] const std::vector<std::string>& providers() const {
+    return provider_names_;
+  }
+  [[nodiscard]] double interval_vs() const {
+    return common::to_seconds(config_.interval);
+  }
+
+ private:
+  void sample(common::SimDuration now);
+
+  TimelineConfig config_;
+  const FleetMetrics& metrics_;
+  const cloud::CloudRegistry& registry_;
+  const std::size_t fleet_size_;
+  std::vector<std::string> provider_names_;
+
+  // Cumulative values at the previous tick (window deltas).
+  std::uint64_t prev_ops_ok_ = 0;
+  std::uint64_t prev_ops_failed_ = 0;
+  std::uint64_t prev_retries_ = 0;
+  std::vector<std::uint64_t> prev_provider_throttled_;
+  std::vector<std::size_t> prev_latency_counts_;
+
+  std::vector<TimelineRow> rows_;
+};
+
+/// Serializes a sampled timeline as one JSON object:
+///   {"interval_vs":..,"providers":[..],"rows":[{..},..]}
+/// Fixed key order, %.6f doubles — byte-stable for identical rows.
+std::string timeline_to_json(const std::vector<TimelineRow>& rows,
+                             const std::vector<std::string>& providers,
+                             double interval_vs);
+
+/// Recovery time read off the timeline (not end-of-run totals): baseline =
+/// mean goodput over rows ending in [baseline_from_vs, baseline_to_vs);
+/// the fleet has recovered at the first row at/after `after_vs` that opens
+/// a run of >= 2 consecutive rows with goodput >= fraction * baseline.
+/// Returns that row's time minus after_vs (>= 0), or -1 when the timeline
+/// never recovers (or the baseline window is empty/zero).
+double timeline_recovery_seconds(const std::vector<TimelineRow>& rows,
+                                 double baseline_from_vs,
+                                 double baseline_to_vs, double after_vs,
+                                 double fraction);
+
+}  // namespace hyrd::sim

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
 namespace hyrd::common {
 namespace {
 
@@ -85,6 +89,65 @@ TEST(Samples, PercentileAfterMoreAdds) {
   EXPECT_DOUBLE_EQ(s.median(), 15.0);
 }
 
+// The sorted-prefix micro-fix: alternating add/percentile must keep
+// answering from a fully ordered view (tail-sort + inplace_merge), matching
+// a from-scratch sort at every step. Shuffled input exercises merges where
+// the tail interleaves arbitrarily with the prefix.
+TEST(Samples, InterleavedAddQueryMatchesFullSort) {
+  std::mt19937_64 rng(7);
+  std::vector<double> values(400);
+  for (auto& v : values) {
+    v = static_cast<double>(rng() % 10'000) / 10.0;
+  }
+  Samples s;
+  std::vector<double> reference;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    s.add(values[i]);
+    reference.push_back(values[i]);
+    if (i % 7 == 0 || i + 1 == values.size()) {
+      std::vector<double> sorted = reference;
+      std::sort(sorted.begin(), sorted.end());
+      for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+        const double rank =
+            p / 100.0 * static_cast<double>(sorted.size() - 1);
+        const auto lo = static_cast<std::size_t>(rank);
+        const auto hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        const double expected = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+        ASSERT_NEAR(s.percentile(p), expected, 1e-9)
+            << "n=" << sorted.size() << " p=" << p;
+      }
+    }
+  }
+}
+
+// Regression for the merge min/max satellite: an empty accumulator's
+// zero-initialized min_/max_ must never leak into the merge result —
+// neither direction, and not for all-positive or all-negative data where
+// a spurious 0.0 would be a visible wrong extreme.
+TEST(RunningStat, MergePreservesMinMaxAroundEmpty) {
+  RunningStat positives;
+  positives.add(5.0);
+  positives.add(9.0);
+  RunningStat empty;
+  positives.merge(empty);
+  EXPECT_EQ(positives.min(), 5.0);  // not clobbered to 0.0
+  EXPECT_EQ(positives.max(), 9.0);
+
+  RunningStat negatives;
+  negatives.add(-7.0);
+  negatives.add(-2.0);
+  RunningStat into;
+  into.merge(negatives);  // empty.merge(non-empty)
+  EXPECT_EQ(into.min(), -7.0);
+  EXPECT_EQ(into.max(), -2.0);  // not pulled up to 0.0
+  EXPECT_EQ(into.count(), 2u);
+
+  into.merge(empty);
+  EXPECT_EQ(into.min(), -7.0);
+  EXPECT_EQ(into.max(), -2.0);
+}
+
 TEST(LogHistogram, BucketsAndRender) {
   LogHistogram h(1.0, 10.0, 4);  // [0,1) [1,10) [10,100) [100,inf)
   h.add(0.5);
@@ -95,6 +158,95 @@ TEST(LogHistogram, BucketsAndRender) {
   const std::string render = h.render();
   EXPECT_NE(render.find('#'), std::string::npos);
   EXPECT_EQ(std::count(render.begin(), render.end(), '\n'), 4);
+}
+
+TEST(LogHistogram, BucketIndexMatchesAdd) {
+  // The static bucket_index must agree with add() exactly — obs::Histogram
+  // depends on it for merge-of-shards == single-stream.
+  LogHistogram h(1.0, 10.0, 4);
+  for (double x : {0.0, 0.999, 1.0, 9.99, 10.0, 99.0, 100.0, 1e9}) {
+    LogHistogram single(1.0, 10.0, 4);
+    single.add(x);
+    const std::size_t idx = LogHistogram::bucket_index(x, 1.0, 10.0, 4);
+    EXPECT_EQ(single.counts()[idx], 1u) << "x=" << x;
+  }
+  // Boundary values land in the upper bucket (half-open intervals).
+  EXPECT_EQ(LogHistogram::bucket_index(0.999, 1.0, 10.0, 4), 0u);
+  EXPECT_EQ(LogHistogram::bucket_index(1.0, 1.0, 10.0, 4), 1u);
+  EXPECT_EQ(LogHistogram::bucket_index(10.0, 1.0, 10.0, 4), 2u);
+  EXPECT_EQ(LogHistogram::bucket_index(100.0, 1.0, 10.0, 4), 3u);
+}
+
+TEST(LogHistogram, PercentileAtBucketBoundaries) {
+  // All mass in one bucket: every percentile interpolates inside
+  // [base*growth^(i-1), base*growth^i).
+  LogHistogram h(1.0, 10.0, 4);
+  for (int i = 0; i < 100; ++i) h.add(5.0);  // bucket [1,10)
+  EXPECT_GE(h.percentile(0.0), 1.0);
+  EXPECT_LE(h.percentile(100.0), 10.0);
+  EXPECT_GE(h.percentile(50.0), 1.0);
+  EXPECT_LE(h.percentile(50.0), 10.0);
+
+  // Mass split across two buckets: p below the split resolves to the lower
+  // bucket's range, p above to the upper's.
+  LogHistogram two(1.0, 10.0, 4);
+  for (int i = 0; i < 90; ++i) two.add(0.5);  // [0,1)
+  for (int i = 0; i < 10; ++i) two.add(5.0);  // [1,10)
+  EXPECT_LT(two.percentile(50.0), 1.0);
+  EXPECT_GE(two.percentile(99.0), 1.0);
+  EXPECT_LE(two.percentile(99.0), 10.0);
+}
+
+TEST(LogHistogram, OverflowBucketAbsorbsTail) {
+  LogHistogram h(1.0, 10.0, 3);  // [0,1) [1,10) [10,inf)
+  h.add(10.0);
+  h.add(1e6);
+  h.add(1e18);
+  EXPECT_EQ(h.counts()[2], 3u);
+  EXPECT_EQ(h.total(), 3u);
+  // Percentiles of overflow-only mass interpolate inside the last bucket's
+  // nominal [10, 100) range — bounded even though the values were not.
+  EXPECT_GE(h.percentile(0.0), 10.0);
+  EXPECT_GE(h.percentile(99.0), 10.0);
+  EXPECT_LE(h.percentile(99.0), 100.0);
+}
+
+TEST(LogHistogram, MergeOfShardsEqualsSingleStream) {
+  std::mt19937_64 rng(11);
+  LogHistogram single(0.1, 1.25, 120);
+  LogHistogram shard_a(0.1, 1.25, 120);
+  LogHistogram shard_b(0.1, 1.25, 120);
+  LogHistogram shard_c(0.1, 1.25, 120);
+  for (int i = 0; i < 5'000; ++i) {
+    const double x = static_cast<double>(rng() % 1'000'000) / 100.0;
+    single.add(x);
+    (i % 3 == 0 ? shard_a : i % 3 == 1 ? shard_b : shard_c).add(x);
+  }
+  shard_a.merge(shard_b);
+  shard_a.merge(shard_c);
+  EXPECT_EQ(shard_a.total(), single.total());
+  EXPECT_EQ(shard_a.counts(), single.counts());  // exact, not within-error
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(shard_a.percentile(p), single.percentile(p));
+  }
+}
+
+TEST(LogHistogram, MergeRefusesGeometryMismatch) {
+  LogHistogram a(1.0, 10.0, 4);
+  LogHistogram b(1.0, 2.0, 4);
+  a.add(5.0);
+  b.add(5.0);
+  a.merge(b);  // refused: growth differs
+  EXPECT_EQ(a.total(), 1u);
+}
+
+TEST(LogHistogram, CountsConstructorAdoptsTotals) {
+  LogHistogram from_counts(1.0, 10.0, std::vector<std::size_t>{2, 3, 0, 1});
+  EXPECT_EQ(from_counts.total(), 6u);
+  LogHistogram streamed(1.0, 10.0, 4);
+  for (double x : {0.5, 0.6, 2.0, 3.0, 4.0, 1000.0}) streamed.add(x);
+  EXPECT_EQ(from_counts.counts(), streamed.counts());
+  EXPECT_DOUBLE_EQ(from_counts.percentile(50.0), streamed.percentile(50.0));
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hyrd::obs {
+namespace {
+
+TraceSpan make_span(const char* name, std::uint64_t tid,
+                    common::SimDuration ts, common::SimDuration dur) {
+  TraceSpan span;
+  span.name = name;
+  span.cat = "test";
+  span.tid = tid;
+  span.ts = ts;
+  span.dur = dur;
+  return span;
+}
+
+TEST(ObsTrace, InactiveByDefaultAndEmitIsDropped) {
+  ASSERT_FALSE(trace_active());
+  emit(make_span("dropped", 1, 0, 0));  // must be a safe no-op
+  ASSERT_FALSE(trace_active());
+}
+
+TEST(ObsTrace, ScopeInstallsAndRestores) {
+  TraceRecorder recorder;
+  {
+    TraceScope scope(&recorder);
+    EXPECT_TRUE(trace_active());
+    emit(make_span("inside", 7, 1000, 500));
+  }
+  EXPECT_FALSE(trace_active());
+  emit(make_span("outside", 7, 2000, 500));  // after scope: dropped
+  ASSERT_EQ(recorder.size(), 1u);
+  EXPECT_STREQ(recorder.spans()[0].name, "inside");
+}
+
+TEST(ObsTrace, NestedScopesInnerWinsOuterRestored) {
+  TraceRecorder outer;
+  TraceRecorder inner;
+  TraceScope outer_scope(&outer);
+  emit(make_span("to_outer", 1, 0, 0));
+  {
+    TraceScope inner_scope(&inner);
+    emit(make_span("to_inner", 1, 0, 0));
+  }
+  emit(make_span("to_outer_again", 1, 0, 0));
+  EXPECT_EQ(outer.size(), 2u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_STREQ(inner.spans()[0].name, "to_inner");
+}
+
+TEST(ObsTrace, ArgsCapAtFour) {
+  TraceSpan span = make_span("argful", 1, 0, 0);
+  span.arg("a", 1).arg("b", 2).arg("c", 3).arg("d", 4).arg("e", 5);
+  EXPECT_EQ(span.arg_count, 4u);
+  EXPECT_STREQ(span.args[3].key, "d");
+}
+
+TEST(ObsTrace, TidFilterKeepsOnlyMatchingSpans) {
+  TraceRecorder recorder;
+  recorder.set_tid_filter(42);
+  recorder.record(make_span("mine", 42, 0, 1));
+  recorder.record(make_span("other", 7, 0, 1));
+  ASSERT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.spans()[0].tid, 42u);
+  recorder.clear_tid_filter();
+  recorder.record(make_span("other", 7, 0, 1));
+  EXPECT_EQ(recorder.size(), 2u);
+}
+
+TEST(ObsTrace, DefaultPidStampsOnlyUnsetSpans) {
+  TraceRecorder recorder;
+  recorder.set_default_pid(9);
+  TraceSpan explicit_pid = make_span("explicit", 1, 0, 0);
+  explicit_pid.pid = 3;
+  recorder.record(explicit_pid);
+  recorder.record(make_span("defaulted", 1, 0, 0));
+  const auto spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].pid, 3u);
+  EXPECT_EQ(spans[1].pid, 9u);
+}
+
+TEST(ObsTrace, ChromeJsonShape) {
+  TraceRecorder recorder;
+  TraceSpan span = make_span("Put", 5, 1'500, 2'000);  // ns -> 1.5us / 2us
+  span.cat = "cloud";
+  span.arg("attempts", 2).arg("bytes", 4096);
+  span.detail = "AmazonS3";
+  recorder.record(span);
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_EQ(
+      json,
+      "{\"traceEvents\":[{\"name\":\"Put\",\"cat\":\"cloud\",\"ph\":\"X\","
+      "\"pid\":1,\"tid\":5,\"ts\":1.500,\"dur\":2.000,"
+      "\"args\":{\"attempts\":2,\"bytes\":4096,\"what\":\"AmazonS3\"}}]}");
+}
+
+TEST(ObsTrace, ChromeJsonEscapesDetail) {
+  TraceRecorder recorder;
+  TraceSpan span = make_span("weird", 1, 0, 0);
+  span.detail = "quote\" slash\\ newline\n tab\t";
+  recorder.record(span);
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_NE(json.find("quote\\\" slash\\\\ newline\\n tab\\t"),
+            std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // no raw control chars
+}
+
+TEST(ObsTrace, ChromeJsonIsByteStableForIdenticalStreams) {
+  auto build = [] {
+    TraceRecorder recorder;
+    for (int i = 0; i < 50; ++i) {
+      TraceSpan span = make_span("op", static_cast<std::uint64_t>(i % 4),
+                                 i * 1000, 750);
+      span.arg("i", i);
+      recorder.record(span);
+    }
+    return recorder.to_chrome_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(ObsTrace, ClearEmptiesRecorder) {
+  TraceRecorder recorder;
+  recorder.record(make_span("a", 1, 0, 0));
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.to_chrome_json(), "{\"traceEvents\":[]}");
+}
+
+}  // namespace
+}  // namespace hyrd::obs

@@ -1,0 +1,215 @@
+// Flight-recorder timeline contract: the sampler's windowed rows reconcile
+// exactly with end-of-run totals, the E4 campaign's failure phases are
+// visible in the series (not just in aggregates), the recovery-time reader
+// behaves at its edges, and both the timeline and the per-op trace are
+// byte-identical across same-seed runs.
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/scaleout.h"
+
+namespace hyrd::sim {
+namespace {
+
+std::size_t provider_index(const std::vector<std::string>& providers,
+                           const std::string& name) {
+  const auto it = std::find(providers.begin(), providers.end(), name);
+  EXPECT_NE(it, providers.end()) << name;
+  return static_cast<std::size_t>(it - providers.begin());
+}
+
+TimelineRow row_at(double t_vs, double goodput) {
+  TimelineRow r;
+  r.t_vs = t_vs;
+  r.goodput_ops_per_vs = goodput;
+  return r;
+}
+
+TEST(Timeline, DisabledByDefaultProducesNoRows) {
+  ScaleoutConfig config;
+  config.scheme = "HyRD";
+  config.tenants = 20;
+  config.seed = 1;
+  const ScaleoutReport r = run_scaleout(config);
+  EXPECT_GT(r.ops_ok, 0u);
+  EXPECT_TRUE(r.timeline.empty());
+  EXPECT_TRUE(r.timeline_providers.empty());
+}
+
+TEST(Timeline, WindowDeltasSumToRunTotals) {
+  // The sampler keeps ticking until the last tenant finishes, so every op
+  // falls in some closed window: the series is a lossless decomposition of
+  // the cumulative counters.
+  const ScaleoutReport r =
+      run_scaleout(standard_campaign_config("HyRD", 300, 42));
+  ASSERT_FALSE(r.timeline.empty());
+  ASSERT_EQ(r.timeline_providers.size(), 4u);
+  std::uint64_t ok = 0, failed = 0, retries = 0, throttled = 0;
+  for (const TimelineRow& row : r.timeline) {
+    ok += row.ops_ok_w;
+    failed += row.ops_failed_w;
+    retries += row.retries_w;
+    throttled += row.throttled_w;
+    ASSERT_EQ(row.provider_queue_depth.size(), r.timeline_providers.size());
+    ASSERT_EQ(row.provider_online.size(), r.timeline_providers.size());
+    ASSERT_EQ(row.provider_throttled_w.size(), r.timeline_providers.size());
+    // throttled_w is defined as the sum of the per-provider deltas.
+    const std::uint64_t per_provider =
+        std::accumulate(row.provider_throttled_w.begin(),
+                        row.provider_throttled_w.end(), std::uint64_t{0});
+    ASSERT_EQ(row.throttled_w, per_provider);
+  }
+  EXPECT_EQ(ok, r.ops_ok);
+  EXPECT_EQ(failed, r.ops_failed);
+  EXPECT_EQ(retries, r.retries);
+  EXPECT_EQ(throttled, r.provider_throttled);
+  // The final resolved op is inside the last window: nothing is in flight.
+  EXPECT_EQ(r.timeline.back().in_flight, 0u);
+}
+
+TEST(Timeline, CampaignPhasesAreVisibleInTheSeries) {
+  // standard_campaign_config scripts: correlated outage of WindowsAzure +
+  // Aliyun over [12s, 20s), AmazonS3 brownout over [24s, 32s), Aliyun
+  // destroyed at 36s. End-of-run aggregates can't show any of this; the
+  // timeline must.
+  const ScaleoutReport r =
+      run_scaleout(standard_campaign_config("HyRD", 300, 42));
+  ASSERT_EQ(r.failure_events, 7u) << "run ended before the campaign did";
+  const std::size_t azure = provider_index(r.timeline_providers,
+                                           "WindowsAzure");
+  const std::size_t aliyun = provider_index(r.timeline_providers, "Aliyun");
+
+  bool outage_seen = false;
+  bool loss_seen = false;
+  double outage_min_goodput = 1e18;
+  double pre_outage_sum = 0;
+  std::size_t pre_outage_n = 0;
+  for (const TimelineRow& row : r.timeline) {
+    if (row.t_vs >= 10.0 && row.t_vs < 12.0) {
+      pre_outage_sum += row.goodput_ops_per_vs;
+      ++pre_outage_n;
+      // Steady state before the campaign fires: everything online.
+      EXPECT_EQ(row.provider_online[azure], 1);
+      EXPECT_EQ(row.provider_online[aliyun], 1);
+    }
+    if (row.t_vs > 12.5 && row.t_vs < 20.0) {
+      outage_seen = true;
+      EXPECT_EQ(row.provider_online[azure], 0) << "t=" << row.t_vs;
+      EXPECT_EQ(row.provider_online[aliyun], 0) << "t=" << row.t_vs;
+      outage_min_goodput =
+          std::min(outage_min_goodput, row.goodput_ops_per_vs);
+    }
+    if (row.t_vs > 36.5) {
+      loss_seen = true;
+      EXPECT_EQ(row.provider_online[aliyun], 0) << "t=" << row.t_vs;
+      EXPECT_EQ(row.provider_online[azure], 1) << "t=" << row.t_vs;
+    }
+  }
+  ASSERT_TRUE(outage_seen);
+  ASSERT_TRUE(loss_seen);
+  ASSERT_GT(pre_outage_n, 0u);
+  const double baseline = pre_outage_sum / static_cast<double>(pre_outage_n);
+  ASSERT_GT(baseline, 0.0);
+  // The trough: with both replica targets dark, goodput collapses.
+  EXPECT_LT(outage_min_goodput, 0.5 * baseline);
+  // And the recovery reader sees the fleet come back within the CI budget
+  // the campaign bench asserts.
+  const double recovery =
+      timeline_recovery_seconds(r.timeline, 10.0, 12.0, 20.0, 0.9);
+  EXPECT_GE(recovery, 0.0);
+  EXPECT_LE(recovery, 10.0);
+}
+
+TEST(Timeline, RecoveryReaderEdgeCases) {
+  // Healthy baseline, a dip, then sustained recovery at t=5: the reader
+  // reports time-from-after_vs of the first sustained row.
+  const std::vector<TimelineRow> recovers = {
+      row_at(1, 100), row_at(2, 100), row_at(3, 0),  row_at(4, 0),
+      row_at(5, 95),  row_at(6, 96),  row_at(7, 97),
+  };
+  EXPECT_DOUBLE_EQ(timeline_recovery_seconds(recovers, 1, 3, 4, 0.9), 1.0);
+
+  // A one-row spike that immediately drops again is not recovery; the next
+  // sustained row is.
+  const std::vector<TimelineRow> spiky = {
+      row_at(1, 100), row_at(2, 100), row_at(3, 0),  row_at(4, 0),
+      row_at(5, 95),  row_at(6, 10),  row_at(7, 95), row_at(8, 95),
+  };
+  EXPECT_DOUBLE_EQ(timeline_recovery_seconds(spiky, 1, 3, 4, 0.9), 3.0);
+
+  // The final row counts alone: a fleet that finishes healthy has recovered.
+  const std::vector<TimelineRow> ends_healthy = {
+      row_at(1, 100), row_at(2, 100), row_at(3, 0), row_at(4, 95),
+  };
+  EXPECT_DOUBLE_EQ(timeline_recovery_seconds(ends_healthy, 1, 3, 3.5, 0.9),
+                   0.5);
+
+  // Never recovers.
+  const std::vector<TimelineRow> dead = {
+      row_at(1, 100), row_at(2, 100), row_at(3, 0), row_at(4, 0),
+  };
+  EXPECT_DOUBLE_EQ(timeline_recovery_seconds(dead, 1, 3, 3, 0.9), -1.0);
+
+  // Degenerate inputs: empty baseline window, all-zero baseline.
+  EXPECT_DOUBLE_EQ(timeline_recovery_seconds(recovers, 8, 9, 4, 0.9), -1.0);
+  const std::vector<TimelineRow> zero_base = {row_at(1, 0), row_at(2, 0),
+                                              row_at(3, 50)};
+  EXPECT_DOUBLE_EQ(timeline_recovery_seconds(zero_base, 1, 3, 2, 0.9), -1.0);
+  EXPECT_DOUBLE_EQ(timeline_recovery_seconds({}, 0, 1, 0, 0.9), -1.0);
+}
+
+TEST(Timeline, JsonHasFixedShape) {
+  TimelineRow row = row_at(0.25, 48.0);
+  row.ops_ok_w = 12;
+  row.retries_w = 3;
+  row.throttled_w = 2;
+  row.in_flight = 7;
+  row.provider_queue_depth = {4, 0};
+  row.provider_online = {1, 0};
+  row.provider_throttled_w = {2, 0};
+  const std::string json =
+      timeline_to_json({row}, {"AmazonS3", "Aliyun"}, 0.25);
+  EXPECT_NE(json.find("\"interval_vs\":0.250000"), std::string::npos);
+  EXPECT_NE(json.find("\"providers\":[\"AmazonS3\",\"Aliyun\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"t_vs\":0.250000"), std::string::npos);
+  EXPECT_NE(json.find("\"ops_ok_w\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"provider_online\":[1,0]"), std::string::npos);
+  EXPECT_NE(json.find("\"provider_throttled\":[2,0]"), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find(",}"), std::string::npos);  // no dangling commas
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+}
+
+TEST(Timeline, SameSeedCampaignIsByteIdenticalIncludingTrace) {
+  // The flight recorder extends the determinism contract: not just the
+  // end-of-run report, but every sampled window and every recorded span.
+  const auto capture = [](std::uint64_t seed) {
+    ScaleoutConfig config = standard_campaign_config("HyRD", 120, seed);
+    obs::TraceRecorder recorder;
+    config.trace = &recorder;
+    const ScaleoutReport r = run_scaleout(config);
+    return std::pair<std::string, std::string>(
+        timeline_to_json(r.timeline, r.timeline_providers,
+                         r.timeline_interval_vs),
+        recorder.to_chrome_json());
+  };
+  const auto a = capture(42);
+  const auto b = capture(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.second.size(), std::string("{\"traceEvents\":[]}").size());
+  const auto c = capture(43);
+  EXPECT_NE(a.first, c.first);
+}
+
+}  // namespace
+}  // namespace hyrd::sim
