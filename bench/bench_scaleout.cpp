@@ -10,7 +10,7 @@
 // the fleet's offered load crosses provider capacity.
 //
 // Usage: bench_scaleout [--smoke] [--seed=N] [--max-tenants=N]
-//                       [--scheme=NAME] [--stable-json]
+//                       [--scheme=NAME] [--stable-json] [--meta-ratio=R]
 //                       [--campaign[=N]] [--json | --json=FILE]
 //                       [--timeline=FILE] [--trace=FILE]
 //
@@ -20,6 +20,10 @@
 //   --scheme=NAME  restrict to HyRD | DuraCloud | RACS
 //   --stable-json  exclude wall-clock/RSS keys so two same-seed runs emit
 //                  byte-identical JSON (the determinism contract)
+//   --meta-ratio=R fraction of each tenant's post-creation ops that are
+//                  client-side metadata stats (sharded MetadataStore
+//                  lookups, no provider traffic); default 0 = off, which
+//                  keeps the default runs' RNG streams untouched
 //   --campaign[=N] run the E4 failure campaign (N tenants, default 2000)
 //                  instead of the sweep: tight congestion, jittered
 //                  retries, a correlated two-provider outage, a brownout,
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool stable = false;
   bool campaign = false;
+  double meta_ratio = 0.0;
   std::size_t campaign_tenants = 2'000;
   std::string only_scheme;
   std::string timeline_file;
@@ -86,6 +91,8 @@ int main(int argc, char** argv) {
     if (a.rfind("--max-tenants=", 0) == 0)
       max_tenants = std::strtoull(a.c_str() + 14, nullptr, 10);
     if (a.rfind("--scheme=", 0) == 0) only_scheme = a.substr(9);
+    if (a.rfind("--meta-ratio=", 0) == 0)
+      meta_ratio = std::strtod(a.c_str() + 13, nullptr);
     if (a.rfind("--timeline=", 0) == 0) timeline_file = a.substr(11);
     if (a.rfind("--trace=", 0) == 0) trace_file = a.substr(8);
   }
@@ -126,6 +133,7 @@ int main(int argc, char** argv) {
       const std::string& scheme = schemes[si];
       sim::ScaleoutConfig config =
           sim::standard_campaign_config(scheme, campaign_tenants, seed);
+      config.tenant.stat_ratio = meta_ratio;
       if (!trace_file.empty()) {
         recorder.set_default_pid(static_cast<std::uint32_t>(si + 1));
         config.trace = &recorder;
@@ -268,6 +276,7 @@ int main(int argc, char** argv) {
       config.scheme = scheme;
       config.tenants = n;
       config.seed = seed;
+      config.tenant.stat_ratio = meta_ratio;
       Point pt{sim::run_scaleout(config)};
       const auto& r = pt.report;
 
@@ -283,6 +292,9 @@ int main(int argc, char** argv) {
       json.add(k + "peak_queue_depth",
                static_cast<double>(r.peak_queue_depth));
       json.add(k + "events", static_cast<double>(r.events_dispatched));
+      if (meta_ratio > 0) {
+        json.add(k + "meta_stats", static_cast<double>(r.meta_stats));
+      }
       if (!stable) {
         json.add(k + "wall_ms", r.wall_ms);
         json.add(k + "rss_mb",

@@ -26,7 +26,6 @@ DepSkyClient::DepSkyClient(gcs::MultiCloudSession& session,
 dist::WriteResult DepSkyClient::write_object(const std::string& path,
                                              common::Buffer data) {
   dist::WriteResult result;
-  const auto prev = store_.lookup(path);
 
   // DepSky's quorum write is the engine's kQuorum ack policy verbatim: a
   // write completes at the quorum_-th fastest acknowledgment, and every
@@ -55,7 +54,6 @@ dist::WriteResult DepSkyClient::write_object(const std::string& path,
   m.size = data.size();
   m.redundancy = meta::RedundancyKind::kReplicated;
   m.crc = common::crc32c(data);
-  m.version = prev.has_value() ? prev->version + 1 : 1;
   for (std::size_t i = 0; i < puts.size(); ++i) {
     m.locations.push_back(
         {session_.client(all_targets_[i]).provider_name(), keys[i].name});
@@ -64,7 +62,7 @@ dist::WriteResult DepSkyClient::write_object(const std::string& path,
                   container_, path, keys[i].name, meta::LogAction::kPut);
     }
   }
-  store_.upsert(m);
+  store_.upsert_versioned(m);
   result.status = common::Status::ok();
   result.meta = std::move(m);
   return result;
@@ -142,7 +140,6 @@ dist::WriteResult DepSkyClient::update(const std::string& path,
     result.latency = stats.latency;
     result.status = common::Status::ok();
     result.meta = *m;
-    result.meta.version = m->version + 1;
     result.meta.crc = 0;
     for (std::size_t i = 0; i < puts.size(); ++i) {
       if (!puts[i].ok()) {
@@ -150,7 +147,7 @@ dist::WriteResult DepSkyClient::update(const std::string& path,
                     meta::LogAction::kPut);
       }
     }
-    store_.upsert(result.meta);
+    store_.upsert_versioned(result.meta);
   }
   if (!result.status.is_ok()) {
     note_update(result.latency, false);

@@ -26,14 +26,12 @@ DuraCloudClient::DuraCloudClient(gcs::MultiCloudSession& session,
 
 dist::WriteResult DuraCloudClient::write_object(const std::string& path,
                                                 common::Buffer data) {
-  const auto prev = store_.lookup(path);
   std::vector<std::string> unreachable;
   dist::WriteResult result =
       replication_.write(session_, path, std::move(data), targets_,
                          &unreachable);
   if (!result.status.is_ok()) return result;
-  result.meta.version = prev.has_value() ? prev->version + 1 : 1;
-  store_.upsert(result.meta);
+  store_.upsert_versioned(result.meta);
   for (const auto& provider : unreachable) {
     for (const auto& loc : result.meta.locations) {
       if (loc.provider == provider) {
@@ -99,7 +97,7 @@ dist::WriteResult DuraCloudClient::update(const std::string& path,
     result = replication_.update_range(session_, *m, offset, data,
                                        &unreachable);
     if (result.status.is_ok()) {
-      store_.upsert(result.meta);
+      store_.upsert_versioned(result.meta);
       for (const auto& provider : unreachable) {
         for (const auto& loc : result.meta.locations) {
           if (loc.provider == provider) {

@@ -175,9 +175,8 @@ dist::WriteResult HyRDClient::put_dedup(const std::string& path,
     // Duplicate content: alias the existing fragments; only metadata moves.
     meta::FileMeta alias = *canonical;
     alias.path = path;
-    alias.version = prev.has_value() ? prev->version + 1 : 1;
     if (prev.has_value()) result.latency += release_previous(path, *prev);
-    store_.upsert(alias);
+    store_.upsert_versioned(alias);
     dedup_.add_alias(digest, path, data.size());
     result.status = common::Status::ok();
     result.meta = std::move(alias);
@@ -199,9 +198,8 @@ dist::WriteResult HyRDClient::put_dedup(const std::string& path,
   }
   if (!result.status.is_ok()) return result;
   result.meta.path = path;
-  result.meta.version = prev.has_value() ? prev->version + 1 : 1;
   if (prev.has_value()) result.latency += release_previous(path, *prev);
-  store_.upsert(result.meta);
+  store_.upsert_versioned(result.meta);
   log_unreachable_fragments(unreachable, config_.data_container, result.meta);
   dedup_.add_canonical(digest, result.meta);
   result.latency += persist_metadata(result.meta.directory());
@@ -250,8 +248,7 @@ dist::WriteResult HyRDClient::do_put(const std::string& path,
     }
   }
 
-  result.meta.version = prev.has_value() ? prev->version + 1 : 1;
-  store_.upsert(result.meta);
+  store_.upsert_versioned(result.meta);
   log_unreachable_fragments(unreachable, config_.data_container, result.meta);
   drop_hot_copy(path, /*remove_remote=*/true);
 
@@ -424,8 +421,7 @@ dist::WriteResult HyRDClient::update(const std::string& path,
     note_update(result.latency, false);
     return result;
   }
-  result.meta.version = m->version + 1;
-  store_.upsert(result.meta);
+  store_.upsert_versioned(result.meta);
   log_unreachable_fragments(unreachable, config_.data_container, result.meta);
   drop_hot_copy(path, /*remove_remote=*/true);
   result.latency += persist_metadata(result.meta.directory());

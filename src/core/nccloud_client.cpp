@@ -28,7 +28,6 @@ std::string NCCloudClient::chunk_name(const std::string& path,
 dist::WriteResult NCCloudClient::write_object(const std::string& path,
                                               common::Buffer data) {
   dist::WriteResult result;
-  const auto prev = store_.lookup(path);
 
   erasure::Fmsr::Encoded enc;
   {
@@ -69,7 +68,6 @@ dist::WriteResult NCCloudClient::write_object(const std::string& path,
   m.stripe_k = static_cast<std::uint32_t>(code_.data_nodes());
   m.stripe_m = static_cast<std::uint32_t>(code_.nodes() - code_.data_nodes());
   m.shard_size = enc.chunk_size;
-  m.version = prev.has_value() ? prev->version + 1 : 1;
   for (std::size_t c = 0; c < code_.total_chunks(); ++c) {
     m.locations.push_back(
         {session_.client(c / cpn).provider_name(), chunk_name(path, c)});
@@ -79,7 +77,7 @@ dist::WriteResult NCCloudClient::write_object(const std::string& path,
                   chunk_name(path, c), meta::LogAction::kPut);
     }
   }
-  store_.upsert(m);
+  store_.upsert_versioned(m);
   {
     std::lock_guard lock(coeff_mu_);
     coefficients_[path] = enc.coefficients;

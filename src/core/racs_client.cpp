@@ -49,8 +49,7 @@ dist::WriteResult RACSClient::write_object(const std::string& path,
       erasure_.write(session_, path, std::move(data), slots, &unreachable);
   if (!result.status.is_ok()) return result;
 
-  result.meta.version = prev.has_value() ? prev->version + 1 : 1;
-  store_.upsert(result.meta);
+  store_.upsert_versioned(result.meta);
   for (const auto& provider : unreachable) {
     for (const auto& loc : result.meta.locations) {
       if (loc.provider == provider) {
@@ -113,8 +112,7 @@ dist::WriteResult RACSClient::update(const std::string& path,
     note_update(result.latency, false);
     return result;
   }
-  result.meta.version = m->version + 1;
-  store_.upsert(result.meta);
+  store_.upsert_versioned(result.meta);
   for (const auto& provider : unreachable) {
     for (const auto& loc : result.meta.locations) {
       if (loc.provider == provider) {

@@ -22,12 +22,10 @@ SingleCloudClient::SingleCloudClient(gcs::MultiCloudSession& session,
 
 dist::WriteResult SingleCloudClient::write_object(const std::string& path,
                                                   common::Buffer data) {
-  const auto prev = store_.lookup(path);
   dist::WriteResult result =
       replication_.write(session_, path, std::move(data), target_, nullptr);
   if (!result.status.is_ok()) return result;
-  result.meta.version = prev.has_value() ? prev->version + 1 : 1;
-  store_.upsert(result.meta);
+  store_.upsert_versioned(result.meta);
   return result;
 }
 
@@ -83,7 +81,7 @@ dist::WriteResult SingleCloudClient::update(const std::string& path,
     result = write_object(path, common::Buffer::borrow(data));
   } else {
     result = replication_.update_range(session_, *m, offset, data, nullptr);
-    if (result.status.is_ok()) store_.upsert(result.meta);
+    if (result.status.is_ok()) store_.upsert_versioned(result.meta);
   }
   if (!result.status.is_ok()) {
     note_update(result.latency, false);

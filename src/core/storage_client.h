@@ -118,24 +118,27 @@ class StorageClient {
   virtual dist::WriteResult do_put(const std::string& path,
                                    common::Buffer data) = 0;
 
-  void note_put(common::SimDuration latency, bool ok);
-  void note_get(common::SimDuration latency, bool ok, bool degraded);
-  void note_update(common::SimDuration latency, bool ok);
-  void note_remove(common::SimDuration latency, bool ok);
-
- private:
   /// Overwrites of one path are serialized end-to-end (fragment writes,
   /// metadata upsert, metadata persist). Without this, two concurrent
   /// writers can land on the scheme's replicas in different orders —
   /// object names are path-derived, not versioned — leaving one replica's
   /// bytes disagreeing with the winning metadata CRC, which a later
   /// degraded read (other replicas offline) surfaces as data loss.
-  /// Striped so distinct paths keep their write parallelism.
-  [[nodiscard]] std::mutex& path_write_mu(const std::string& path) {
+  /// Striped so distinct paths keep their write parallelism. Clients with
+  /// a sharded MetadataStore override this to fold the stripes into the
+  /// keyspace-routed shard layout (one stripe set per shard), so write
+  /// ordering and metadata ownership agree on which shard a path lives in.
+  [[nodiscard]] virtual std::mutex& path_write_mu(const std::string& path) {
     return path_write_mu_[common::fnv1a(std::string_view(path)) %
                           kPathWriteLocks];
   }
 
+  void note_put(common::SimDuration latency, bool ok);
+  void note_get(common::SimDuration latency, bool ok, bool degraded);
+  void note_update(common::SimDuration latency, bool ok);
+  void note_remove(common::SimDuration latency, bool ok);
+
+ private:
   static constexpr std::size_t kPathWriteLocks = 64;
   std::array<std::mutex, kPathWriteLocks> path_write_mu_;
   mutable std::mutex stats_mu_;
@@ -164,7 +167,15 @@ class StorageClientBase : public StorageClient {
 
  protected:
   explicit StorageClientBase(gcs::MultiCloudSession& session)
-      : session_(session) {}
+      : session_(session) {
+    log_.bind_keyspace(&store_.keyspace());
+  }
+
+  /// Same-path write ordering routed through the store's keyspace: the
+  /// stripe lives on the shard that owns the path's directory.
+  [[nodiscard]] std::mutex& path_write_mu(const std::string& path) override {
+    return store_.write_order_mu(path);
+  }
 
   gcs::MultiCloudSession& session_;
   meta::MetadataStore store_;

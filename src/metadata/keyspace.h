@@ -1,0 +1,78 @@
+// Keyspace: the directory → shard router of the sharded metadata plane.
+//
+// A consistent-hash ring over the shard set: each shard owns a fixed number
+// of virtual points on the 64-bit ring, generated deterministically from the
+// shard id alone, and a directory maps to the shard owning the first ring
+// point at or after its stable hash. That makes the assignment
+//
+//   * explicit     — callers route through shard_of_dir(), never through an
+//                    implicit `hash % N`;
+//   * deterministic — independent of construction order, process, platform;
+//   * rebalance-ready — growing from N to N+1 shards only moves the arcs
+//                    the new shard's points claim (~1/(N+1) of the space),
+//                    measured exactly by moved_fraction().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hyrd::meta {
+
+class Keyspace {
+ public:
+  static constexpr std::size_t kDefaultVnodes = 64;
+
+  explicit Keyspace(std::size_t shard_count,
+                    std::size_t vnodes_per_shard = kDefaultVnodes);
+
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  [[nodiscard]] std::size_t vnodes_per_shard() const { return vnodes_; }
+
+  /// Ring successor of an arbitrary 64-bit point, wrapping to the start.
+  /// Inline: this sits on the metadata hot path (every lookup/upsert
+  /// routes through it). The LUT entry is the first candidate in the
+  /// point's radix bucket; everything before it is strictly below the
+  /// bucket's start <= point.
+  [[nodiscard]] std::size_t shard_of_hash(std::uint64_t point) const {
+    std::size_t i = lut_[point >> kLutShift];
+    while (i < ring_.size() && ring_[i].where < point) ++i;
+    return ring_[i == ring_.size() ? 0 : i].shard;
+  }
+
+  /// Routes a directory (the metadata replication unit) to its shard.
+  [[nodiscard]] std::size_t shard_of_dir(std::string_view dir) const;
+
+  /// Routes a logical file path via its directory component.
+  [[nodiscard]] std::size_t shard_of_path(const std::string& path) const;
+
+  /// Fraction of the hash space each shard owns (sums to 1).
+  [[nodiscard]] std::vector<double> ownership() const;
+
+  /// Exact fraction of the hash space whose owner differs between two
+  /// keyspaces — the data that a rebalance from `from` to `to` would move.
+  /// Consistent hashing bounds this near |ΔN| / max(N) instead of the
+  /// ~1 - 1/N a modulo scheme reshuffles.
+  static double moved_fraction(const Keyspace& from, const Keyspace& to);
+
+ private:
+  struct Point {
+    std::uint64_t where;
+    std::uint32_t shard;
+  };
+
+  // Radix front-end for ring successor queries: lut_[b] is the index of
+  // the first ring point in bucket b's half-open range (top kLutBits of
+  // the hash), so a route is one table load plus a scan of the ~0-1
+  // points per bucket, instead of a full binary search per lookup.
+  static constexpr unsigned kLutBits = 12;
+  static constexpr unsigned kLutShift = 64 - kLutBits;
+
+  std::size_t shard_count_;
+  std::size_t vnodes_;
+  std::vector<Point> ring_;        // sorted by `where`
+  std::vector<std::uint32_t> lut_;  // 2^kLutBits entries into ring_
+};
+
+}  // namespace hyrd::meta

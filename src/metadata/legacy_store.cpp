@@ -1,0 +1,119 @@
+#include "metadata/legacy_store.h"
+
+#include "metadata/serializer.h"
+
+namespace hyrd::meta {
+
+namespace {
+constexpr std::uint32_t kBlockMagic = 0x48795244;  // "HyRD"
+}
+
+void LegacyMetadataStore::upsert(FileMeta m) {
+  auto [dir, name] = split_path(m.path);
+  std::lock_guard lock(mu_);
+  dirs_[dir][name] = std::move(m);
+}
+
+std::optional<FileMeta> LegacyMetadataStore::lookup(
+    const std::string& path) const {
+  auto [dir, name] = split_path(path);
+  std::lock_guard lock(mu_);
+  auto d = dirs_.find(dir);
+  if (d == dirs_.end()) return std::nullopt;
+  auto f = d->second.find(name);
+  if (f == d->second.end()) return std::nullopt;
+  return f->second;
+}
+
+bool LegacyMetadataStore::erase(const std::string& path) {
+  auto [dir, name] = split_path(path);
+  std::lock_guard lock(mu_);
+  auto d = dirs_.find(dir);
+  if (d == dirs_.end()) return false;
+  const bool erased = d->second.erase(name) > 0;
+  if (erased && d->second.empty()) dirs_.erase(d);
+  return erased;
+}
+
+std::size_t LegacyMetadataStore::file_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [dir, files] : dirs_) n += files.size();
+  return n;
+}
+
+std::vector<std::string> LegacyMetadataStore::directories() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(dirs_.size());
+  for (const auto& [dir, files] : dirs_) out.push_back(dir);
+  return out;
+}
+
+std::vector<FileMeta> LegacyMetadataStore::files_in(
+    const std::string& dir) const {
+  std::lock_guard lock(mu_);
+  std::vector<FileMeta> out;
+  auto d = dirs_.find(dir);
+  if (d == dirs_.end()) return out;
+  out.reserve(d->second.size());
+  for (const auto& [name, m] : d->second) out.push_back(m);
+  return out;
+}
+
+std::vector<std::string> LegacyMetadataStore::all_paths() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [dir, files] : dirs_) {
+    for (const auto& [name, m] : files) out.push_back(m.path);
+  }
+  return out;
+}
+
+common::Bytes LegacyMetadataStore::serialize_directory(
+    const std::string& dir) const {
+  std::lock_guard lock(mu_);
+  Writer w;
+  w.u32(kBlockMagic);
+  auto d = dirs_.find(dir);
+  const std::uint32_t count =
+      d == dirs_.end() ? 0 : static_cast<std::uint32_t>(d->second.size());
+  w.str(dir);
+  w.u32(count);
+  if (d != dirs_.end()) {
+    for (const auto& [name, m] : d->second) m.serialize(w);
+  }
+  return w.take();
+}
+
+common::Status LegacyMetadataStore::load_directory_block(
+    common::ByteSpan block) {
+  Reader r(block);
+  auto magic = r.u32();
+  if (!magic.is_ok()) return magic.status();
+  if (magic.value() != kBlockMagic) {
+    return common::invalid_argument("bad metadata block magic");
+  }
+  auto dir = r.str();
+  if (!dir.is_ok()) return dir.status();
+  auto count = r.u32();
+  if (!count.is_ok()) return count.status();
+
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto m = FileMeta::deserialize(r);
+    if (!m.is_ok()) return m.status();
+    FileMeta meta = std::move(m).value();
+    auto existing = lookup(meta.path);
+    if (!existing.has_value() || existing->version <= meta.version) {
+      upsert(std::move(meta));
+    }
+  }
+  return common::Status::ok();
+}
+
+void LegacyMetadataStore::clear() {
+  std::lock_guard lock(mu_);
+  dirs_.clear();
+}
+
+}  // namespace hyrd::meta

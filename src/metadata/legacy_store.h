@@ -1,0 +1,40 @@
+// LegacyMetadataStore: the pre-sharding metadata store — one global mutex
+// over a nested std::map — retained verbatim as (a) the baseline
+// bench_metadata measures the sharded plane against, and (b) the reference
+// implementation the MetadataShard property tests compare behavior and
+// serialized bytes with. Not used on any production path.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metadata/file_meta.h"
+
+namespace hyrd::meta {
+
+class LegacyMetadataStore {
+ public:
+  void upsert(FileMeta meta);
+  [[nodiscard]] std::optional<FileMeta> lookup(const std::string& path) const;
+  bool erase(const std::string& path);
+
+  [[nodiscard]] std::size_t file_count() const;
+  [[nodiscard]] std::vector<std::string> directories() const;
+  [[nodiscard]] std::vector<FileMeta> files_in(const std::string& dir) const;
+  [[nodiscard]] std::vector<std::string> all_paths() const;
+
+  [[nodiscard]] common::Bytes serialize_directory(const std::string& dir) const;
+  common::Status load_directory_block(common::ByteSpan block);
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  // dir -> filename -> meta
+  std::map<std::string, std::map<std::string, FileMeta>> dirs_;
+};
+
+}  // namespace hyrd::meta

@@ -1,8 +1,8 @@
 #include "metadata/update_log.h"
 
 #include <algorithm>
-#include <map>
 
+#include "metadata/keyspace.h"
 #include "metadata/serializer.h"
 
 namespace hyrd::meta {
@@ -11,44 +11,205 @@ namespace {
 constexpr std::uint32_t kLogMagic = 0x4C4F4731;  // "LOG1"
 }
 
+std::uint32_t UpdateLog::route(const LogRecord& rec) const {
+  if (keyspace_ == nullptr) return 0;
+  return static_cast<std::uint32_t>(keyspace_->shard_of_path(rec.path));
+}
+
 std::uint64_t UpdateLog::append(std::string provider, std::string container,
                                 std::string path, std::string object_name,
                                 LogAction action) {
   std::lock_guard lock(mu_);
-  LogRecord rec{next_seq_++,         std::move(provider),
-                std::move(container), std::move(path),
-                std::move(object_name), action};
-  records_.push_back(std::move(rec));
-  return records_.back().seq;
+  Slot slot;
+  slot.rec = LogRecord{next_seq_++,          std::move(provider),
+                       std::move(container), std::move(path),
+                       std::move(object_name), action};
+  slot.shard = route(slot.rec);
+  const std::size_t idx = slab_.size();
+  const std::uint64_t seq = slot.rec.seq;
+
+  ProviderIndex& pi = providers_[slot.rec.provider];
+  pi.slots.push_back(idx);
+  if (keyspace_ != nullptr) pi.by_shard[slot.shard].push_back(idx);
+  auto [it, fresh] = pi.latest.try_emplace(slot.rec.object_name, idx);
+  slab_.push_back(std::move(slot));
+  if (!fresh) {
+    // A later record for the same object shadows the earlier one: it no
+    // longer appears in pending_for's compacted view, and past the
+    // watermark it is dropped from the log entirely.
+    slab_[it->second].shadowed = true;
+    it->second = idx;
+    if (++pi.superseded >= watermark_) compact_provider(pi);
+  }
+  maybe_compact_slab();
+  return seq;
 }
 
 std::vector<LogRecord> UpdateLog::pending_for(
     const std::string& provider) const {
   std::lock_guard lock(mu_);
-  // Compaction: keep only the last record per object name.
-  std::map<std::string, const LogRecord*> latest;
-  for (const auto& r : records_) {
-    if (r.provider == provider) latest[r.object_name] = &r;
-  }
   std::vector<LogRecord> out;
-  out.reserve(latest.size());
-  for (const auto& [name, rec] : latest) out.push_back(*rec);
-  std::sort(out.begin(), out.end(),
-            [](const LogRecord& a, const LogRecord& b) { return a.seq < b.seq; });
+  const auto it = providers_.find(provider);
+  if (it == providers_.end()) return out;
+  out.reserve(it->second.slots.size() - it->second.superseded);
+  for (const std::size_t idx : it->second.slots) {
+    const Slot& s = slab_[idx];
+    if (!s.dead && !s.shadowed) out.push_back(s.rec);
+  }
+  // Slots are appended in seq order; restored snapshots could in principle
+  // carry arbitrary numbering, so pin the contract explicitly. The common
+  // case is already sorted — verify in O(n) rather than sort in O(n log n).
+  const auto by_seq = [](const LogRecord& a, const LogRecord& b) {
+    return a.seq < b.seq;
+  };
+  if (!std::is_sorted(out.begin(), out.end(), by_seq)) {
+    std::sort(out.begin(), out.end(), by_seq);
+  }
+  return out;
+}
+
+std::vector<LogRecord> UpdateLog::pending_for_shard(
+    const std::string& provider, std::size_t shard) const {
+  std::lock_guard lock(mu_);
+  std::vector<LogRecord> out;
+  const auto it = providers_.find(provider);
+  if (it == providers_.end()) return out;
+  const ProviderIndex& pi = it->second;
+  const std::vector<std::size_t>* slots = &pi.slots;
+  if (keyspace_ != nullptr) {
+    const auto sh = pi.by_shard.find(static_cast<std::uint32_t>(shard));
+    if (sh == pi.by_shard.end()) return out;
+    slots = &sh->second;
+  } else if (shard != 0) {
+    return out;
+  }
+  for (const std::size_t idx : *slots) {
+    const Slot& s = slab_[idx];
+    if (!s.dead && !s.shadowed && s.shard == shard) out.push_back(s.rec);
+  }
+  const auto by_seq = [](const LogRecord& a, const LogRecord& b) {
+    return a.seq < b.seq;
+  };
+  if (!std::is_sorted(out.begin(), out.end(), by_seq)) {
+    std::sort(out.begin(), out.end(), by_seq);
+  }
   return out;
 }
 
 void UpdateLog::truncate(const std::string& provider,
                          std::uint64_t through_seq) {
   std::lock_guard lock(mu_);
-  std::erase_if(records_, [&](const LogRecord& r) {
-    return r.provider == provider && r.seq <= through_seq;
-  });
+  const auto it = providers_.find(provider);
+  if (it == providers_.end()) return;
+  ProviderIndex& pi = it->second;
+
+  std::vector<std::size_t> keep;
+  keep.reserve(pi.slots.size());
+  for (const std::size_t idx : pi.slots) {
+    Slot& s = slab_[idx];
+    if (s.rec.seq > through_seq) {
+      keep.push_back(idx);
+      continue;
+    }
+    s.dead = true;
+    ++dead_;
+    if (s.shadowed) {
+      --pi.superseded;
+    } else {
+      const auto latest = pi.latest.find(s.rec.object_name);
+      if (latest != pi.latest.end() && latest->second == idx) {
+        pi.latest.erase(latest);
+      }
+    }
+  }
+  if (keep.empty()) {
+    providers_.erase(it);
+  } else {
+    pi.slots = std::move(keep);
+    if (keyspace_ != nullptr) {
+      pi.by_shard.clear();
+      for (const std::size_t idx : pi.slots) {
+        pi.by_shard[slab_[idx].shard].push_back(idx);
+      }
+    }
+  }
+  maybe_compact_slab();
+}
+
+void UpdateLog::bind_keyspace(const Keyspace* keyspace) {
+  std::lock_guard lock(mu_);
+  keyspace_ = keyspace;
+  for (Slot& s : slab_) s.shard = route(s.rec);
+  rebuild_indexes();
 }
 
 std::size_t UpdateLog::size() const {
   std::lock_guard lock(mu_);
-  return records_.size();
+  return slab_.size() - dead_;
+}
+
+void UpdateLog::set_compaction_watermark(std::size_t records) {
+  std::lock_guard lock(mu_);
+  watermark_ = records == 0 ? 1 : records;
+}
+
+std::size_t UpdateLog::compactions() const {
+  std::lock_guard lock(mu_);
+  return compactions_;
+}
+
+void UpdateLog::compact_provider(ProviderIndex& pi) {
+  std::vector<std::size_t> keep;
+  keep.reserve(pi.slots.size() - pi.superseded);
+  for (const std::size_t idx : pi.slots) {
+    Slot& s = slab_[idx];
+    if (s.dead) continue;
+    if (s.shadowed) {
+      s.dead = true;
+      ++dead_;
+      continue;
+    }
+    keep.push_back(idx);
+  }
+  pi.slots = std::move(keep);
+  pi.superseded = 0;
+  if (keyspace_ != nullptr) {
+    pi.by_shard.clear();
+    for (const std::size_t idx : pi.slots) {
+      pi.by_shard[slab_[idx].shard].push_back(idx);
+    }
+  }
+  ++compactions_;
+}
+
+void UpdateLog::maybe_compact_slab() {
+  if (slab_.size() < 64 || dead_ * 2 <= slab_.size()) return;
+  std::vector<Slot> live;
+  live.reserve(slab_.size() - dead_);
+  for (Slot& s : slab_) {
+    if (!s.dead) live.push_back(std::move(s));
+  }
+  slab_ = std::move(live);
+  dead_ = 0;
+  rebuild_indexes();
+}
+
+void UpdateLog::rebuild_indexes() {
+  providers_.clear();
+  for (std::size_t idx = 0; idx < slab_.size(); ++idx) {
+    Slot& s = slab_[idx];
+    if (s.dead) continue;
+    s.shadowed = false;
+    ProviderIndex& pi = providers_[s.rec.provider];
+    pi.slots.push_back(idx);
+    if (keyspace_ != nullptr) pi.by_shard[s.shard].push_back(idx);
+    auto [it, fresh] = pi.latest.try_emplace(s.rec.object_name, idx);
+    if (!fresh) {
+      slab_[it->second].shadowed = true;
+      it->second = idx;
+      ++pi.superseded;
+    }
+  }
 }
 
 common::Bytes UpdateLog::serialize() const {
@@ -56,14 +217,15 @@ common::Bytes UpdateLog::serialize() const {
   Writer w;
   w.u32(kLogMagic);
   w.u64(next_seq_);
-  w.u32(static_cast<std::uint32_t>(records_.size()));
-  for (const auto& r : records_) {
-    w.u64(r.seq);
-    w.str(r.provider);
-    w.str(r.container);
-    w.str(r.path);
-    w.str(r.object_name);
-    w.u8(static_cast<std::uint8_t>(r.action));
+  w.u32(static_cast<std::uint32_t>(slab_.size() - dead_));
+  for (const Slot& s : slab_) {
+    if (s.dead) continue;
+    w.u64(s.rec.seq);
+    w.str(s.rec.provider);
+    w.str(s.rec.container);
+    w.str(s.rec.path);
+    w.str(s.rec.object_name);
+    w.u8(static_cast<std::uint8_t>(s.rec.action));
   }
   return w.take();
 }
@@ -86,8 +248,8 @@ common::Status UpdateLog::restore(common::ByteSpan data) {
   if (count.value() > r.remaining() / 21) {
     return common::invalid_argument("record count exceeds payload");
   }
-  std::vector<LogRecord> recs;
-  recs.reserve(count.value());
+  std::vector<Slot> slab;
+  slab.reserve(count.value());
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     LogRecord rec;
     auto seq = r.u64();
@@ -111,12 +273,17 @@ common::Status UpdateLog::restore(common::ByteSpan data) {
       return common::invalid_argument("bad log action");
     }
     rec.action = static_cast<LogAction>(action.value());
-    recs.push_back(std::move(rec));
+    Slot slot;
+    slot.rec = std::move(rec);
+    slab.push_back(std::move(slot));
   }
 
   std::lock_guard lock(mu_);
   next_seq_ = next.value();
-  records_ = std::move(recs);
+  slab_ = std::move(slab);
+  dead_ = 0;
+  for (Slot& s : slab_) s.shard = route(s.rec);
+  rebuild_indexes();
   return common::Status::ok();
 }
 

@@ -207,6 +207,7 @@ ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
   r.p999_ms = metrics.latency_ms.percentile(99.9);
   r.put_mean_ms = metrics.put_ms.mean();
   r.get_mean_ms = metrics.get_ms.mean();
+  r.meta_stats = metrics.meta_stats;
 
   r.retries = metrics.retries;
   const std::uint64_t ops_total = r.ops_ok + r.ops_failed;
@@ -334,6 +335,7 @@ std::string report_to_json(const ScaleoutReport& r, bool include_env) {
   append_field(out, "p999_ms", r.p999_ms);
   append_field(out, "put_mean_ms", r.put_mean_ms);
   append_field(out, "get_mean_ms", r.get_mean_ms);
+  append_field(out, "meta_stats", r.meta_stats);
   append_field(out, "retries", r.retries);
   append_field(out, "retry_amplification", r.retry_amplification);
   append_field(out, "goodput_ops_per_vs", r.goodput_ops_per_vs);

@@ -97,6 +97,9 @@ struct ScaleoutReport {
   double p999_ms = 0;
   double put_mean_ms = 0;
   double get_mean_ms = 0;
+  /// Client-side metadata stats issued (tenant.stat_ratio traffic): served
+  /// by the sharded MetadataStore, never reaching a provider.
+  std::uint64_t meta_stats = 0;
 
   // --- Failure-response accounting (deterministic; campaign-meaningful) ---
   std::uint64_t retries = 0;          // tenant attempts beyond the first

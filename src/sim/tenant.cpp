@@ -26,6 +26,25 @@ void Tenant::on_event(EventQueue& queue, common::SimDuration now) {
   // arrival instant and the flow identity.
   common::VirtualScope scope({now, id_, config_.weight});
 
+  // Metadata traffic: a stat is answered from the client-resident sharded
+  // store — one lock-striped shard lookup, no provider op, zero virtual
+  // latency. Guarded so the draw never happens at the default ratio of 0
+  // and default runs keep their exact RNG streams.
+  if (attempt_ == 0 && config_.stat_ratio > 0 && has_object_ &&
+      rng_.chance(config_.stat_ratio)) {
+    ++metrics_.ops_started;
+    ++metrics_.meta_stats;
+    const bool found = client_.stat(path_).has_value();
+    metrics_.note_op(/*is_put=*/false, found, 0, now);
+    ++ops_done_;
+    if (ops_done_ >= config_.ops) {
+      ++metrics_.tenants_finished;
+      return;
+    }
+    queue.schedule_at(now + draw_think(), this);
+    return;
+  }
+
   // A retry wakeup re-issues the same op kind; a fresh op draws one.
   const bool is_put = attempt_ > 0
                           ? retry_is_put_

@@ -44,6 +44,12 @@ struct TenantConfig {
   common::SimDuration mean_think = 2 * common::kSecond;  // exp. distributed
   double weight = 1.0;                 // fair-queuing share at providers
 
+  /// Fraction of post-creation ops that are metadata stats: answered from
+  /// the client-resident sharded MetadataStore, no provider traffic, zero
+  /// virtual latency. The RNG draw only happens when this is > 0, so
+  /// default runs keep their exact event streams (the determinism pins).
+  double stat_ratio = 0.0;
+
   /// Tenant-level failure response: when an op fails retryably (throttled
   /// 429, provider outage), the tenant *schedules the retry as an event*
   /// at now + latency + backoff instead of counting a failure — the
@@ -61,6 +67,7 @@ struct FleetMetrics {
   std::uint64_t ops_ok = 0;
   std::uint64_t ops_failed = 0;
   std::uint64_t ops_started = 0;  // fresh ops issued (first attempts)
+  std::uint64_t meta_stats = 0;  // client-side metadata stats issued
   std::uint64_t retries = 0;  // attempts beyond each op's first
   std::uint64_t tenants_finished = 0;
   common::SimDuration last_completion = 0;  // fleet makespan (virtual)
