@@ -12,7 +12,7 @@
 // Usage: bench_scaleout [--smoke] [--seed=N] [--max-tenants=N]
 //                       [--scheme=NAME] [--stable-json] [--meta-ratio=R]
 //                       [--campaign[=N]] [--json | --json=FILE]
-//                       [--timeline=FILE] [--trace=FILE]
+//                       [--timeline=FILE] [--trace=FILE] [--cache]
 //
 //   --smoke        one small point per scheme (CI lane; seconds, not minutes)
 //   --seed=N       the single seed every RNG stream derives from (default 42)
@@ -33,6 +33,10 @@
 //                  time-series to F (default BENCH_timeline.json)
 //   --trace=F      (campaign) record per-op spans across the runs and dump
 //                  Chrome trace_event JSON to F (one pid per scheme)
+//   --cache        enable the client write-back + read-through cache
+//                  (src/cache/, default config) on every run; the report
+//                  gains cache_* keys and the end-of-run drain accounts
+//                  dirty-data loss
 //
 // Sweep checks: at every point >= 1e5 tenants, RSS stays under 2 GB and
 // marginal memory under 4 KB/tenant; the congestion knee must appear (p99
@@ -72,6 +76,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool stable = false;
   bool campaign = false;
+  bool cache_on = false;
   double meta_ratio = 0.0;
   std::size_t campaign_tenants = 2'000;
   std::string only_scheme;
@@ -81,6 +86,7 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--smoke") smoke = true;
     if (a == "--stable-json") stable = true;
+    if (a == "--cache") cache_on = true;
     if (a == "--campaign") campaign = true;
     if (a.rfind("--campaign=", 0) == 0) {
       campaign = true;
@@ -134,6 +140,7 @@ int main(int argc, char** argv) {
       sim::ScaleoutConfig config =
           sim::standard_campaign_config(scheme, campaign_tenants, seed);
       config.tenant.stat_ratio = meta_ratio;
+      config.cache.enabled = cache_on;
       if (!trace_file.empty()) {
         recorder.set_default_pid(static_cast<std::uint32_t>(si + 1));
         config.trace = &recorder;
@@ -165,6 +172,19 @@ int main(int argc, char** argv) {
       json.add(k + "provider_resurrected",
                static_cast<double>(r.provider_resurrected));
       json.add(k + "throttled", static_cast<double>(r.provider_throttled));
+      if (cache_on) {
+        json.add(k + "cache_absorbed", static_cast<double>(r.cache_absorbed));
+        json.add(k + "cache_flush_batches",
+                 static_cast<double>(r.cache_flush_batches));
+        json.add(k + "cache_dirty_hits",
+                 static_cast<double>(r.cache_dirty_hits));
+        json.add(k + "cache_read_hits",
+                 static_cast<double>(r.cache_read_hits));
+        json.add(k + "cache_dirty_lost_entries",
+                 static_cast<double>(r.cache_dirty_lost_entries));
+        json.add(k + "cache_dirty_lost_bytes",
+                 static_cast<double>(r.cache_dirty_lost_bytes));
+      }
       if (!stable) json.add(k + "wall_ms", r.wall_ms);
 
       if (scheme == "HyRD" && r.ops_failed > 0) hyrd_clean = false;
@@ -277,6 +297,7 @@ int main(int argc, char** argv) {
       config.tenants = n;
       config.seed = seed;
       config.tenant.stat_ratio = meta_ratio;
+      config.cache.enabled = cache_on;
       Point pt{sim::run_scaleout(config)};
       const auto& r = pt.report;
 
@@ -292,6 +313,15 @@ int main(int argc, char** argv) {
       json.add(k + "peak_queue_depth",
                static_cast<double>(r.peak_queue_depth));
       json.add(k + "events", static_cast<double>(r.events_dispatched));
+      if (cache_on) {
+        json.add(k + "cache_absorbed", static_cast<double>(r.cache_absorbed));
+        json.add(k + "cache_flush_batches",
+                 static_cast<double>(r.cache_flush_batches));
+        json.add(k + "cache_read_hits",
+                 static_cast<double>(r.cache_read_hits));
+        json.add(k + "cache_dirty_lost_entries",
+                 static_cast<double>(r.cache_dirty_lost_entries));
+      }
       if (meta_ratio > 0) {
         json.add(k + "meta_stats", static_cast<double>(r.meta_stats));
       }

@@ -6,7 +6,15 @@
 //   (2) the replication level — the paper picks 2, noting higher levels
 //       buy resilience with write latency and space.
 //
-// Also serves as the ablation bench for DESIGN.md §5.
+// Also serves as the ablation bench for DESIGN.md §5, and — with the
+// client cache's adaptive controller — the static-vs-online comparison:
+// the "adaptive" row starts from the 1 MB default and lets the cost-model
+// argmin (cache/adaptive.h) re-pick the threshold from the live PostMark
+// size histogram, with the cache's data paths (write-back/read-through)
+// disabled so the row isolates pure classification quality.
+//
+// --json[=FILE] emits every sweep point flat (threshold/<label>/mean_ms,
+// replication/<level>/mean_ms, ...) for CI trend tracking.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -29,13 +37,25 @@ workload::PostMarkConfig sweep_config() {
 struct SweepPoint {
   double mean_ms = 0.0;
   double storage_overhead = 0.0;
+  std::uint64_t final_threshold = 0;
 };
 
-SweepPoint run_hyrd(core::HyRDConfig config) {
+SweepPoint run_hyrd(core::HyRDConfig config, bool adaptive = false) {
   cloud::CloudRegistry registry;
   cloud::install_standard_four(registry, 333);
   gcs::MultiCloudSession session(registry);
   core::HyRDClient client(session, config);
+  if (adaptive) {
+    // Classification-only ablation: the adaptive controller re-picks the
+    // monitor threshold online; absorption and read caching stay off so
+    // latency differences come from placement, not from cache hits.
+    cache::CacheConfig cc;
+    cc.enabled = true;
+    cc.write_back_enabled = false;
+    cc.read_cache_enabled = false;
+    cc.adaptive.enabled = true;
+    client.configure_cache(cc);
+  }
 
   workload::PostMark pm(sweep_config());
   const auto report = pm.run(client);
@@ -52,16 +72,19 @@ SweepPoint run_hyrd(core::HyRDConfig config) {
   point.storage_overhead =
       logical == 0 ? 0.0
                    : static_cast<double>(resident) / static_cast<double>(logical);
+  point.final_threshold = client.monitor().threshold();
   return point;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("=== Sensitivity: file-size threshold and replication level "
-              "(PostMark 1KB-32MB) ===\n\n");
-
-  std::printf("(1) Large-file threshold sweep (replication level 2)\n");
+int main(int argc, char** argv) {
+  bench::JsonSink json(argc, argv);
+  if (!json.quiet()) {
+    std::printf("=== Sensitivity: file-size threshold and replication level "
+                "(PostMark 1KB-32MB) ===\n\n");
+    std::printf("(1) Large-file threshold sweep (replication level 2)\n");
+  }
   common::Table t1({"Threshold", "Mean latency ms", "Storage overhead"});
   const std::vector<std::pair<const char*, std::uint64_t>> thresholds = {
       {"64KB", 64ull << 10}, {"256KB", 256ull << 10}, {"1MB", 1ull << 20},
@@ -75,16 +98,32 @@ int main() {
     const auto point = run_hyrd(config);
     t1.add_row({label, common::Table::num(point.mean_ms, 0),
                 common::Table::num(point.storage_overhead, 2) + "x"});
+    const std::string k = std::string("threshold/") + label + "/";
+    json.add(k + "mean_ms", point.mean_ms);
+    json.add(k + "storage_overhead", point.storage_overhead);
     if (point.mean_ms < best_ms) {
       best_ms = point.mean_ms;
       best_label = label;
     }
   }
-  t1.print();
-  std::printf("  lowest mean latency at threshold %s (paper picks 1MB)\n\n",
-              best_label.c_str());
-
-  std::printf("(2) Replication level sweep (threshold 1MB)\n");
+  // The online-adaptive row: same workload, threshold re-picked live by
+  // the cache's cost-model controller instead of fixed up front.
+  {
+    const auto point = run_hyrd(core::HyRDConfig{}, /*adaptive=*/true);
+    t1.add_row({"adaptive", common::Table::num(point.mean_ms, 0),
+                common::Table::num(point.storage_overhead, 2) + "x"});
+    json.add("threshold/adaptive/mean_ms", point.mean_ms);
+    json.add("threshold/adaptive/storage_overhead", point.storage_overhead);
+    json.add("threshold/adaptive/final_threshold",
+             static_cast<double>(point.final_threshold));
+  }
+  if (!json.quiet()) {
+    t1.print();
+    std::printf("  lowest static mean latency at threshold %s "
+                "(paper picks 1MB)\n\n",
+                best_label.c_str());
+    std::printf("(2) Replication level sweep (threshold 1MB)\n");
+  }
   common::Table t2({"Level", "Mean latency ms", "Storage overhead",
                     "Outages tolerated (small files)"});
   for (std::size_t level : {1u, 2u, 3u, 4u}) {
@@ -94,14 +133,18 @@ int main() {
     t2.add_row({std::to_string(level), common::Table::num(point.mean_ms, 0),
                 common::Table::num(point.storage_overhead, 2) + "x",
                 std::to_string(level - 1)});
+    const std::string k = "replication/" + std::to_string(level) + "/";
+    json.add(k + "mean_ms", point.mean_ms);
+    json.add(k + "storage_overhead", point.storage_overhead);
   }
-  t2.print();
-  std::printf(
-      "  level 2 tolerates any single outage at the lowest latency/space "
-      "cost (the paper's choice; two concurrent cloud outages are "
-      "extremely rare)\n\n");
-
-  std::printf("(3) Erasure geometry ablation (threshold 1MB, level 2)\n");
+  if (!json.quiet()) {
+    t2.print();
+    std::printf(
+        "  level 2 tolerates any single outage at the lowest latency/space "
+        "cost (the paper's choice; two concurrent cloud outages are "
+        "extremely rare)\n\n");
+    std::printf("(3) Erasure geometry ablation (threshold 1MB, level 2)\n");
+  }
   common::Table t3({"Geometry", "Mean latency ms", "Storage overhead"});
   const std::vector<std::pair<const char*, erasure::StripeGeometry>> geoms = {
       {"RAID5 k=2,m=1 cost-trio (HyRD default)", {.k = 2, .m = 1}},
@@ -114,12 +157,19 @@ int main() {
     const auto point = run_hyrd(config);
     t3.add_row({label, common::Table::num(point.mean_ms, 0),
                 common::Table::num(point.storage_overhead, 2) + "x"});
+    const std::string k = "geometry/k" + std::to_string(geom.k) + "m" +
+                          std::to_string(geom.m) + "/";
+    json.add(k + "mean_ms", point.mean_ms);
+    json.add(k + "storage_overhead", point.storage_overhead);
   }
-  t3.print();
-  std::printf(
-      "  the k=2 cost-trio default trades some large-file parallelism for\n"
-      "  cheap placement (Fig. 4's 20%% cost win over RACS); k=3 over all\n"
-      "  four clouds is faster but bills like RACS; m=2 doubles fault\n"
-      "  tolerance at 2x space\n");
+  if (!json.quiet()) {
+    t3.print();
+    std::printf(
+        "  the k=2 cost-trio default trades some large-file parallelism for\n"
+        "  cheap placement (Fig. 4's 20%% cost win over RACS); k=3 over all\n"
+        "  four clouds is faster but bills like RACS; m=2 doubles fault\n"
+        "  tolerance at 2x space\n");
+  }
+  json.flush("bench_threshold_sensitivity");
   return 0;
 }

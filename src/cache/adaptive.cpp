@@ -1,0 +1,88 @@
+#include "cache/adaptive.h"
+
+#include <bit>
+#include <limits>
+
+namespace hyrd::cache {
+
+void AdaptiveThreshold::configure(const AdaptiveConfig& config,
+                                  CostModel model,
+                                  std::function<void(std::uint64_t)> apply,
+                                  std::uint64_t initial_threshold) {
+  config_ = config;
+  model_ = std::move(model);
+  apply_ = std::move(apply);
+  current_ = initial_threshold;
+}
+
+std::size_t AdaptiveThreshold::bucket_of(std::uint64_t bytes) {
+  if (bytes <= 1) return 0;
+  return static_cast<std::size_t>(std::bit_width(bytes - 1));
+}
+
+std::uint64_t AdaptiveThreshold::representative(std::size_t bucket) {
+  // Bucket b holds sizes in (2^(b-1), 2^b]; use the midpoint 3·2^(b-2) as
+  // the representative (the exact choice only shifts all candidates'
+  // costs together within a bucket).
+  if (bucket < 2) return std::uint64_t{1} << bucket;
+  return std::uint64_t{3} << (bucket - 2);
+}
+
+double AdaptiveThreshold::modeled_cost(std::uint64_t threshold) const {
+  double cost = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (histogram_[b] == 0) continue;
+    const std::uint64_t size = representative(b);
+    const double per_object = size < threshold ? model_.replicated_cost(size)
+                                               : model_.erasure_cost(size);
+    cost += static_cast<double>(histogram_[b]) * per_object;
+  }
+  return cost;
+}
+
+std::uint64_t AdaptiveThreshold::best_candidate() const {
+  // Hysteresis: the incumbent competes first and only a strictly cheaper
+  // candidate displaces it. When the histogram has no mass between two
+  // candidates their costs tie exactly, and without this rule a sparse
+  // early histogram would yank the threshold to the edge of a wide flat
+  // region of the cost curve — maximally far from the incumbent, on zero
+  // evidence.
+  std::uint64_t best = current_;
+  double best_cost = modeled_cost(current_);
+  for (std::uint64_t t = config_.min_threshold; t <= config_.max_threshold;
+       t <<= 1) {
+    const double cost = modeled_cost(t);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = t;
+    }
+  }
+  return best;
+}
+
+void AdaptiveThreshold::observe_write(std::uint64_t bytes) {
+  if (!config_.enabled || !model_.replicated_cost || !model_.erasure_cost) {
+    return;
+  }
+  ++histogram_[bucket_of(bytes)];
+  ++total_;
+  if (++observed_ < config_.adapt_interval) return;
+  observed_ = 0;
+  ++recomputes_;
+  const std::uint64_t next = best_candidate();
+  if (next != current_) {
+    current_ = next;
+    ++changes_;
+    if (apply_) apply_(next);
+  }
+  // Exponential decay: halve the population each recompute so the
+  // controller tracks drift instead of the all-time distribution.
+  std::uint64_t remaining = 0;
+  for (auto& c : histogram_) {
+    c >>= 1;
+    remaining += c;
+  }
+  total_ = remaining;
+}
+
+}  // namespace hyrd::cache

@@ -1,0 +1,81 @@
+// AdaptiveThreshold: online small/large classification (ROADMAP item 4).
+//
+// The paper fixes the replication/erasure split at 1 MB (§III-A), chosen
+// offline from a PostMark-style size distribution. This controller makes
+// the split workload-adaptive: it maintains a decayed log2 histogram of
+// observed data-write sizes and, every adapt_interval writes, moves the
+// threshold to the power-of-two candidate T minimizing
+//
+//   sum over buckets b:  count[b] * cost_class(rep_size(b))
+//
+// where cost_class is the client-supplied modeled cost of handling an
+// object of that size replicated (size < T) or erasure-coded (size >= T) —
+// HyRD wires in its providers' latency models plus a storage-overhead
+// term (space_weight; cost-model grounding à la Pamies-Juarez et al.).
+//
+// Deterministic by construction: no wall clock, no randomness — the same
+// observation sequence always yields the same threshold trajectory, which
+// keeps the bench_scaleout same-seed byte-identity pins intact.
+//
+// Not thread-safe on its own: the owning ClientCache serializes access.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "cache/cache_config.h"
+
+namespace hyrd::cache {
+
+/// Modeled cost of one object of `bytes`, handled as each class. Units
+/// are arbitrary (relative comparison only); both callbacks must use the
+/// same units.
+struct CostModel {
+  std::function<double(std::uint64_t bytes)> replicated_cost;
+  std::function<double(std::uint64_t bytes)> erasure_cost;
+};
+
+class AdaptiveThreshold {
+ public:
+  /// `apply` receives every newly chosen threshold (the client forwards it
+  /// to WorkloadMonitor::set_threshold).
+  void configure(const AdaptiveConfig& config, CostModel model,
+                 std::function<void(std::uint64_t)> apply,
+                 std::uint64_t initial_threshold);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+
+  /// Records one data write; may recompute and apply a new threshold.
+  void observe_write(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t current() const { return current_; }
+  [[nodiscard]] std::uint64_t recomputes() const { return recomputes_; }
+  [[nodiscard]] std::uint64_t applied_changes() const { return changes_; }
+
+  /// Exposed for tests: the argmin over candidates for the current
+  /// histogram (no state change). The incumbent threshold wins ties —
+  /// only a strictly cheaper candidate moves the threshold (hysteresis;
+  /// a sparse histogram leaves wide flat regions in the cost curve).
+  [[nodiscard]] std::uint64_t best_candidate() const;
+
+  /// The modeled total cost of the observed histogram under `threshold`.
+  [[nodiscard]] double modeled_cost(std::uint64_t threshold) const;
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t bytes);
+  [[nodiscard]] static std::uint64_t representative(std::size_t bucket);
+
+  AdaptiveConfig config_;
+  CostModel model_;
+  std::function<void(std::uint64_t)> apply_;
+  std::array<std::uint64_t, kBuckets> histogram_{};
+  std::uint64_t observed_ = 0;   // writes since last recompute
+  std::uint64_t total_ = 0;      // decayed population size
+  std::uint64_t current_ = 0;
+  std::uint64_t recomputes_ = 0;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace hyrd::cache

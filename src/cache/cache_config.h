@@ -1,0 +1,60 @@
+// Client cache configuration: write-back group commit, read-through
+// hot-data caching, and the online-adaptive small/large threshold
+// controller. Everything is off by default — a client with a
+// default-constructed CacheConfig behaves byte-identically to one with no
+// cache at all (the determinism pins in tests/integration rely on this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hyrd::cache {
+
+/// Online-adaptive small/large classification (ROADMAP item 4): the
+/// controller tracks the observed write-size distribution in log2 buckets
+/// and periodically moves the threshold to the power-of-two candidate that
+/// minimizes the modeled per-class cost supplied by the client.
+struct AdaptiveConfig {
+  bool enabled = false;
+  /// Recompute the threshold every this many observed data writes.
+  std::uint32_t adapt_interval = 16;
+  std::uint64_t min_threshold = 64ull * 1024;
+  std::uint64_t max_threshold = 64ull * 1024 * 1024;
+  /// Weight of the storage-overhead term relative to the latency term in
+  /// the candidate cost (0 = latency only; the paper's cost/performance
+  /// trade-off knob, §III-C).
+  double space_weight = 0.25;
+};
+
+struct CacheConfig {
+  /// Master switch. When false the client never consults the cache and the
+  /// do_* hot paths are exactly the pre-cache code.
+  bool enabled = false;
+
+  // --- Write-back (group commit) ---
+  bool write_back_enabled = true;
+  /// Absorb only objects at or below this size (replicated small writes;
+  /// large/erasure writes always go straight through).
+  std::uint64_t max_object_bytes = 1ull * 1024 * 1024;
+  /// Dirty-byte watermark: an absorb that crosses it triggers a group
+  /// flush charged to the triggering write.
+  std::uint64_t max_dirty_bytes = 8ull * 1024 * 1024;
+  /// Dirty-entry watermark — whichever of the two trips first flushes.
+  std::size_t group_commit_entries = 32;
+  /// Coherence rule for reads of dirty paths: serve the cached bytes
+  /// directly (true — they are by construction the newest version), or
+  /// flush-on-read before the remote GET (false).
+  bool serve_dirty_reads = true;
+
+  // --- Read-through hot-data cache ---
+  bool read_cache_enabled = true;
+  /// Total byte budget of the segmented LRU (probation + protected).
+  std::uint64_t read_cache_bytes = 32ull * 1024 * 1024;
+  /// Fraction of the budget reserved for the protected segment (entries
+  /// that have been hit at least once after insertion).
+  double protected_fraction = 0.8;
+
+  AdaptiveConfig adaptive;
+};
+
+}  // namespace hyrd::cache

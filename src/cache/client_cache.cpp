@@ -1,0 +1,262 @@
+#include "cache/client_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace hyrd::cache {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter read_hits;
+  obs::Counter read_misses;
+  obs::Counter dirty_hits;
+  obs::Counter absorbed;
+  obs::Counter absorbed_bytes;
+  obs::Counter coalesced;
+  obs::Counter flush_batches;
+  obs::Counter flushed_entries;
+  obs::Counter flushed_bytes;
+  obs::Counter flush_failures;
+  obs::Counter forced_flushes;
+  obs::Counter dirty_lost_entries;
+  obs::Counter dirty_lost_bytes;
+  obs::Gauge dirty_bytes_now;
+  obs::Gauge read_bytes_now;
+};
+
+CacheMetrics& metrics() {
+  static CacheMetrics m{
+      obs::MetricsRegistry::global().counter("cache.read.hits"),
+      obs::MetricsRegistry::global().counter("cache.read.misses"),
+      obs::MetricsRegistry::global().counter("cache.dirty.hits"),
+      obs::MetricsRegistry::global().counter("cache.write.absorbed"),
+      obs::MetricsRegistry::global().counter("cache.write.absorbed_bytes"),
+      obs::MetricsRegistry::global().counter("cache.write.coalesced"),
+      obs::MetricsRegistry::global().counter("cache.flush.batches"),
+      obs::MetricsRegistry::global().counter("cache.flush.entries"),
+      obs::MetricsRegistry::global().counter("cache.flush.bytes"),
+      obs::MetricsRegistry::global().counter("cache.flush.failures"),
+      obs::MetricsRegistry::global().counter("cache.flush.forced"),
+      obs::MetricsRegistry::global().counter("cache.dirty.lost_entries"),
+      obs::MetricsRegistry::global().counter("cache.dirty.lost_bytes"),
+      obs::MetricsRegistry::global().gauge("cache.dirty.bytes"),
+      obs::MetricsRegistry::global().gauge("cache.read.bytes"),
+  };
+  return m;
+}
+
+}  // namespace
+
+ClientCache::ClientCache(CacheConfig config) : config_(config) {
+  if (read_cache_active()) {
+    read_cache_.set_capacity(config_.read_cache_bytes,
+                             config_.protected_fraction);
+  }
+}
+
+ClientCache::AbsorbOutcome ClientCache::absorb(const std::string& path,
+                                               common::Buffer data) {
+  const std::uint64_t size = data.size();
+  std::lock_guard lock(mu_);
+  const std::int64_t before =
+      static_cast<std::int64_t>(write_back_.bytes());
+  AbsorbOutcome out;
+  out.coalesced = write_back_.absorb(path, std::move(data));
+  // The dirty copy is the newest version; a stale read-cache copy of the
+  // same path must not win a later lookup.
+  read_cache_.erase(path);
+  ++stats_.absorbed_writes;
+  stats_.absorbed_bytes += size;
+  if (out.coalesced) ++stats_.coalesced_writes;
+  metrics().absorbed.inc();
+  metrics().absorbed_bytes.add(size);
+  if (out.coalesced) metrics().coalesced.inc();
+  metrics().dirty_bytes_now.add(
+      static_cast<std::int64_t>(write_back_.bytes()) - before);
+  out.need_flush = write_back_.entries() >= config_.group_commit_entries ||
+                   write_back_.bytes() >= config_.max_dirty_bytes;
+  return out;
+}
+
+std::optional<common::Buffer> ClientCache::dirty_lookup(
+    const std::string& path) {
+  std::lock_guard lock(mu_);
+  const common::Buffer* data = write_back_.lookup(path);
+  if (data == nullptr) return std::nullopt;
+  ++stats_.dirty_hits;
+  metrics().dirty_hits.inc();
+  return *data;
+}
+
+std::optional<common::Buffer> ClientCache::dirty_peek(
+    const std::string& path) const {
+  std::lock_guard lock(mu_);
+  const common::Buffer* data = write_back_.lookup(path);
+  if (data == nullptr) return std::nullopt;
+  return *data;
+}
+
+std::vector<std::string> ClientCache::dirty_paths() const {
+  std::lock_guard lock(mu_);
+  return write_back_.paths();
+}
+
+std::optional<DirtyEntry> ClientCache::take_dirty(const std::string& path) {
+  std::lock_guard lock(mu_);
+  auto e = write_back_.take(path);
+  if (e.has_value()) {
+    metrics().dirty_bytes_now.add(-static_cast<std::int64_t>(e->data.size()));
+  }
+  return e;
+}
+
+std::vector<DirtyEntry> ClientCache::take_flush_group() {
+  std::lock_guard lock(mu_);
+  auto group = write_back_.take_group(config_.group_commit_entries);
+  std::int64_t taken = 0;
+  for (const auto& e : group) taken += static_cast<std::int64_t>(e.data.size());
+  metrics().dirty_bytes_now.add(-taken);
+  return group;
+}
+
+void ClientCache::restore_dirty(std::vector<DirtyEntry> entries) {
+  if (entries.empty()) return;
+  std::lock_guard lock(mu_);
+  const std::int64_t before = static_cast<std::int64_t>(write_back_.bytes());
+  stats_.flush_failures += entries.size();
+  metrics().flush_failures.add(entries.size());
+  write_back_.restore(std::move(entries));
+  metrics().dirty_bytes_now.add(
+      static_cast<std::int64_t>(write_back_.bytes()) - before);
+}
+
+bool ClientCache::drop_dirty(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const common::Buffer* data = write_back_.lookup(path);
+  if (data == nullptr) return false;
+  metrics().dirty_bytes_now.add(-static_cast<std::int64_t>(data->size()));
+  return write_back_.drop(path);
+}
+
+std::pair<std::uint64_t, std::uint64_t> ClientCache::discard_all_dirty() {
+  std::lock_guard lock(mu_);
+  const std::uint64_t entries = write_back_.entries();
+  const std::uint64_t bytes = write_back_.bytes();
+  (void)write_back_.take_group(entries);
+  stats_.dirty_lost_entries += entries;
+  stats_.dirty_lost_bytes += bytes;
+  metrics().dirty_lost_entries.add(entries);
+  metrics().dirty_lost_bytes.add(bytes);
+  metrics().dirty_bytes_now.add(-static_cast<std::int64_t>(bytes));
+  return {entries, bytes};
+}
+
+void ClientCache::note_flush_batch(std::size_t flushed_entries,
+                                   std::uint64_t flushed_bytes, bool forced) {
+  std::lock_guard lock(mu_);
+  ++stats_.flush_batches;
+  stats_.flushed_entries += flushed_entries;
+  stats_.flushed_bytes += flushed_bytes;
+  if (forced) ++stats_.forced_flushes;
+  metrics().flush_batches.inc();
+  metrics().flushed_entries.add(flushed_entries);
+  metrics().flushed_bytes.add(flushed_bytes);
+  if (forced) metrics().forced_flushes.inc();
+}
+
+bool ClientCache::dirty_empty() const {
+  std::lock_guard lock(mu_);
+  return write_back_.empty();
+}
+
+std::uint64_t ClientCache::dirty_bytes() const {
+  std::lock_guard lock(mu_);
+  return write_back_.bytes();
+}
+
+std::size_t ClientCache::dirty_entries() const {
+  std::lock_guard lock(mu_);
+  return write_back_.entries();
+}
+
+std::optional<ReadHit> ClientCache::read_lookup(const std::string& path) {
+  if (!read_cache_active()) return std::nullopt;
+  std::lock_guard lock(mu_);
+  auto hit = read_cache_.lookup(path);
+  if (hit.has_value()) {
+    ++stats_.read_hits;
+    metrics().read_hits.inc();
+  } else {
+    ++stats_.read_misses;
+    metrics().read_misses.inc();
+  }
+  return hit;
+}
+
+void ClientCache::read_insert(const std::string& path, common::Buffer data) {
+  if (!read_cache_active()) return;
+  std::lock_guard lock(mu_);
+  const std::int64_t before = static_cast<std::int64_t>(read_cache_.bytes());
+  read_cache_.insert(path, std::move(data));
+  metrics().read_bytes_now.add(static_cast<std::int64_t>(read_cache_.bytes()) -
+                               before);
+}
+
+void ClientCache::invalidate(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const common::Buffer* dirty = write_back_.lookup(path);
+  if (dirty != nullptr) {
+    metrics().dirty_bytes_now.add(
+        -static_cast<std::int64_t>(dirty->size()));
+    write_back_.drop(path);
+  }
+  const std::int64_t before = static_cast<std::int64_t>(read_cache_.bytes());
+  read_cache_.erase(path);
+  metrics().read_bytes_now.add(static_cast<std::int64_t>(read_cache_.bytes()) -
+                               before);
+}
+
+void ClientCache::invalidate_read(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const std::int64_t before = static_cast<std::int64_t>(read_cache_.bytes());
+  read_cache_.erase(path);
+  metrics().read_bytes_now.add(static_cast<std::int64_t>(read_cache_.bytes()) -
+                               before);
+}
+
+void ClientCache::wire_adaptive(CostModel model,
+                                std::function<void(std::uint64_t)> apply,
+                                std::uint64_t initial_threshold) {
+  std::lock_guard lock(mu_);
+  adaptive_.configure(config_.adaptive, std::move(model), std::move(apply),
+                      initial_threshold);
+}
+
+void ClientCache::observe_write(std::uint64_t bytes) {
+  if (!config_.enabled || !config_.adaptive.enabled) return;
+  std::lock_guard lock(mu_);
+  adaptive_.observe_write(bytes);
+  stats_.adapt_recomputes = adaptive_.recomputes();
+  stats_.adapt_changes = adaptive_.applied_changes();
+}
+
+std::uint64_t ClientCache::adaptive_threshold() const {
+  std::lock_guard lock(mu_);
+  return adaptive_.current();
+}
+
+CacheStats ClientCache::stats_snapshot() const {
+  std::lock_guard lock(mu_);
+  CacheStats out = stats_;
+  out.threshold_now = adaptive_.current();
+  out.dirty_entries_now = write_back_.entries();
+  out.dirty_bytes_now = write_back_.bytes();
+  out.read_bytes_now = read_cache_.bytes();
+  out.read_entries_now = read_cache_.entries();
+  out.read_evictions = read_cache_.evictions();
+  return out;
+}
+
+}  // namespace hyrd::cache

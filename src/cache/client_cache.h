@@ -1,0 +1,114 @@
+// ClientCache: the thread-safe facade StorageClient talks to. Owns the
+// write-back FIFO, the segmented-LRU read cache, and the adaptive
+// threshold controller, serialized under one mutex (cache operations are
+// O(1) map/list moves — the mutex never spans provider I/O; flushing takes
+// entries out, performs the remote writes lock-free, and restores
+// failures).
+//
+// Every event lands in obs::MetricsRegistry under cache.* so campaign
+// timelines and bench runs see hit/miss/flush/dirty-byte behavior without
+// bespoke plumbing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/adaptive.h"
+#include "cache/cache_config.h"
+#include "cache/read_cache.h"
+#include "cache/write_back.h"
+
+namespace hyrd::cache {
+
+/// Point-in-time counters (all monotonic except the *_now gauges).
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t dirty_hits = 0;  // reads served straight from dirty data
+  std::uint64_t absorbed_writes = 0;
+  std::uint64_t absorbed_bytes = 0;
+  std::uint64_t coalesced_writes = 0;  // overwrote a still-dirty entry
+  std::uint64_t flush_batches = 0;
+  std::uint64_t flushed_entries = 0;
+  std::uint64_t flushed_bytes = 0;
+  std::uint64_t flush_failures = 0;    // entries restored after a failure
+  std::uint64_t forced_flushes = 0;    // coherence flushes (read/update/…)
+  std::uint64_t dirty_lost_entries = 0;
+  std::uint64_t dirty_lost_bytes = 0;
+  std::uint64_t read_evictions = 0;
+  std::uint64_t adapt_recomputes = 0;
+  std::uint64_t adapt_changes = 0;
+  std::uint64_t threshold_now = 0;
+  std::uint64_t dirty_entries_now = 0;
+  std::uint64_t dirty_bytes_now = 0;
+  std::uint64_t read_bytes_now = 0;
+  std::uint64_t read_entries_now = 0;
+};
+
+class ClientCache {
+ public:
+  explicit ClientCache(CacheConfig config);
+
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] bool write_back_active() const {
+    return config_.enabled && config_.write_back_enabled;
+  }
+  [[nodiscard]] bool read_cache_active() const {
+    return config_.enabled && config_.read_cache_enabled;
+  }
+
+  // --- Write-back ---
+  struct AbsorbOutcome {
+    bool coalesced = false;
+    bool need_flush = false;  // a watermark tripped; caller should flush
+  };
+  AbsorbOutcome absorb(const std::string& path, common::Buffer data);
+  [[nodiscard]] std::optional<common::Buffer> dirty_lookup(
+      const std::string& path);
+  /// Const peek (stat synthesis): no hit accounting.
+  [[nodiscard]] std::optional<common::Buffer> dirty_peek(
+      const std::string& path) const;
+  [[nodiscard]] std::vector<std::string> dirty_paths() const;
+  std::optional<DirtyEntry> take_dirty(const std::string& path);
+  std::vector<DirtyEntry> take_flush_group();
+  /// Returns failed entries to the dirty set (counted as flush_failures).
+  void restore_dirty(std::vector<DirtyEntry> entries);
+  bool drop_dirty(const std::string& path);
+  /// Drops everything dirty, counting it as lost (provider catastrophe /
+  /// end-of-campaign accounting). Returns {entries, bytes} lost.
+  std::pair<std::uint64_t, std::uint64_t> discard_all_dirty();
+  void note_flush_batch(std::size_t flushed_entries,
+                        std::uint64_t flushed_bytes, bool forced);
+  [[nodiscard]] bool dirty_empty() const;
+  [[nodiscard]] std::uint64_t dirty_bytes() const;
+  [[nodiscard]] std::size_t dirty_entries() const;
+
+  // --- Read-through ---
+  [[nodiscard]] std::optional<ReadHit> read_lookup(const std::string& path);
+  void read_insert(const std::string& path, common::Buffer data);
+  /// Drops both the read copy and any dirty entry (full overwrite /
+  /// remove passing through the cache).
+  void invalidate(const std::string& path);
+  void invalidate_read(const std::string& path);
+
+  // --- Adaptive threshold ---
+  void wire_adaptive(CostModel model, std::function<void(std::uint64_t)> apply,
+                     std::uint64_t initial_threshold);
+  void observe_write(std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t adaptive_threshold() const;
+
+  [[nodiscard]] CacheStats stats_snapshot() const;
+
+ private:
+  CacheConfig config_;
+  mutable std::mutex mu_;
+  WriteBackCache write_back_;
+  ReadCache read_cache_;
+  AdaptiveThreshold adaptive_;
+  CacheStats stats_;
+};
+
+}  // namespace hyrd::cache

@@ -1,0 +1,97 @@
+#include "cache/read_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hyrd::cache {
+
+void ReadCache::set_capacity(std::uint64_t bytes, double protected_fraction) {
+  capacity_ = bytes;
+  protected_fraction = std::clamp(protected_fraction, 0.0, 1.0);
+  protected_capacity_ = static_cast<std::uint64_t>(
+      static_cast<double>(bytes) * protected_fraction);
+  bound_protected();
+  evict_to_fit();
+}
+
+void ReadCache::unlink(List::iterator it) {
+  bytes_ -= it->data.size();
+  if (it->is_protected) {
+    protected_bytes_ -= it->data.size();
+    protected_.erase(it);
+  } else {
+    probation_.erase(it);
+  }
+}
+
+void ReadCache::insert(const std::string& path, common::Buffer data) {
+  if (capacity_ == 0 || data.size() > capacity_) return;
+  if (auto it = index_.find(path); it != index_.end()) {
+    unlink(it->second);
+    index_.erase(it);
+  }
+  bytes_ += data.size();
+  probation_.push_front({path, std::move(data), 0, false});
+  index_.emplace(path, probation_.begin());
+  evict_to_fit();
+}
+
+std::optional<ReadHit> ReadCache::lookup(const std::string& path) {
+  auto it = index_.find(path);
+  if (it == index_.end()) return std::nullopt;
+  List::iterator node = it->second;
+  if (node->is_protected) {
+    protected_.splice(protected_.begin(), protected_, node);
+  } else {
+    node->is_protected = true;
+    protected_bytes_ += node->data.size();
+    protected_.splice(protected_.begin(), probation_, node);
+  }
+  // splice preserves iterator identity, so index_ stays valid throughout.
+  ++node->hits;
+  ReadHit hit{node->data, node->hits};
+  bound_protected();
+  return hit;
+}
+
+bool ReadCache::erase(const std::string& path) {
+  auto it = index_.find(path);
+  if (it == index_.end()) return false;
+  unlink(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void ReadCache::clear() {
+  probation_.clear();
+  protected_.clear();
+  index_.clear();
+  bytes_ = 0;
+  protected_bytes_ = 0;
+}
+
+void ReadCache::bound_protected() {
+  // Protected overflow demotes LRU-first back to probation's head: the
+  // entry keeps one more chance before true eviction.
+  while (protected_bytes_ > protected_capacity_ && !protected_.empty()) {
+    auto last = std::prev(protected_.end());
+    protected_bytes_ -= last->data.size();
+    last->is_protected = false;
+    probation_.splice(probation_.begin(), protected_, last);
+  }
+}
+
+void ReadCache::evict_to_fit() {
+  while (bytes_ > capacity_) {
+    List& victim_list = probation_.empty() ? protected_ : probation_;
+    if (victim_list.empty()) break;
+    auto last = std::prev(victim_list.end());
+    if (last->is_protected) protected_bytes_ -= last->data.size();
+    bytes_ -= last->data.size();
+    index_.erase(last->path);
+    victim_list.erase(last);
+    ++evictions_;
+  }
+}
+
+}  // namespace hyrd::cache

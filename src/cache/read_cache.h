@@ -1,0 +1,73 @@
+// ReadCache: byte-bounded segmented LRU over zero-copy buffers. New
+// entries land in the probation segment; a hit promotes into the
+// protected segment (bounded to protected_fraction of the budget, its
+// overflow demotes back to probation's head). One-touch scan traffic
+// therefore washes through probation without ever displacing the working
+// set — the classic SLRU scan resistance.
+//
+// Per-entry hit counts are surfaced on lookup so the client's
+// hot-promotion heuristic can run off cache residency instead of the raw
+// per-path read-count map (WorkloadMonitor keeps that map only for
+// uncached reads).
+//
+// Not thread-safe on its own: the owning ClientCache serializes access.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/buffer.h"
+
+namespace hyrd::cache {
+
+struct ReadHit {
+  common::Buffer data;
+  std::uint32_t hits = 0;  // lookups since insertion, this one included
+};
+
+class ReadCache {
+ public:
+  void set_capacity(std::uint64_t bytes, double protected_fraction);
+
+  /// Inserts (or refreshes) a clean copy of `path`. Objects larger than
+  /// the whole budget are ignored.
+  void insert(const std::string& path, common::Buffer data);
+
+  /// Hit: bumps the entry's hit count, promotes/refreshes its LRU
+  /// position, and returns a refbump of the bytes. Miss: nullopt.
+  std::optional<ReadHit> lookup(const std::string& path);
+
+  bool erase(const std::string& path);
+  void clear();
+
+  [[nodiscard]] std::size_t entries() const { return index_.size(); }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Node {
+    std::string path;
+    common::Buffer data;
+    std::uint32_t hits = 0;
+    bool is_protected = false;
+  };
+  using List = std::list<Node>;
+
+  void evict_to_fit();
+  void bound_protected();
+  void unlink(List::iterator it);
+
+  List probation_;  // MRU at front
+  List protected_;  // MRU at front
+  std::unordered_map<std::string, List::iterator> index_;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t protected_capacity_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t protected_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace hyrd::cache

@@ -1,0 +1,78 @@
+#include "cache/write_back.h"
+
+#include <utility>
+
+namespace hyrd::cache {
+
+bool WriteBackCache::absorb(const std::string& path, common::Buffer data) {
+  auto it = index_.find(path);
+  if (it != index_.end()) {
+    bytes_ -= it->second->data.size();
+    bytes_ += data.size();
+    it->second->data = std::move(data);
+    return true;
+  }
+  bytes_ += data.size();
+  fifo_.push_back({path, std::move(data)});
+  index_.emplace(path, std::prev(fifo_.end()));
+  return false;
+}
+
+const common::Buffer* WriteBackCache::lookup(const std::string& path) const {
+  auto it = index_.find(path);
+  if (it == index_.end()) return nullptr;
+  return &it->second->data;
+}
+
+std::optional<DirtyEntry> WriteBackCache::take(const std::string& path) {
+  auto it = index_.find(path);
+  if (it == index_.end()) return std::nullopt;
+  DirtyEntry entry = std::move(*it->second);
+  bytes_ -= entry.data.size();
+  fifo_.erase(it->second);
+  index_.erase(it);
+  return entry;
+}
+
+bool WriteBackCache::drop(const std::string& path) {
+  auto it = index_.find(path);
+  if (it == index_.end()) return false;
+  bytes_ -= it->second->data.size();
+  fifo_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+std::vector<DirtyEntry> WriteBackCache::take_group(std::size_t max_entries) {
+  std::vector<DirtyEntry> out;
+  out.reserve(std::min(max_entries, fifo_.size()));
+  while (out.size() < max_entries && !fifo_.empty()) {
+    DirtyEntry& front = fifo_.front();
+    bytes_ -= front.data.size();
+    index_.erase(front.path);
+    out.push_back(std::move(front));
+    fifo_.pop_front();
+  }
+  return out;
+}
+
+void WriteBackCache::restore(std::vector<DirtyEntry> entries) {
+  // Reinsert at the head, preserving the original relative order; a
+  // payload absorbed again while the flush was in flight wins (it is
+  // strictly newer than the restored copy).
+  for (auto rit = entries.rbegin(); rit != entries.rend(); ++rit) {
+    if (index_.contains(rit->path)) continue;
+    bytes_ += rit->data.size();
+    fifo_.push_front(std::move(*rit));
+    index_.emplace(fifo_.front().path, fifo_.begin());
+  }
+}
+
+std::vector<std::string> WriteBackCache::paths() const {
+  std::vector<std::string> out;
+  out.reserve(fifo_.size());
+  for (const auto& e : fifo_) out.push_back(e.path);
+  return out;
+}
+
+}  // namespace hyrd::cache

@@ -1,0 +1,65 @@
+// WriteBackCache: bounded FIFO of dirty (absorbed, not yet flushed) small
+// writes. Entries hold zero-copy common::Buffer payloads by refbump; an
+// absorb of a path that is already dirty coalesces in place (the older
+// payload was never observable remotely, so only the newest version needs
+// to reach the providers). Flushing drains in FIFO order so group commits
+// preserve the absorb order across distinct paths.
+//
+// Not thread-safe on its own: the owning ClientCache serializes access.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace hyrd::cache {
+
+struct DirtyEntry {
+  std::string path;
+  common::Buffer data;
+};
+
+class WriteBackCache {
+ public:
+  /// Inserts or coalesces `path`'s newest payload. Returns true when the
+  /// write replaced an existing dirty entry (a coalesced overwrite — one
+  /// provider round trip saved outright).
+  bool absorb(const std::string& path, common::Buffer data);
+
+  /// Borrowed view of the dirty payload, if any (refbump to retain).
+  [[nodiscard]] const common::Buffer* lookup(const std::string& path) const;
+
+  /// Removes and returns `path`'s dirty entry (flush-on-read / coherence).
+  std::optional<DirtyEntry> take(const std::string& path);
+
+  /// Drops `path`'s dirty entry without flushing (overwritten by a larger
+  /// write or removed before ever reaching a provider).
+  bool drop(const std::string& path);
+
+  /// Removes and returns up to `max_entries` entries, oldest first.
+  std::vector<DirtyEntry> take_group(std::size_t max_entries);
+
+  /// Returns entries to the head of the FIFO in their original order
+  /// (flush failure: the payloads stay dirty and will be retried by the
+  /// next flush attempt).
+  void restore(std::vector<DirtyEntry> entries);
+
+  /// Dirty paths in FIFO order (for list() merging).
+  [[nodiscard]] std::vector<std::string> paths() const;
+
+  [[nodiscard]] std::size_t entries() const { return fifo_.size(); }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] bool empty() const { return fifo_.empty(); }
+
+ private:
+  std::list<DirtyEntry> fifo_;  // oldest at front
+  std::unordered_map<std::string, std::list<DirtyEntry>::iterator> index_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace hyrd::cache

@@ -86,7 +86,7 @@ dist::WriteResult DepSkyClient::do_put(const std::string& path,
   return result;
 }
 
-dist::ReadResult DepSkyClient::get(const std::string& path) {
+dist::ReadResult DepSkyClient::do_get(const std::string& path) {
   dist::ReadResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {
@@ -99,7 +99,7 @@ dist::ReadResult DepSkyClient::get(const std::string& path) {
   return result;
 }
 
-dist::WriteResult DepSkyClient::update(const std::string& path,
+dist::WriteResult DepSkyClient::do_update(const std::string& path,
                                        std::uint64_t offset,
                                        common::ByteSpan data) {
   dist::WriteResult result;
@@ -158,7 +158,7 @@ dist::WriteResult DepSkyClient::update(const std::string& path,
   return result;
 }
 
-dist::RemoveResult DepSkyClient::remove(const std::string& path) {
+dist::RemoveResult DepSkyClient::do_remove(const std::string& path) {
   dist::RemoveResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {

@@ -61,7 +61,7 @@ dist::WriteResult DuraCloudClient::do_put(const std::string& path,
   return result;
 }
 
-dist::ReadResult DuraCloudClient::get(const std::string& path) {
+dist::ReadResult DuraCloudClient::do_get(const std::string& path) {
   dist::ReadResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {
@@ -74,7 +74,7 @@ dist::ReadResult DuraCloudClient::get(const std::string& path) {
   return result;
 }
 
-dist::WriteResult DuraCloudClient::update(const std::string& path,
+dist::WriteResult DuraCloudClient::do_update(const std::string& path,
                                           std::uint64_t offset,
                                           common::ByteSpan data) {
   dist::WriteResult result;
@@ -117,7 +117,7 @@ dist::WriteResult DuraCloudClient::update(const std::string& path,
   return result;
 }
 
-dist::RemoveResult DuraCloudClient::remove(const std::string& path) {
+dist::RemoveResult DuraCloudClient::do_remove(const std::string& path) {
   dist::RemoveResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {

@@ -25,10 +25,10 @@ class DuraCloudClient final : public StorageClientBase {
 
   dist::WriteResult do_put(const std::string& path,
                            common::Buffer data) override;
-  dist::ReadResult get(const std::string& path) override;
-  dist::WriteResult update(const std::string& path, std::uint64_t offset,
+  dist::ReadResult do_get(const std::string& path) override;
+  dist::WriteResult do_update(const std::string& path, std::uint64_t offset,
                            common::ByteSpan data) override;
-  dist::RemoveResult remove(const std::string& path) override;
+  dist::RemoveResult do_remove(const std::string& path) override;
   common::SimDuration on_provider_restored(const std::string& provider) override;
 
   [[nodiscard]] const std::vector<std::size_t>& replica_targets() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <set>
 #include <optional>
 
 #include "common/checksum.h"
@@ -257,7 +258,7 @@ dist::WriteResult HyRDClient::do_put(const std::string& path,
   return result;
 }
 
-dist::ReadResult HyRDClient::get(const std::string& path) {
+dist::ReadResult HyRDClient::do_get(const std::string& path) {
   dist::ReadResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {
@@ -357,7 +358,7 @@ dist::ReadResult HyRDClient::get(const std::string& path) {
   return result;
 }
 
-dist::WriteResult HyRDClient::update(const std::string& path,
+dist::WriteResult HyRDClient::do_update(const std::string& path,
                                      std::uint64_t offset,
                                      common::ByteSpan data) {
   dist::WriteResult result;
@@ -429,7 +430,7 @@ dist::WriteResult HyRDClient::update(const std::string& path,
   return result;
 }
 
-dist::RemoveResult HyRDClient::remove(const std::string& path) {
+dist::RemoveResult HyRDClient::do_remove(const std::string& path) {
   dist::RemoveResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {
@@ -462,6 +463,158 @@ dist::RemoveResult HyRDClient::remove(const std::string& path) {
   result.latency += persist_metadata(m->directory());
   note_remove(result.latency, result.status.is_ok());
   return result;
+}
+
+StorageClient::FlushResult HyRDClient::flush_entries(
+    std::vector<cache::DirtyEntry> entries) {
+  FlushResult out;
+  // Partition: the common case (plain replicated small write, no dedup,
+  // no redundancy-kind change, no hot copy) batches into one group
+  // commit; everything else takes the full dispatcher per entry.
+  std::vector<cache::DirtyEntry> fallback;
+  std::vector<dist::ReplicationScheme::GroupWrite> group;
+  std::vector<cache::DirtyEntry> group_entries;
+  for (auto& e : entries) {
+    const bool small =
+        monitor_.classify_file(e.data.size()) == DataClass::kSmallFile;
+    const auto prev = store_.lookup(e.path);
+    const bool kind_change =
+        prev.has_value() &&
+        prev->redundancy != meta::RedundancyKind::kReplicated;
+    if (config_.dedup_enabled || !small || kind_change ||
+        has_hot_copy(e.path)) {
+      fallback.push_back(std::move(e));
+      continue;
+    }
+    monitor_.record_write(DataClass::kSmallFile, e.data.size());
+    group.push_back({e.path, e.data});  // refbump; entry kept for restore
+    group_entries.push_back(std::move(e));
+  }
+
+  if (!group.empty()) {
+    auto results = data_replication_.write_many(session_, std::move(group),
+                                                replica_targets_);
+    std::set<std::string> dirs;  // sorted: deterministic persist order
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      auto& r = results[i].result;
+      if (r.status.is_ok()) {
+        store_.upsert_versioned(r.meta);
+        log_unreachable_fragments(results[i].unreachable,
+                                  config_.data_container, r.meta);
+        dirs.insert(r.meta.directory());
+        ++out.flushed;
+        out.flushed_bytes += group_entries[i].data.size();
+        out.latency = std::max(out.latency, r.latency);
+        note_put(r.latency, true);
+      } else {
+        note_put(r.latency, false);
+        out.failed.push_back(std::move(group_entries[i]));
+      }
+    }
+    // One metadata-block persist per distinct directory for the whole
+    // group — the second half of the group-commit saving (N absorbed
+    // writes to one directory pay one replicated block write, not N).
+    common::SimDuration meta_latency = 0;
+    for (const auto& dir : dirs) {
+      meta_latency = std::max(meta_latency, persist_metadata(dir));
+    }
+    out.latency += meta_latency;
+  }
+
+  if (!fallback.empty()) {
+    auto fb = StorageClient::flush_entries(std::move(fallback));
+    out.latency = std::max(out.latency, fb.latency);
+    out.flushed += fb.flushed;
+    out.flushed_bytes += fb.flushed_bytes;
+    for (auto& e : fb.failed) out.failed.push_back(std::move(e));
+  }
+  return out;
+}
+
+void HyRDClient::on_cache_hit(const std::string& path,
+                              const common::Buffer& data,
+                              std::uint32_t hits) {
+  if (!config_.hot_promotion_enabled || replica_targets_.empty()) return;
+  const auto m = store_.lookup(path);
+  if (!m.has_value() || m->redundancy != meta::RedundancyKind::kErasure) {
+    return;
+  }
+  monitor_.record_read(DataClass::kLargeFile, m->size);
+  if (hits < config_.hot_promotion_reads || has_hot_copy(path)) return;
+  // Promote from the cached bytes: unlike the stripe-read promotion in
+  // do_get, this costs zero extra read amplification. Background write,
+  // not charged to the serving read.
+  const std::size_t target = replica_targets_.front();
+  const std::string object = dist::fragment_object_name(path, 'h', 0);
+  auto putr =
+      session_.client(target).put({config_.data_container, object}, data);
+  if (putr.ok()) {
+    std::lock_guard lock(hot_mu_);
+    hot_copies_[path] = {session_.client(target).provider_name(), object};
+  }
+}
+
+void HyRDClient::wire_adaptive(cache::ClientCache& cache) {
+  if (!cache.config().adaptive.enabled) return;
+  const double space_weight = cache.config().adaptive.space_weight;
+  // Read/write mix observed so far (defaults to write-only): the modeled
+  // per-object cost is one write plus `mix` reads.
+  const auto read_mix = [this]() -> double {
+    const auto small = monitor_.stats(DataClass::kSmallFile);
+    const auto large = monitor_.stats(DataClass::kLargeFile);
+    const std::uint64_t writes = small.writes + large.writes;
+    const std::uint64_t reads = small.reads + large.reads;
+    if (writes == 0) return 0.0;
+    return static_cast<double>(reads) / static_cast<double>(writes);
+  };
+
+  cache::CostModel model;
+  // Replicated: parallel fan-out writes the full object everywhere
+  // (latency = slowest target), reads come from the fastest replica.
+  // The storage-overhead factor (level× for replication, (k+m)/k for the
+  // stripe) scales the cost by 1 + w·(overhead−1): the §III-C
+  // cost/performance trade-off in one dimensionless knob.
+  model.replicated_cost = [this, space_weight,
+                           read_mix](std::uint64_t bytes) -> double {
+    common::SimDuration put_ns = 0;
+    common::SimDuration get_ns = 0;
+    bool first = true;
+    for (std::size_t idx : replica_targets_) {
+      const auto& lm = session_.client(idx).provider()->latency_model();
+      put_ns = std::max(put_ns, lm.expected(cloud::OpKind::kPut, bytes));
+      const auto g = lm.expected(cloud::OpKind::kGet, bytes);
+      get_ns = first ? g : std::min(get_ns, g);
+      first = false;
+    }
+    const double latency = common::to_ms(put_ns) +
+                           read_mix() * common::to_ms(get_ns);
+    const double overhead = static_cast<double>(config_.replication_level);
+    return latency * (1.0 + space_weight * (overhead - 1.0));
+  };
+  // Erasure: writes fan shard_size = ceil(bytes/k) to every slot; reads
+  // collect the k data shards (slowest of the first k slots).
+  model.erasure_cost = [this, space_weight,
+                        read_mix](std::uint64_t bytes) -> double {
+    const std::size_t k = config_.geometry.k;
+    const std::uint64_t shard = (bytes + k - 1) / k;
+    common::SimDuration put_ns = 0;
+    common::SimDuration get_ns = 0;
+    for (std::size_t i = 0; i < shard_slots_.size(); ++i) {
+      const auto& lm =
+          session_.client(shard_slots_[i]).provider()->latency_model();
+      put_ns = std::max(put_ns, lm.expected(cloud::OpKind::kPut, shard));
+      if (i < k) {
+        get_ns = std::max(get_ns, lm.expected(cloud::OpKind::kGet, shard));
+      }
+    }
+    const double latency = common::to_ms(put_ns) +
+                           read_mix() * common::to_ms(get_ns);
+    const double overhead = config_.geometry.expansion();
+    return latency * (1.0 + space_weight * (overhead - 1.0));
+  };
+  cache.wire_adaptive(std::move(model),
+                      [this](std::uint64_t t) { monitor_.set_threshold(t); },
+                      monitor_.threshold());
 }
 
 common::SimDuration HyRDClient::on_provider_restored(

@@ -37,10 +37,10 @@ class HyRDClient final : public StorageClientBase {
 
   dist::WriteResult do_put(const std::string& path,
                            common::Buffer data) override;
-  dist::ReadResult get(const std::string& path) override;
-  dist::WriteResult update(const std::string& path, std::uint64_t offset,
+  dist::ReadResult do_get(const std::string& path) override;
+  dist::WriteResult do_update(const std::string& path, std::uint64_t offset,
                            common::ByteSpan data) override;
-  dist::RemoveResult remove(const std::string& path) override;
+  dist::RemoveResult do_remove(const std::string& path) override;
   common::SimDuration on_provider_restored(const std::string& provider) override;
 
   // --- Introspection (tests, benches, examples) ---
@@ -59,6 +59,29 @@ class HyRDClient final : public StorageClientBase {
   /// Rebuilds the client-side metadata store from the replicated metadata
   /// blocks in the cloud (client machine loss / restart scenario).
   common::Status rebuild_metadata_from_cloud();
+
+ protected:
+  /// Absorption stays aligned with classification: only writes the
+  /// dispatcher would replicate are write-back candidates.
+  [[nodiscard]] std::uint64_t write_back_threshold() const override {
+    return monitor_.threshold();
+  }
+
+  /// Group commit: replicated-eligible entries flush through ONE
+  /// AsyncBatch (ReplicationScheme::write_many) with one metadata-block
+  /// persist per distinct directory; entries needing the full dispatcher
+  /// (dedup, redundancy-kind change, hot copies, adaptive reclassification
+  /// to large) fall back to do_put.
+  FlushResult flush_entries(std::vector<cache::DirtyEntry> entries) override;
+
+  /// Read-cache residency drives hot promotion for erasure-coded files:
+  /// the cached bytes are promoted with zero extra read amplification.
+  void on_cache_hit(const std::string& path, const common::Buffer& data,
+                    std::uint32_t hits) override;
+
+  /// Wires the providers' latency models + storage-overhead factors into
+  /// the cache's adaptive-threshold controller.
+  void wire_adaptive(cache::ClientCache& cache) override;
 
  private:
   /// Serializes and replicates `dir`'s metadata block; logs unreachable

@@ -120,7 +120,7 @@ dist::WriteResult NCCloudClient::do_put(const std::string& path,
   return result;
 }
 
-dist::ReadResult NCCloudClient::get(const std::string& path) {
+dist::ReadResult NCCloudClient::do_get(const std::string& path) {
   dist::ReadResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {
@@ -207,7 +207,7 @@ dist::ReadResult NCCloudClient::get(const std::string& path) {
   return result;
 }
 
-dist::WriteResult NCCloudClient::update(const std::string& path,
+dist::WriteResult NCCloudClient::do_update(const std::string& path,
                                         std::uint64_t offset,
                                         common::ByteSpan data) {
   dist::WriteResult result;
@@ -225,7 +225,7 @@ dist::WriteResult NCCloudClient::update(const std::string& path,
 
   // F-MSR has no partial-update path: read, patch, re-encode everything
   // (Table I: "Low for small updates").
-  auto whole = get(path);
+  auto whole = do_get(path);
   if (!whole.status.is_ok()) {
     result.status = whole.status;
     result.latency = whole.latency;
@@ -246,7 +246,7 @@ dist::WriteResult NCCloudClient::update(const std::string& path,
   return result;
 }
 
-dist::RemoveResult NCCloudClient::remove(const std::string& path) {
+dist::RemoveResult NCCloudClient::do_remove(const std::string& path) {
   dist::RemoveResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {

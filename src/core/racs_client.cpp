@@ -82,7 +82,7 @@ dist::WriteResult RACSClient::do_put(const std::string& path,
   return result;
 }
 
-dist::ReadResult RACSClient::get(const std::string& path) {
+dist::ReadResult RACSClient::do_get(const std::string& path) {
   dist::ReadResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {
@@ -95,7 +95,7 @@ dist::ReadResult RACSClient::get(const std::string& path) {
   return result;
 }
 
-dist::WriteResult RACSClient::update(const std::string& path,
+dist::WriteResult RACSClient::do_update(const std::string& path,
                                      std::uint64_t offset,
                                      common::ByteSpan data) {
   dist::WriteResult result;
@@ -126,7 +126,7 @@ dist::WriteResult RACSClient::update(const std::string& path,
   return result;
 }
 
-dist::RemoveResult RACSClient::remove(const std::string& path) {
+dist::RemoveResult RACSClient::do_remove(const std::string& path) {
   dist::RemoveResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {

@@ -48,7 +48,7 @@ dist::WriteResult SingleCloudClient::do_put(const std::string& path,
   return result;
 }
 
-dist::ReadResult SingleCloudClient::get(const std::string& path) {
+dist::ReadResult SingleCloudClient::do_get(const std::string& path) {
   dist::ReadResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {
@@ -61,7 +61,7 @@ dist::ReadResult SingleCloudClient::get(const std::string& path) {
   return result;
 }
 
-dist::WriteResult SingleCloudClient::update(const std::string& path,
+dist::WriteResult SingleCloudClient::do_update(const std::string& path,
                                             std::uint64_t offset,
                                             common::ByteSpan data) {
   dist::WriteResult result;
@@ -92,7 +92,7 @@ dist::WriteResult SingleCloudClient::update(const std::string& path,
   return result;
 }
 
-dist::RemoveResult SingleCloudClient::remove(const std::string& path) {
+dist::RemoveResult SingleCloudClient::do_remove(const std::string& path) {
   dist::RemoveResult result;
   const auto m = store_.lookup(path);
   if (!m.has_value()) {

@@ -1,12 +1,235 @@
 #include "core/storage_client.h"
 
+#include <algorithm>
+
 #include "common/checksum.h"
+#include "common/virtual_time.h"
+#include "obs/trace.h"
 
 namespace hyrd::core {
 
 namespace {
 constexpr std::string_view kMetaPathPrefix = "//meta/";
+
+void emit_flush_span(common::SimDuration dur, std::size_t attempted,
+                     std::size_t flushed, bool forced) {
+  if (!obs::trace_active()) return;
+  obs::TraceSpan span;
+  span.name = "cache_flush";
+  span.cat = "cache";
+  if (const auto base = common::VirtualScope::snapshot()) {
+    span.tid = base->tenant;
+    span.ts = base->now;
+  }
+  span.dur = dur;
+  span.arg("entries", static_cast<long long>(attempted));
+  span.arg("flushed", static_cast<long long>(flushed));
+  span.arg("forced", forced ? 1 : 0);
+  obs::emit(std::move(span));
 }
+}  // namespace
+
+// --- Cache-aware NVI layer ---
+
+bool StorageClient::should_absorb(std::uint64_t size) const {
+  return cache_ != nullptr && cache_->write_back_active() &&
+         size <= cache_->config().max_object_bytes &&
+         size < write_back_threshold();
+}
+
+dist::WriteResult StorageClient::put(const std::string& path,
+                                     common::Buffer data) {
+  if (cache_ != nullptr) cache_->observe_write(data.size());
+  if (should_absorb(data.size())) return absorb_put(path, std::move(data));
+  dist::WriteResult result;
+  {
+    const std::lock_guard lock(path_write_mu(path));
+    // A large write supersedes any still-dirty small incarnation of the
+    // path (it was never observable remotely) and stales the read copy.
+    if (cache_ != nullptr && cache_->config().enabled) cache_->invalidate(path);
+    result = do_put(path, std::move(data));
+  }
+  return result;
+}
+
+dist::WriteResult StorageClient::absorb_put(const std::string& path,
+                                            common::Buffer data) {
+  const std::uint64_t size = data.size();
+  cache::ClientCache::AbsorbOutcome outcome;
+  {
+    // Same-path ordering with in-flight flushes/writes; own() because a
+    // borrowed span dies with the caller while the dirty entry lives on.
+    const std::lock_guard lock(path_write_mu(path));
+    outcome = cache_->absorb(path, std::move(data).own());
+  }
+  dist::WriteResult result;
+  result.status = common::Status::ok();
+  result.meta.path = path;
+  result.meta.size = size;
+  result.meta.redundancy = meta::RedundancyKind::kReplicated;
+  if (outcome.need_flush) {
+    // Lazy fsync: the watermark write pays for the whole group commit.
+    result.latency = run_flush_group(/*forced=*/false).latency;
+  }
+  return result;
+}
+
+dist::ReadResult StorageClient::get(const std::string& path) {
+  if (cache_ != nullptr && cache_->config().enabled) {
+    if (cache_->write_back_active()) {
+      if (cache_->config().serve_dirty_reads) {
+        if (auto dirty = cache_->dirty_lookup(path)) {
+          dist::ReadResult result;
+          result.status = common::Status::ok();
+          result.data = std::move(*dirty);
+          note_get(0, true, false);
+          return result;
+        }
+      } else {
+        // Flush-on-read coherence: the remote GET below must observe the
+        // absorbed bytes.
+        (void)flush_path(path);
+      }
+    }
+    if (auto hit = cache_->read_lookup(path)) {
+      note_get(0, true, false);
+      on_cache_hit(path, hit->data, hit->hits);
+      dist::ReadResult result;
+      result.status = common::Status::ok();
+      result.data = std::move(hit->data);
+      return result;
+    }
+  }
+  auto result = do_get(path);
+  if (cache_ != nullptr && result.status.is_ok()) {
+    cache_->read_insert(path, result.data);
+  }
+  return result;
+}
+
+dist::WriteResult StorageClient::update(const std::string& path,
+                                        std::uint64_t offset,
+                                        common::ByteSpan data) {
+  common::SimDuration coherence = 0;
+  if (cache_ != nullptr && cache_->config().enabled) {
+    // Updates patch remote state in place, so the base version must exist
+    // remotely first; the read copy is stale either way.
+    coherence = flush_path(path);
+    cache_->invalidate_read(path);
+  }
+  auto result = do_update(path, offset, data);
+  result.latency += coherence;
+  return result;
+}
+
+dist::RemoveResult StorageClient::remove(const std::string& path) {
+  if (cache_ != nullptr && cache_->config().enabled) {
+    const bool was_dirty = cache_->drop_dirty(path);
+    cache_->invalidate_read(path);
+    if (was_dirty && !has_remote(path)) {
+      // The object never reached a provider: dropping the dirty entry IS
+      // the removal.
+      dist::RemoveResult result;
+      result.status = common::Status::ok();
+      note_remove(0, true);
+      return result;
+    }
+  }
+  return do_remove(path);
+}
+
+void StorageClient::configure_cache(const cache::CacheConfig& config) {
+  if (!config.enabled) {
+    cache_.reset();
+    return;
+  }
+  cache_ = std::make_unique<cache::ClientCache>(config);
+  wire_adaptive(*cache_);
+}
+
+StorageClient::FlushResult StorageClient::flush_entries(
+    std::vector<cache::DirtyEntry> entries) {
+  FlushResult out;
+  for (auto& e : entries) {
+    common::Buffer payload = e.data;  // refbump: survives a failed do_put
+    auto r = do_put(e.path, std::move(e.data));
+    // All entries are issued at the same virtual instant, so the batch
+    // overlaps into (at most) the slowest round trip.
+    out.latency = std::max(out.latency, r.latency);
+    if (r.status.is_ok()) {
+      ++out.flushed;
+      out.flushed_bytes += payload.size();
+    } else {
+      e.data = std::move(payload);
+      out.failed.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+StorageClient::FlushResult StorageClient::run_flush_group(
+    std::vector<cache::DirtyEntry> entries, bool forced) {
+  FlushResult out;
+  if (entries.empty()) return out;
+  const std::size_t attempted = entries.size();
+
+  // Lock every involved path stripe in address order (stripes are shared
+  // across paths: dedup, then a global order so concurrent flushes and
+  // put()s never deadlock).
+  std::vector<std::mutex*> stripes;
+  stripes.reserve(entries.size());
+  for (const auto& e : entries) stripes.push_back(&path_write_mu(e.path));
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  for (auto* mu : stripes) mu->lock();
+  out = flush_entries(std::move(entries));
+  for (auto rit = stripes.rbegin(); rit != stripes.rend(); ++rit) {
+    (*rit)->unlock();
+  }
+
+  cache_->note_flush_batch(out.flushed, out.flushed_bytes, forced);
+  emit_flush_span(out.latency, attempted, out.flushed, forced);
+  if (!out.failed.empty()) cache_->restore_dirty(std::move(out.failed));
+  return out;
+}
+
+StorageClient::FlushResult StorageClient::run_flush_group(bool forced) {
+  // One flush at a time: take-order must equal flush-order, or two
+  // overlapping groups could land an older incarnation of a path after a
+  // newer one (stale data winning the metadata CRC).
+  const std::lock_guard lock(flush_mu_);
+  return run_flush_group(cache_->take_flush_group(), forced);
+}
+
+common::SimDuration StorageClient::flush_path(const std::string& path) {
+  if (cache_ == nullptr || !cache_->write_back_active()) return 0;
+  const std::lock_guard lock(flush_mu_);
+  auto entry = cache_->take_dirty(path);
+  if (!entry.has_value()) return 0;
+  std::vector<cache::DirtyEntry> one;
+  one.push_back(std::move(*entry));
+  return run_flush_group(std::move(one), /*forced=*/true).latency;
+}
+
+StorageClient::CacheDrainReport StorageClient::flush_cache() {
+  CacheDrainReport report;
+  if (cache_ == nullptr || !cache_->write_back_active()) return report;
+  for (;;) {
+    auto r = run_flush_group(/*forced=*/false);
+    if (r.flushed == 0 && r.failed.empty()) break;  // drained
+    report.latency += r.latency;
+    report.flushed_entries += r.flushed;
+    report.flushed_bytes += r.flushed_bytes;
+    // failed entries were restored; if nothing landed this round, no
+    // provider is reachable — stop instead of spinning.
+    if (r.flushed == 0) break;
+  }
+  report.remaining_entries = cache_->dirty_entries();
+  report.remaining_bytes = cache_->dirty_bytes();
+  return report;
+}
+
+// --- Stats ---
 
 ClientStats StorageClient::stats_snapshot() const {
   std::lock_guard lock(stats_mu_);
@@ -44,8 +267,25 @@ void StorageClient::note_remove(common::SimDuration latency, bool ok) {
   if (!ok) ++stats_.failed_ops;
 }
 
+// --- StorageClientBase ---
+
 std::optional<meta::FileMeta> StorageClientBase::stat(
     const std::string& path) const {
+  // A dirty (absorbed, unflushed) path is visible to stat with its newest
+  // size/CRC: the cache is the freshest version of the object.
+  if (const auto* c = client_cache();
+      c != nullptr && c->write_back_active()) {
+    if (auto dirty = c->dirty_peek(path)) {
+      meta::FileMeta m;
+      m.path = path;
+      m.size = dirty->size();
+      m.redundancy = meta::RedundancyKind::kReplicated;
+      m.crc = common::crc32c(*dirty);
+      const auto stored = store_.lookup(path);
+      m.version = stored.has_value() ? stored->version + 1 : 1;
+      return m;
+    }
+  }
   return store_.lookup(path);
 }
 
@@ -55,6 +295,14 @@ std::vector<std::string> StorageClientBase::list() const {
   std::vector<std::string> out;
   for (auto& p : store_.all_paths()) {
     if (!p.starts_with(kMetaPathPrefix)) out.push_back(std::move(p));
+  }
+  if (const auto* c = client_cache();
+      c != nullptr && c->write_back_active()) {
+    for (auto& p : c->dirty_paths()) {
+      if (std::find(out.begin(), out.end(), p) == out.end()) {
+        out.push_back(std::move(p));
+      }
+    }
   }
   return out;
 }

@@ -2,6 +2,15 @@
 // implements — HyRD and the three baselines (RACS, DuraCloud, single
 // cloud). Benchmarks drive all schemes through this interface so their
 // latency/cost numbers are directly comparable.
+//
+// Every public operation is a non-virtual interface (NVI) over the
+// scheme's do_* hook. The NVI layer owns two cross-cutting concerns:
+//  * same-path write ordering (striped path_write_mu, see below), and
+//  * the optional client cache (cache::ClientCache): small replicated
+//    PUTs are absorbed into a bounded write-back FIFO and flushed in
+//    group-commit batches; GETs consult the dirty set and a segmented-LRU
+//    read cache before touching a provider. Disabled (the default) the
+//    NVI paths collapse to the pre-cache behavior exactly.
 #pragma once
 
 #include <array>
@@ -13,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/client_cache.h"
 #include "common/checksum.h"
 
 #include "common/stats.h"
@@ -50,26 +60,29 @@ class StorageClient {
   /// zero-copy entry point: the payload travels by reference all the way to
   /// the stores (schemes slice it, they never duplicate it). The ByteSpan
   /// overload borrows the caller's memory for the (synchronous) call.
-  dist::WriteResult put(const std::string& path, common::Buffer data) {
-    const std::lock_guard lock(path_write_mu(path));
-    return do_put(path, std::move(data));
-  }
+  /// With the write-back cache active, small writes are absorbed (latency
+  /// = 0 unless this write trips a watermark, in which case the group
+  /// flush is charged to it — the lazy-fsync stall).
+  dist::WriteResult put(const std::string& path, common::Buffer data);
   dist::WriteResult put(const std::string& path, common::ByteSpan data) {
-    const std::lock_guard lock(path_write_mu(path));
-    return do_put(path, common::Buffer::borrow(data));
+    return put(path, common::Buffer::borrow(data));
   }
 
-  /// Reads the whole file.
-  virtual dist::ReadResult get(const std::string& path) = 0;
+  /// Reads the whole file. Dirty (unflushed) paths are served from the
+  /// cache by default (they are the newest version) or flushed first when
+  /// the flush-on-read coherence rule is configured; clean paths consult
+  /// the read cache before the remote scheme.
+  dist::ReadResult get(const std::string& path);
 
   /// In-place update of [offset, offset+data.size()); must not grow the
   /// file. This is the operation whose cost separates replication from
-  /// erasure coding (paper §II-B write amplification).
-  virtual dist::WriteResult update(const std::string& path,
-                                   std::uint64_t offset,
-                                   common::ByteSpan data) = 0;
+  /// erasure coding (paper §II-B write amplification). A dirty path is
+  /// flushed first (updates patch remote state, so the base version must
+  /// exist remotely).
+  dist::WriteResult update(const std::string& path, std::uint64_t offset,
+                           common::ByteSpan data);
 
-  virtual dist::RemoveResult remove(const std::string& path) = 0;
+  dist::RemoveResult remove(const std::string& path);
 
   // --- Async-issue path (the continuation seam the discrete-event engine
   // drives; see sim/). The contract is completion-ordered, not
@@ -82,12 +95,7 @@ class StorageClient {
   // with a callback, so non-sim callers can share code with the engine.
   void put_async(const std::string& path, common::Buffer data,
                  std::function<void(dist::WriteResult)> done) {
-    dist::WriteResult result;
-    {
-      const std::lock_guard lock(path_write_mu(path));
-      result = do_put(path, std::move(data));
-    }
-    done(std::move(result));
+    done(put(path, std::move(data)));
   }
   void get_async(const std::string& path,
                  std::function<void(dist::ReadResult)> done) {
@@ -111,12 +119,89 @@ class StorageClient {
   virtual common::SimDuration on_provider_restored(
       const std::string& provider) = 0;
 
+  // --- Client cache control ---
+
+  /// Installs (config.enabled) or removes (!config.enabled) the cache.
+  /// Callers must drain (flush_cache) before reconfiguring a live cache;
+  /// a dirty entry present at removal is silently dropped.
+  void configure_cache(const cache::CacheConfig& config);
+  [[nodiscard]] cache::ClientCache* client_cache() { return cache_.get(); }
+  [[nodiscard]] const cache::ClientCache* client_cache() const {
+    return cache_.get();
+  }
+
+  struct CacheDrainReport {
+    common::SimDuration latency = 0;   // sum over group-commit rounds
+    std::uint64_t flushed_entries = 0;
+    std::uint64_t flushed_bytes = 0;
+    // Entries that could not be flushed (providers unreachable); they
+    // remain dirty — the caller decides to retry later or account them
+    // as lost via client_cache()->discard_all_dirty().
+    std::uint64_t remaining_entries = 0;
+    std::uint64_t remaining_bytes = 0;
+  };
+
+  /// Explicit flush/drain: group-commits every dirty entry, one batch at
+  /// a time, attempting each entry once. Call before shutdown and before
+  /// reading stats that must include all writes.
+  CacheDrainReport flush_cache();
+
   [[nodiscard]] ClientStats stats_snapshot() const;
   void reset_stats();
 
  protected:
   virtual dist::WriteResult do_put(const std::string& path,
                                    common::Buffer data) = 0;
+  virtual dist::ReadResult do_get(const std::string& path) = 0;
+  virtual dist::WriteResult do_update(const std::string& path,
+                                      std::uint64_t offset,
+                                      common::ByteSpan data) = 0;
+  virtual dist::RemoveResult do_remove(const std::string& path) = 0;
+
+  /// Writes at or above this size bypass the write-back cache (they are
+  /// the scheme's large/erasure traffic). Schemes with a size classifier
+  /// override this to keep absorption aligned with classification; the
+  /// cache's own max_object_bytes cap applies in addition.
+  [[nodiscard]] virtual std::uint64_t write_back_threshold() const {
+    return UINT64_MAX;
+  }
+
+  /// Read-cache hit notification (data served with zero provider I/O).
+  /// `hits` counts lookups since insertion; HyRD drives hot promotion off
+  /// it instead of the raw per-path read-count map.
+  virtual void on_cache_hit(const std::string& path,
+                            const common::Buffer& data, std::uint32_t hits) {
+    (void)path;
+    (void)data;
+    (void)hits;
+  }
+
+  /// True when `path` exists remotely (its metadata is known). Lets the
+  /// NVI remove() short-circuit removal of a never-flushed object.
+  [[nodiscard]] virtual bool has_remote(const std::string& path) const {
+    (void)path;
+    return true;
+  }
+
+  /// Hook for schemes to wire the adaptive-threshold cost model into a
+  /// freshly configured cache (see cache::CostModel). Default: none.
+  virtual void wire_adaptive(cache::ClientCache& cache) { (void)cache; }
+
+  struct FlushResult {
+    common::SimDuration latency = 0;
+    std::size_t flushed = 0;
+    std::uint64_t flushed_bytes = 0;
+    std::vector<cache::DirtyEntry> failed;  // restored to the dirty set
+  };
+
+  /// Writes a group of dirty entries out. The caller already holds every
+  /// involved path-write stripe. The default issues one do_put per entry
+  /// and charges the *slowest* entry's latency: under a VirtualScope all
+  /// entries are issued at the same virtual instant, so the batch
+  /// overlaps into one round trip — exactly the group-commit model.
+  /// Schemes override to batch harder (HyRD: one AsyncBatch for the
+  /// whole group per provider, see ReplicationScheme::write_many).
+  virtual FlushResult flush_entries(std::vector<cache::DirtyEntry> entries);
 
   /// Overwrites of one path are serialized end-to-end (fragment writes,
   /// metadata upsert, metadata persist). Without this, two concurrent
@@ -139,10 +224,25 @@ class StorageClient {
   void note_remove(common::SimDuration latency, bool ok);
 
  private:
+  [[nodiscard]] bool should_absorb(std::uint64_t size) const;
+  dist::WriteResult absorb_put(const std::string& path, common::Buffer data);
+  /// Locks the involved stripes in address order, flushes, restores
+  /// failures. Returns the flush result.
+  FlushResult run_flush_group(std::vector<cache::DirtyEntry> entries,
+                              bool forced);
+  /// Takes one group from the cache under flush_mu_ and flushes it.
+  FlushResult run_flush_group(bool forced);
+  /// Coherence flush of a single dirty path (read/update/remove paths).
+  common::SimDuration flush_path(const std::string& path);
+
   static constexpr std::size_t kPathWriteLocks = 64;
   std::array<std::mutex, kPathWriteLocks> path_write_mu_;
   mutable std::mutex stats_mu_;
   ClientStats stats_;
+  std::unique_ptr<cache::ClientCache> cache_;
+  /// Serializes flush rounds: take-order must equal flush-order so a
+  /// path's older incarnation can never land after a newer one.
+  std::mutex flush_mu_;
 };
 
 /// Shared plumbing for concrete clients: session + metadata store +
@@ -175,6 +275,10 @@ class StorageClientBase : public StorageClient {
   /// stripe lives on the shard that owns the path's directory.
   [[nodiscard]] std::mutex& path_write_mu(const std::string& path) override {
     return store_.write_order_mu(path);
+  }
+
+  [[nodiscard]] bool has_remote(const std::string& path) const override {
+    return store_.lookup(path).has_value();
   }
 
   gcs::MultiCloudSession& session_;

@@ -18,6 +18,22 @@ void WorkloadMonitor::record_read(DataClass c, std::uint64_t bytes) {
 
 std::uint32_t WorkloadMonitor::bump_read_count(const std::string& path) {
   std::lock_guard lock(mu_);
+  // Bound the tracker before inserting a new path: across a 10^6-tenant
+  // run the per-path map would otherwise grow without limit. Halving all
+  // counts and dropping zeros is an exponential decay — hot paths keep
+  // (half) their score, one-touch paths vanish; if the map is still over
+  // the cap (everything hot), evict arbitrary entries — losing a count
+  // only delays a promotion by a few reads.
+  if (!read_counts_.contains(path) && read_tracker_cap_ > 0 &&
+      read_counts_.size() >= read_tracker_cap_) {
+    for (auto it = read_counts_.begin(); it != read_counts_.end();) {
+      it->second >>= 1;
+      it = it->second == 0 ? read_counts_.erase(it) : std::next(it);
+    }
+    while (read_counts_.size() >= read_tracker_cap_) {
+      read_counts_.erase(read_counts_.begin());
+    }
+  }
   return ++read_counts_[path];
 }
 
@@ -29,6 +45,11 @@ void WorkloadMonitor::forget(const std::string& path) {
 ClassStats WorkloadMonitor::stats(DataClass c) const {
   std::lock_guard lock(mu_);
   return per_class_[static_cast<std::size_t>(c)];
+}
+
+std::size_t WorkloadMonitor::read_tracker_size() const {
+  std::lock_guard lock(mu_);
+  return read_counts_.size();
 }
 
 }  // namespace hyrd::core

@@ -4,6 +4,7 @@
 // (feeding the hot-large-file promotion of Fig. 2).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -37,17 +38,30 @@ struct ClassStats {
 
 class WorkloadMonitor {
  public:
-  explicit WorkloadMonitor(std::uint64_t large_file_threshold)
-      : threshold_(large_file_threshold) {}
+  /// `read_tracker_cap` bounds the per-path read-count map: when the map
+  /// reaches the cap, all counts are halved and zeroed paths dropped
+  /// (cheap decay), then cold survivors evicted until under the cap again.
+  explicit WorkloadMonitor(std::uint64_t large_file_threshold,
+                           std::size_t read_tracker_cap = 65536)
+      : threshold_(large_file_threshold), read_tracker_cap_(read_tracker_cap) {}
 
-  [[nodiscard]] std::uint64_t threshold() const { return threshold_; }
-  void set_threshold(std::uint64_t t) { threshold_ = t; }
+  /// threshold_ is a relaxed atomic: classify_file runs on every write
+  /// hot path while the adaptive controller calls set_threshold online;
+  /// classification only needs *some* recent value, not an ordering.
+  [[nodiscard]] std::uint64_t threshold() const {
+    return threshold_.load(std::memory_order_relaxed);
+  }
+  void set_threshold(std::uint64_t t) {
+    threshold_.store(t, std::memory_order_relaxed);
+  }
 
   /// Classification is by size alone (workload independent, §III-A):
   /// files at or above the threshold are large, the rest small. Metadata
   /// is classified by the caller (it knows what it is writing).
   [[nodiscard]] DataClass classify_file(std::uint64_t size) const {
-    return size >= threshold_ ? DataClass::kLargeFile : DataClass::kSmallFile;
+    return size >= threshold_.load(std::memory_order_relaxed)
+               ? DataClass::kLargeFile
+               : DataClass::kSmallFile;
   }
 
   void record_write(DataClass c, std::uint64_t bytes);
@@ -58,9 +72,14 @@ class WorkloadMonitor {
   void forget(const std::string& path);
 
   [[nodiscard]] ClassStats stats(DataClass c) const;
+  [[nodiscard]] std::size_t read_tracker_size() const;
+  [[nodiscard]] std::size_t read_tracker_cap() const {
+    return read_tracker_cap_;
+  }
 
  private:
-  std::uint64_t threshold_;
+  std::atomic<std::uint64_t> threshold_;
+  const std::size_t read_tracker_cap_;
   mutable std::mutex mu_;
   ClassStats per_class_[3];
   std::unordered_map<std::string, std::uint32_t> read_counts_;

@@ -119,6 +119,111 @@ WriteResult ReplicationScheme::write(
   return result;
 }
 
+std::vector<ReplicationScheme::GroupWriteResult> ReplicationScheme::write_many(
+    gcs::MultiCloudSession& session, std::vector<GroupWrite> items,
+    const std::vector<std::size_t>& replica_clients,
+    common::SimDuration* batch_latency) const {
+  std::vector<GroupWriteResult> out(items.size());
+  if (items.empty()) return out;
+  if (replica_clients.empty()) {
+    for (auto& o : out) {
+      o.result.status = common::invalid_argument("no replica targets");
+    }
+    return out;
+  }
+  if (mode_ != ReplicaWriteMode::kParallel) {
+    // Sequential confirmation chains cannot overlap a group; keep the
+    // per-item semantics instead.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      out[i].result = write(session, items[i].path, std::move(items[i].data),
+                            replica_clients, &out[i].unreachable);
+    }
+    return out;
+  }
+
+  const std::size_t replicas = replica_clients.size();
+  std::vector<std::vector<cloud::ObjectKey>> keys(items.size());
+  gcs::AsyncBatch batch(session);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    keys[i].reserve(replicas);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      keys[i].push_back({container_, fragment_object_name(items[i].path, 'r', r)});
+      // op_index = i * replicas + r: one flat submission order.
+      batch.submit(
+          gcs::CloudOp::put(replica_clients[r], keys[i][r], items[i].data));
+    }
+  }
+  gcs::BatchStats stats;
+  auto completions = batch.await_all(&stats);
+  if (batch_latency != nullptr) *batch_latency = stats.latency;
+
+  // Demux completions back to their entries.
+  struct OpOutcome {
+    bool ok = false;
+    common::SimDuration arrival = 0;
+  };
+  std::vector<std::vector<OpOutcome>> per_item(items.size(),
+                                               std::vector<OpOutcome>(replicas));
+  for (const auto& c : completions) {
+    const std::size_t item = c.op_index / replicas;
+    const std::size_t rep = c.op_index % replicas;
+    per_item[item][rep] = {c.ok(), c.arrival};
+  }
+
+  const std::size_t quorum = majority(replicas);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    auto& o = out[i];
+    meta::FileMeta m;
+    m.path = items[i].path;
+    m.size = items[i].data.size();
+    m.redundancy = meta::RedundancyKind::kReplicated;
+    m.crc = common::crc32c(items[i].data);
+
+    std::size_t landed = 0;
+    std::vector<common::SimDuration> success_arrivals;
+    common::SimDuration all_arrival = 0;
+    for (std::size_t r = 0; r < replicas; ++r) {
+      const std::string& provider =
+          session.client(replica_clients[r]).provider_name();
+      all_arrival = std::max(all_arrival, per_item[i][r].arrival);
+      if (per_item[i][r].ok) {
+        ++landed;
+        success_arrivals.push_back(per_item[i][r].arrival);
+      } else {
+        o.unreachable.push_back(provider);
+      }
+      m.locations.push_back({provider, keys[i][r].name});
+    }
+    if (landed == 0) {
+      o.result.status = common::unavailable("no replica target reachable");
+      o.result.latency = all_arrival;
+      continue;
+    }
+    // Per-entry ack latency over its own completions, mirroring write().
+    std::sort(success_arrivals.begin(), success_arrivals.end());
+    switch (write_ack_) {
+      case gcs::AckPolicy::kFirstSuccess:
+        o.result.latency = success_arrivals.front();
+        break;
+      case gcs::AckPolicy::kQuorum:
+        o.result.latency = landed >= quorum ? success_arrivals[quorum - 1]
+                                            : success_arrivals.back();
+        break;
+      case gcs::AckPolicy::kAll:
+      default:
+        o.result.latency = all_arrival;
+        break;
+    }
+    o.result.status = common::Status::ok();
+    o.result.meta = std::move(m);
+  }
+  emit_scheme_span(
+      "replicated_group_write", stats.latency,
+      {{"objects", static_cast<long long>(items.size())},
+       {"replicas", static_cast<long long>(replicas)}});
+  return out;
+}
+
 ReadResult ReplicationScheme::read(gcs::MultiCloudSession& session,
                                    const meta::FileMeta& meta) const {
   ReadResult result;

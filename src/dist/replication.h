@@ -79,6 +79,31 @@ class ReplicationScheme {
                  unreachable);
   }
 
+  /// One object of a group commit (see write_many).
+  struct GroupWrite {
+    std::string path;
+    common::Buffer data;
+  };
+  struct GroupWriteResult {
+    WriteResult result;
+    std::vector<std::string> unreachable;
+  };
+
+  /// Group commit: writes many small objects through ONE AsyncBatch —
+  /// every object × every replica target submitted together, so in
+  /// virtual time the whole group overlaps into a single fan-out round
+  /// (the client write-back cache's flush path). Per-entry semantics
+  /// mirror write(): an entry succeeds if at least one of its replicas
+  /// landed, its latency honors the configured AckPolicy over its own
+  /// completions, and its unreachable providers are reported for
+  /// update-log accounting. `batch_latency` (if non-null) receives the
+  /// whole batch's completion time. Parallel mode only; sequential
+  /// (DuraCloud-style confirmation chains) falls back to per-item write().
+  std::vector<GroupWriteResult> write_many(
+      gcs::MultiCloudSession& session, std::vector<GroupWrite> items,
+      const std::vector<std::size_t>& replica_clients,
+      common::SimDuration* batch_latency = nullptr) const;
+
   /// Reads from the expected-fastest replica, failing over in latency
   /// order; a hedged backup fires per the HedgePolicy when the primary is
   /// slow or stalled. `degraded` is set when the first choice was

@@ -112,6 +112,7 @@ ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
   // measured workload: start the audit counters at zero. The congestion
   // queue is untouched by setup — it only sees VirtualScope traffic.
   for (const auto& provider : registry.all()) provider->reset_counters();
+  client->configure_cache(config.cache);
 
   // --- Tenants ----------------------------------------------------------
   const common::Buffer arena = make_arena(config.arena_bytes, config.seed);
@@ -175,6 +176,17 @@ ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
     queue.run();
   }
 
+  // --- Cache drain ------------------------------------------------------
+  // Flush dirty write-back data at the end of virtual time, directly (no
+  // queue events: events_dispatched stays pinned to the tenant workload).
+  // Whatever cannot land — e.g. every replica target permanently lost —
+  // is the lazy-fsync durability cost and is accounted as lost.
+  std::uint64_t cache_drain_flushed = 0;
+  if (config.cache.enabled) {
+    common::VirtualScope scope({metrics.last_completion, kRepairFlowId, 1.0});
+    cache_drain_flushed = client->flush_cache().flushed_entries;
+  }
+
   // --- Report -----------------------------------------------------------
   ScaleoutReport r;
   r.scheme = config.scheme;
@@ -236,6 +248,21 @@ ScaleoutReport run_scaleout(const ScaleoutConfig& config) {
     r.timeline = sampler->rows();
     r.timeline_providers = sampler->providers();
     r.timeline_interval_vs = sampler->interval_vs();
+  }
+  if (cache::ClientCache* cc = client->client_cache()) {
+    // Anything still dirty after the drain could not be made durable.
+    (void)cc->discard_all_dirty();
+    const cache::CacheStats cs = cc->stats_snapshot();
+    r.cache_absorbed = cs.absorbed_writes;
+    r.cache_coalesced = cs.coalesced_writes;
+    r.cache_flush_batches = cs.flush_batches;
+    r.cache_flushed_entries = cs.flushed_entries;
+    r.cache_read_hits = cs.read_hits;
+    r.cache_dirty_hits = cs.dirty_hits;
+    r.cache_flush_failures = cs.flush_failures;
+    r.cache_drain_flushed = cache_drain_flushed;
+    r.cache_dirty_lost_entries = cs.dirty_lost_entries;
+    r.cache_dirty_lost_bytes = cs.dirty_lost_bytes;
   }
 
   const std::uint64_t rss_after = current_rss_bytes();
@@ -342,6 +369,16 @@ std::string report_to_json(const ScaleoutReport& r, bool include_env) {
   append_field(out, "failure_events", r.failure_events);
   append_field(out, "recovery_virtual_seconds", r.recovery_virtual_seconds);
   append_field(out, "provider_resurrected", r.provider_resurrected);
+  append_field(out, "cache_absorbed", r.cache_absorbed);
+  append_field(out, "cache_coalesced", r.cache_coalesced);
+  append_field(out, "cache_flush_batches", r.cache_flush_batches);
+  append_field(out, "cache_flushed_entries", r.cache_flushed_entries);
+  append_field(out, "cache_read_hits", r.cache_read_hits);
+  append_field(out, "cache_dirty_hits", r.cache_dirty_hits);
+  append_field(out, "cache_flush_failures", r.cache_flush_failures);
+  append_field(out, "cache_drain_flushed", r.cache_drain_flushed);
+  append_field(out, "cache_dirty_lost_entries", r.cache_dirty_lost_entries);
+  append_field(out, "cache_dirty_lost_bytes", r.cache_dirty_lost_bytes);
   if (include_env) {
     append_field(out, "wall_ms", r.wall_ms);
     append_field(out, "rss_bytes", r.rss_bytes);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache_config.h"
 #include "cloud/congestion.h"
 #include "obs/trace.h"
 #include "sim/tenant.h"
@@ -75,6 +76,13 @@ struct ScaleoutConfig {
   /// When set, per-op trace spans from every layer are recorded here for
   /// the duration of the measured run (setup traffic is not traced).
   obs::TraceRecorder* trace = nullptr;
+
+  /// Client cache (write-back group commit + read-through). Disabled by
+  /// default: the plain-run determinism pins require the uncached paths
+  /// byte-identical. When enabled, the run drains the cache at the end
+  /// (no queue events — events_dispatched is unchanged) and accounts any
+  /// undrainable dirty data as lost.
+  cache::CacheConfig cache;
 };
 
 struct ScaleoutReport {
@@ -113,6 +121,18 @@ struct ScaleoutReport {
   /// 1 if any permanently-failed provider ended the run online — the
   /// resurrection bug this PR fixes; must stay 0.
   std::uint64_t provider_resurrected = 0;
+
+  // --- Client cache accounting (deterministic; zero when disabled) ---
+  std::uint64_t cache_absorbed = 0;        // writes absorbed by write-back
+  std::uint64_t cache_coalesced = 0;       // absorbed overwrites of dirty paths
+  std::uint64_t cache_flush_batches = 0;   // group commits issued
+  std::uint64_t cache_flushed_entries = 0; // entries written via group commit
+  std::uint64_t cache_read_hits = 0;       // read-cache hits
+  std::uint64_t cache_dirty_hits = 0;      // reads served from dirty data
+  std::uint64_t cache_flush_failures = 0;  // entries restored after failures
+  std::uint64_t cache_drain_flushed = 0;   // entries flushed by the end drain
+  std::uint64_t cache_dirty_lost_entries = 0;  // unflushable at end of run
+  std::uint64_t cache_dirty_lost_bytes = 0;
 
   // --- Timeline (deterministic; serialized by timeline_to_json, not
   // --- report_to_json, so the report JSON bytes are unchanged) ---

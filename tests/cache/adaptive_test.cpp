@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/adaptive.h"
+
+namespace hyrd::cache {
+namespace {
+
+AdaptiveConfig config(std::uint64_t interval = 8) {
+  AdaptiveConfig c;
+  c.enabled = true;
+  c.adapt_interval = interval;
+  c.min_threshold = 64ull << 10;
+  c.max_threshold = 64ull << 20;
+  return c;
+}
+
+/// A model with a hard crossover at `cross` bytes: replication cheaper
+/// strictly below it, erasure cheaper at and above it.
+CostModel crossover_model(double cross) {
+  CostModel m;
+  m.replicated_cost = [cross](std::uint64_t b) {
+    return static_cast<double>(b) / cross;  // 1.0 at the crossover
+  };
+  m.erasure_cost = [](std::uint64_t) { return 1.0; };
+  return m;
+}
+
+TEST(CacheAdaptive, MovesToTheModelCrossover) {
+  AdaptiveThreshold at;
+  std::vector<std::uint64_t> applied;
+  at.configure(config(), crossover_model(4.0 * (1 << 20)),
+               [&](std::uint64_t t) { applied.push_back(t); }, 1 << 20);
+  EXPECT_EQ(at.current(), 1u << 20);
+  // Writes spread across the whole candidate range, so every boundary
+  // has mass and the argmin is sharp: 4MB (sizes below it replicate at
+  // cost < 1, above it erasure wins).
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint64_t s : {100ull << 10, 300ull << 10, 700ull << 10,
+                            3ull << 20, 6ull << 20, 20ull << 20,
+                            40ull << 20, 60ull << 20}) {
+      at.observe_write(s);
+    }
+  }
+  EXPECT_EQ(at.current(), 4ull << 20);
+  ASSERT_FALSE(applied.empty());
+  EXPECT_EQ(applied.back(), 4ull << 20);
+  EXPECT_GE(at.recomputes(), 1u);
+  EXPECT_EQ(at.applied_changes(), applied.size());
+}
+
+TEST(CacheAdaptive, HysteresisKeepsIncumbentOnFlatCost) {
+  // No observed sizes anywhere near the candidate range's interior:
+  // every candidate between the extremes ties, and the incumbent must
+  // win the tie (no evidence, no movement).
+  AdaptiveThreshold at;
+  std::uint64_t changes = 0;
+  at.configure(config(), crossover_model(4.0 * (1 << 20)),
+               [&](std::uint64_t) { ++changes; }, 1 << 20);
+  for (int i = 0; i < 32; ++i) at.observe_write(1024);  // all tiny
+  EXPECT_EQ(at.current(), 1u << 20);
+  EXPECT_EQ(changes, 0u);
+  EXPECT_GE(at.recomputes(), 4u);
+}
+
+TEST(CacheAdaptive, DisabledObservesNothing) {
+  AdaptiveThreshold at;
+  AdaptiveConfig c = config();
+  c.enabled = false;
+  at.configure(c, crossover_model(1.0), [](std::uint64_t) { FAIL(); },
+               1 << 20);
+  for (int i = 0; i < 64; ++i) at.observe_write(1 << 30);
+  EXPECT_EQ(at.recomputes(), 0u);
+  EXPECT_EQ(at.current(), 1u << 20);
+}
+
+TEST(CacheAdaptive, DecayForgetsOldDistribution) {
+  // Replication is cheap up to 256KB, ruinous above; erasure is flat.
+  AdaptiveThreshold at;
+  CostModel m;
+  m.replicated_cost = [](std::uint64_t b) {
+    return b <= (256u << 10) ? 0.5 : 10.0;
+  };
+  m.erasure_cost = [](std::uint64_t) { return 3.0; };
+  at.configure(config(), m, nullptr, 1 << 20);
+  // Phase 1: 512KB writes are misclassified replicated under the 1MB
+  // incumbent (cost 10 vs erasure 3) — the threshold must drop below
+  // 512KB's bucket representative (384KB).
+  for (int i = 0; i < 16; ++i) at.observe_write(512ull << 10);
+  EXPECT_LT(at.current(), 384ull << 10);
+  const std::uint64_t after_phase1 = at.current();
+  // Phase 2: 100KB writes dominate (rep 0.5 < erasure 3); the halving
+  // decay lets them outweigh the phase-1 mass and pull the threshold
+  // back above 100KB within a few recomputes.
+  for (int i = 0; i < 64; ++i) at.observe_write(100ull << 10);
+  EXPECT_GT(at.current(), 100ull << 10);
+  EXPECT_NE(at.current(), after_phase1);
+}
+
+TEST(CacheAdaptive, DeterministicTrajectory) {
+  auto run = [] {
+    AdaptiveThreshold at;
+    std::vector<std::uint64_t> applied;
+    at.configure(config(4), crossover_model(2.0 * (1 << 20)),
+                 [&](std::uint64_t t) { applied.push_back(t); }, 1 << 20);
+    std::uint64_t s = 1021;
+    for (int i = 0; i < 200; ++i) {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      at.observe_write((s >> 40) + 1);
+    }
+    applied.push_back(at.current());
+    return applied;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CacheAdaptive, ModeledCostSplitsAtThreshold) {
+  AdaptiveThreshold at;
+  CostModel m;
+  m.replicated_cost = [](std::uint64_t) { return 1.0; };
+  m.erasure_cost = [](std::uint64_t) { return 3.0; };
+  at.configure(config(64), m, nullptr, 1 << 20);
+  at.observe_write(4096);        // below any candidate: replicated
+  at.observe_write(32ull << 20);  // above max candidate: erasure
+  EXPECT_DOUBLE_EQ(at.modeled_cost(1 << 20), 1.0 + 3.0);
+  EXPECT_DOUBLE_EQ(at.modeled_cost(64ull << 20), 1.0 + 1.0);
+  EXPECT_DOUBLE_EQ(at.modeled_cost(1), 3.0 + 3.0);
+}
+
+}  // namespace
+}  // namespace hyrd::cache

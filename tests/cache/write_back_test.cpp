@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "cache/write_back.h"
+
+namespace hyrd::cache {
+namespace {
+
+common::Buffer bytes(const char* s) { return common::Buffer::of(s); }
+
+std::string as_string(const common::Buffer& b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+TEST(CacheWriteBack, AbsorbTracksBytesAndOrder) {
+  WriteBackCache wb;
+  EXPECT_TRUE(wb.empty());
+  EXPECT_FALSE(wb.absorb("a", bytes("aaaa")));
+  EXPECT_FALSE(wb.absorb("b", bytes("bb")));
+  EXPECT_FALSE(wb.absorb("c", bytes("c")));
+  EXPECT_EQ(wb.entries(), 3u);
+  EXPECT_EQ(wb.bytes(), 7u);
+  EXPECT_EQ(wb.paths(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CacheWriteBack, CoalesceReplacesInPlace) {
+  WriteBackCache wb;
+  wb.absorb("a", bytes("old"));
+  wb.absorb("b", bytes("bb"));
+  EXPECT_TRUE(wb.absorb("a", bytes("newest")));  // coalesced
+  EXPECT_EQ(wb.entries(), 2u);
+  EXPECT_EQ(wb.bytes(), 8u);  // 6 + 2
+  ASSERT_NE(wb.lookup("a"), nullptr);
+  EXPECT_EQ(as_string(*wb.lookup("a")), "newest");
+  // FIFO position is kept: "a" is still the oldest entry.
+  EXPECT_EQ(wb.paths(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CacheWriteBack, TakeGroupDrainsOldestFirst) {
+  WriteBackCache wb;
+  wb.absorb("a", bytes("1"));
+  wb.absorb("b", bytes("2"));
+  wb.absorb("c", bytes("3"));
+  auto group = wb.take_group(2);
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(group[0].path, "a");
+  EXPECT_EQ(group[1].path, "b");
+  EXPECT_EQ(wb.entries(), 1u);
+  EXPECT_EQ(wb.bytes(), 1u);
+  EXPECT_EQ(wb.lookup("a"), nullptr);
+  EXPECT_NE(wb.lookup("c"), nullptr);
+}
+
+TEST(CacheWriteBack, TakeAndDropByPath) {
+  WriteBackCache wb;
+  wb.absorb("a", bytes("abc"));
+  wb.absorb("b", bytes("b"));
+  auto taken = wb.take("a");
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->path, "a");
+  EXPECT_EQ(as_string(taken->data), "abc");
+  EXPECT_EQ(wb.bytes(), 1u);
+  EXPECT_FALSE(wb.take("a").has_value());
+  EXPECT_TRUE(wb.drop("b"));
+  EXPECT_FALSE(wb.drop("b"));
+  EXPECT_TRUE(wb.empty());
+  EXPECT_EQ(wb.bytes(), 0u);
+}
+
+TEST(CacheWriteBack, RestoreReturnsToHeadInOrder) {
+  WriteBackCache wb;
+  wb.absorb("a", bytes("1"));
+  wb.absorb("b", bytes("2"));
+  wb.absorb("c", bytes("3"));
+  auto group = wb.take_group(2);  // a, b out
+  wb.restore(std::move(group));
+  // Original order back: the retried flush sees the same sequence.
+  EXPECT_EQ(wb.paths(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(wb.bytes(), 3u);
+}
+
+TEST(CacheWriteBack, RestoreNeverClobbersReabsorbedNewerPayload) {
+  WriteBackCache wb;
+  wb.absorb("a", bytes("v1"));
+  auto group = wb.take_group(8);  // flush in flight with v1
+  wb.absorb("a", bytes("v2-newer"));
+  wb.restore(std::move(group));  // flush failed; v1 comes back
+  EXPECT_EQ(wb.entries(), 1u);
+  ASSERT_NE(wb.lookup("a"), nullptr);
+  EXPECT_EQ(as_string(*wb.lookup("a")), "v2-newer");
+  EXPECT_EQ(wb.bytes(), 8u);
+}
+
+}  // namespace
+}  // namespace hyrd::cache

@@ -1,0 +1,254 @@
+// The client cache threaded through StorageClient, exercised end-to-end
+// against HyRD on the standard four-provider fleet: absorb/coherence
+// rules, group-commit batching boundaries, dirty-data loss under injected
+// provider failures, and the disabled-cache bypass.
+#include <gtest/gtest.h>
+
+#include "cloud/profiles.h"
+#include "common/bytes.h"
+#include "core/hyrd_client.h"
+#include "sim/event_queue.h"
+#include "sim/failure.h"
+
+namespace hyrd::core {
+namespace {
+
+class CacheClientTest : public ::testing::Test {
+ protected:
+  CacheClientTest() {
+    cloud::install_standard_four(registry_, 29);
+    session_ = std::make_unique<gcs::MultiCloudSession>(registry_);
+    client_ = std::make_unique<HyRDClient>(*session_);
+  }
+
+  cache::CacheConfig cache_config(std::size_t group_entries = 32) {
+    cache::CacheConfig cc;
+    cc.enabled = true;
+    cc.group_commit_entries = group_entries;
+    return cc;
+  }
+
+  std::uint64_t fleet_put_ops() const {
+    std::uint64_t total = 0;
+    for (const auto& p : registry_.all()) total += p->counters().puts;
+    return total;
+  }
+
+  cloud::CloudRegistry registry_;
+  std::unique_ptr<gcs::MultiCloudSession> session_;
+  std::unique_ptr<HyRDClient> client_;
+};
+
+TEST_F(CacheClientTest, AbsorbedPutServesCoherentRead) {
+  client_->configure_cache(cache_config());
+  const auto data = common::patterned(4096, 1);
+  const std::uint64_t puts_before = fleet_put_ops();
+
+  auto w = client_->put("/d/small", data);
+  ASSERT_TRUE(w.status.is_ok());
+  EXPECT_EQ(w.latency, 0);  // absorbed at memory speed
+  EXPECT_EQ(fleet_put_ops(), puts_before);  // nothing reached a provider
+
+  auto r = client_->get("/d/small");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);  // the dirty bytes, byte-for-byte
+  EXPECT_EQ(r.latency, 0);
+
+  const auto cs = client_->client_cache()->stats_snapshot();
+  EXPECT_EQ(cs.absorbed_writes, 1u);
+  EXPECT_EQ(cs.dirty_hits, 1u);
+  EXPECT_EQ(cs.dirty_entries_now, 1u);
+}
+
+TEST_F(CacheClientTest, FlushOnReadWhenDirtyServeDisabled) {
+  auto cc = cache_config();
+  cc.serve_dirty_reads = false;
+  client_->configure_cache(cc);
+  const auto data = common::patterned(2048, 2);
+  ASSERT_TRUE(client_->put("/d/f", data).status.is_ok());
+
+  // The read must see flushed, durable data: coherence forces the dirty
+  // entry out before the remote GET.
+  auto r = client_->get("/d/f");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+  const auto cs = client_->client_cache()->stats_snapshot();
+  EXPECT_EQ(cs.forced_flushes, 1u);
+  EXPECT_EQ(cs.dirty_entries_now, 0u);
+  EXPECT_GT(r.latency, 0);  // a real remote read happened
+}
+
+TEST_F(CacheClientTest, GroupCommitFlushesAtTheBatchBoundary) {
+  client_->configure_cache(cache_config(/*group_entries=*/4));
+  const auto data = common::patterned(1024, 3);
+  for (int i = 0; i < 3; ++i) {
+    auto w = client_->put("/g/f" + std::to_string(i), data);
+    ASSERT_TRUE(w.status.is_ok());
+    EXPECT_EQ(w.latency, 0);
+  }
+  auto cs = client_->client_cache()->stats_snapshot();
+  EXPECT_EQ(cs.flush_batches, 0u);  // N-1 dirty entries: no flush yet
+  EXPECT_EQ(cs.dirty_entries_now, 3u);
+
+  // The Nth put trips the watermark: ONE batch commits all N entries,
+  // and the watermark-tripping put pays the group-commit latency.
+  auto w = client_->put("/g/f3", data);
+  ASSERT_TRUE(w.status.is_ok());
+  EXPECT_GT(w.latency, 0);
+  cs = client_->client_cache()->stats_snapshot();
+  EXPECT_EQ(cs.flush_batches, 1u);
+  EXPECT_EQ(cs.flushed_entries, 4u);
+  EXPECT_EQ(cs.dirty_entries_now, 0u);
+
+  // Everything is durable and readable.
+  for (int i = 0; i < 4; ++i) {
+    auto r = client_->get("/g/f" + std::to_string(i));
+    ASSERT_TRUE(r.status.is_ok()) << i;
+    EXPECT_EQ(r.data, data);
+  }
+}
+
+TEST_F(CacheClientTest, ExplicitFlushDrainsEverything) {
+  client_->configure_cache(cache_config());
+  const auto data = common::patterned(512, 4);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        client_->put("/e/f" + std::to_string(i), data).status.is_ok());
+  }
+  const auto drain = client_->flush_cache();
+  EXPECT_EQ(drain.flushed_entries, 5u);
+  EXPECT_EQ(drain.remaining_entries, 0u);
+  EXPECT_GT(drain.latency, 0);
+  EXPECT_TRUE(client_->client_cache()->dirty_empty());
+
+  // Durable: disable the cache entirely and re-read from the providers.
+  client_->configure_cache(cache::CacheConfig{});
+  EXPECT_EQ(client_->client_cache(), nullptr);
+  auto r = client_->get("/e/f4");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, data);
+}
+
+TEST_F(CacheClientTest, DirtyLossUnderInjectedPermanentFailure) {
+  client_->configure_cache(cache_config());
+  const auto data = common::patterned(4096, 5);
+  ASSERT_TRUE(client_->put("/loss/a", data).status.is_ok());
+  ASSERT_TRUE(client_->put("/loss/b", data).status.is_ok());
+
+  // The whole fleet is destroyed by injected events before any flush.
+  sim::EventQueue queue;
+  sim::FailureInjector injector(registry_, queue);
+  for (const auto& p : registry_.all()) {
+    injector.schedule_permanent_loss(p->name(), common::kSecond);
+  }
+  queue.run();
+  for (const auto& p : registry_.all()) EXPECT_FALSE(p->online());
+
+  const auto drain = client_->flush_cache();
+  EXPECT_EQ(drain.flushed_entries, 0u);
+  EXPECT_EQ(drain.remaining_entries, 2u);
+
+  const auto lost = client_->client_cache()->discard_all_dirty();
+  EXPECT_EQ(lost.first, 2u);
+  EXPECT_EQ(lost.second, 2u * 4096u);
+  const auto cs = client_->client_cache()->stats_snapshot();
+  EXPECT_EQ(cs.dirty_lost_entries, 2u);
+  EXPECT_EQ(cs.dirty_lost_bytes, 2u * 4096u);
+  EXPECT_GT(cs.flush_failures, 0u);
+}
+
+TEST_F(CacheClientTest, RemoveOfNeverFlushedObjectIsLocal) {
+  client_->configure_cache(cache_config());
+  const auto data = common::patterned(1024, 6);
+  const std::uint64_t puts_before = fleet_put_ops();
+  ASSERT_TRUE(client_->put("/tmp/scratch", data).status.is_ok());
+
+  auto rm = client_->remove("/tmp/scratch");
+  ASSERT_TRUE(rm.status.is_ok());
+  EXPECT_EQ(rm.latency, 0);  // never reached a provider, nothing to undo
+  EXPECT_EQ(fleet_put_ops(), puts_before);
+  EXPECT_TRUE(client_->client_cache()->dirty_empty());
+  EXPECT_FALSE(client_->get("/tmp/scratch").status.is_ok());
+}
+
+TEST_F(CacheClientTest, UpdateForcesCoherenceThenPatches) {
+  client_->configure_cache(cache_config());
+  auto data = common::patterned(4096, 7);
+  ASSERT_TRUE(client_->put("/u/f", data).status.is_ok());
+
+  const common::Bytes patch = {0xde, 0xad, 0xbe, 0xef};
+  auto u = client_->update("/u/f", 100, patch);
+  ASSERT_TRUE(u.status.is_ok());
+  EXPECT_EQ(client_->client_cache()->stats_snapshot().forced_flushes, 1u);
+
+  auto r = client_->get("/u/f");
+  ASSERT_TRUE(r.status.is_ok());
+  common::Bytes expect(data.begin(), data.end());
+  std::copy(patch.begin(), patch.end(), expect.begin() + 100);
+  EXPECT_EQ(r.data, expect);
+}
+
+TEST_F(CacheClientTest, StatAndListSeeDirtyEntries) {
+  client_->configure_cache(cache_config());
+  const auto data = common::patterned(2000, 8);
+  ASSERT_TRUE(client_->put("/vis/pending", data).status.is_ok());
+
+  auto st = client_->stat("/vis/pending");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->size, 2000u);
+  EXPECT_EQ(st->redundancy, meta::RedundancyKind::kReplicated);
+
+  const auto paths = client_->list();
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "/vis/pending"),
+            paths.end());
+}
+
+TEST_F(CacheClientTest, ReadThroughCacheHitsAfterFirstMiss) {
+  auto cc = cache_config();
+  cc.write_back_enabled = false;  // isolate the read path
+  client_->configure_cache(cc);
+  const auto data = common::patterned(4096, 9);
+  ASSERT_TRUE(client_->put("/r/f", data).status.is_ok());
+
+  auto miss = client_->get("/r/f");
+  ASSERT_TRUE(miss.status.is_ok());
+  EXPECT_GT(miss.latency, 0);
+  auto hit = client_->get("/r/f");
+  ASSERT_TRUE(hit.status.is_ok());
+  EXPECT_EQ(hit.latency, 0);
+  EXPECT_EQ(hit.data, data);
+
+  const auto cs = client_->client_cache()->stats_snapshot();
+  EXPECT_EQ(cs.read_misses, 1u);
+  EXPECT_EQ(cs.read_hits, 1u);
+  EXPECT_EQ(cs.absorbed_writes, 0u);  // write-back off: puts went remote
+}
+
+TEST_F(CacheClientTest, CoalescedOverwriteKeepsNewestPayload) {
+  client_->configure_cache(cache_config());
+  const auto v1 = common::patterned(1024, 10);
+  const auto v2 = common::patterned(1024, 11);
+  ASSERT_TRUE(client_->put("/c/f", v1).status.is_ok());
+  ASSERT_TRUE(client_->put("/c/f", v2).status.is_ok());
+  EXPECT_EQ(client_->client_cache()->stats_snapshot().coalesced_writes, 1u);
+
+  ASSERT_GT(client_->flush_cache().flushed_entries, 0u);
+  auto r = client_->get("/c/f");
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.data, v2);
+}
+
+TEST_F(CacheClientTest, LargeWritesBypassTheWriteBack) {
+  client_->configure_cache(cache_config());
+  // Above both max_object_bytes and HyRD's classification threshold:
+  // goes straight to the erasure path, never dirty.
+  const auto big = common::patterned(2 << 20, 12);
+  auto w = client_->put("/big/f", big);
+  ASSERT_TRUE(w.status.is_ok());
+  EXPECT_EQ(w.meta.redundancy, meta::RedundancyKind::kErasure);
+  EXPECT_TRUE(client_->client_cache()->dirty_empty());
+  EXPECT_EQ(client_->client_cache()->stats_snapshot().absorbed_writes, 0u);
+}
+
+}  // namespace
+}  // namespace hyrd::core

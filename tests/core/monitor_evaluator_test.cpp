@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "cloud/profiles.h"
 #include "core/evaluator.h"
 #include "core/workload_monitor.h"
@@ -45,6 +48,60 @@ TEST(WorkloadMonitor, ReadCountsBumpAndForget) {
   EXPECT_EQ(m.bump_read_count("/g"), 1u);
   m.forget("/f");
   EXPECT_EQ(m.bump_read_count("/f"), 1u);
+}
+
+TEST(WorkloadMonitor, ReadTrackerStaysBounded) {
+  // The per-path read-count map must not grow with the namespace: with a
+  // cap of 8, bumping 100 distinct paths decays/evicts instead of
+  // accumulating per-path state forever.
+  WorkloadMonitor m(1 << 20, /*read_tracker_cap=*/8);
+  EXPECT_EQ(m.read_tracker_cap(), 8u);
+  for (int i = 0; i < 100; ++i) {
+    m.bump_read_count("/bounded/p" + std::to_string(i));
+    EXPECT_LE(m.read_tracker_size(), 8u) << i;
+  }
+  // A genuinely hot path keeps climbing despite the churn around it.
+  std::uint32_t hot = 0;
+  for (int i = 0; i < 16; ++i) hot = m.bump_read_count("/bounded/hot");
+  EXPECT_GE(hot, 2u);
+  EXPECT_LE(m.read_tracker_size(), 8u);
+}
+
+TEST(WorkloadMonitor, ReadTrackerDecayHalvesCounts) {
+  WorkloadMonitor m(1 << 20, /*read_tracker_cap=*/4);
+  for (int i = 0; i < 8; ++i) m.bump_read_count("/hot");
+  // Overflow the cap so a decay pass runs, then observe the halved count
+  // on the next bump (8 -> 4-ish, +1).
+  for (int i = 0; i < 8; ++i) m.bump_read_count("/cold" + std::to_string(i));
+  const std::uint32_t after = m.bump_read_count("/hot");
+  EXPECT_LT(after, 9u);
+  EXPECT_GE(after, 1u);
+}
+
+TEST(WorkloadMonitor, ConcurrentThresholdUpdatesAndClassification) {
+  // The adaptive controller retunes the threshold online while writers
+  // classify concurrently; threshold_ is a relaxed atomic, so this must
+  // be race-free (TSan lane runs this suite).
+  WorkloadMonitor m(1 << 20);
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    std::uint64_t t = 64u << 10;
+    while (!stop.load(std::memory_order_relaxed)) {
+      m.set_threshold(t);
+      t = t >= (64ull << 20) ? (64u << 10) : t * 2;
+    }
+  });
+  std::uint64_t small = 0, large = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto c = m.classify_file(1u << (i % 28));
+    (c == DataClass::kLargeFile ? large : small)++;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  tuner.join();
+  EXPECT_EQ(small + large, 50000u);
+  // Every classification used *some* valid threshold from the ladder.
+  EXPECT_GE(m.threshold(), 64u << 10);
+  EXPECT_LE(m.threshold(), 64ull << 20);
 }
 
 TEST(WorkloadMonitor, DataClassNames) {
